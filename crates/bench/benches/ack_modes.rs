@@ -1,0 +1,27 @@
+//! Ablation A timing: global vs local acknowledgment on circuits where
+//! the policies diverge.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simap_bench::benchmark_sg;
+use simap_bench::reexports::{decompose, AckMode, DecomposeConfig};
+
+fn bench_ack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ack_modes");
+    group.sample_size(10);
+    for name in ["hazard", "ebergen", "chu150"] {
+        let sg = benchmark_sg(name);
+        for (label, mode) in [("global", AckMode::Global), ("local", AckMode::Local)] {
+            group.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| {
+                    let mut config = DecomposeConfig::with_limit(2);
+                    config.ack_mode = mode;
+                    decompose(std::hint::black_box(&sg), &config)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ack);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Scaling sweep (DESIGN.md §4): decomposition of k-input C-element
+//! specifications (the mr0/vbe10b family) into 2-input gates as k grows.
+//! Tracks the wall-clock of the full decomposition loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simap_bench::reexports::{decompose, elaborate, patterns, DecomposeConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("celement_scaling");
+    group.sample_size(10);
+    for k in [2usize, 3, 4, 5] {
+        let stg = patterns::celement(k);
+        let sg = elaborate(&stg).expect("celement elaborates");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &sg, |b, sg| {
+            b.iter(|| decompose(std::hint::black_box(sg), &DecomposeConfig::with_limit(2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the substrates: STG reachability, monotonous-cover
+//! synthesis, two-level minimization, kernel extraction and SI
+//! verification. These are the building blocks whose cost dominates the
+//! Table 1 runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simap_bench::benchmark_sg;
+use simap_bench::reexports::{build_circuit, elaborate, patterns, synthesize_mc};
+use simap_boolean::{kernels, Cover, Cube, Literal, MinimizeProblem};
+use simap_netlist::{verify_speed_independence, VerifyConfig};
+
+fn bench_reachability(c: &mut Criterion) {
+    let stg = patterns::celement(6);
+    c.bench_function("reachability/celement6", |b| {
+        b.iter(|| elaborate(std::hint::black_box(&stg)).expect("elaborates"))
+    });
+}
+
+fn bench_mc(c: &mut Criterion) {
+    let sg = benchmark_sg("mr1");
+    c.bench_function("mc_synthesis/mr1", |b| {
+        b.iter(|| synthesize_mc(std::hint::black_box(&sg)).expect("CSC holds"))
+    });
+}
+
+fn bench_minimize(c: &mut Criterion) {
+    // A 10-variable split: even-parity-ish partition with don't-cares.
+    let on: Vec<u64> = (0..1024u64).filter(|v| v.count_ones() % 3 == 0).collect();
+    let off: Vec<u64> = (0..1024u64).filter(|v| v.count_ones() % 3 == 1).collect();
+    let problem = MinimizeProblem::new(10, on, off).expect("disjoint");
+    c.bench_function("minimize/10var", |b| {
+        b.iter(|| std::hint::black_box(&problem).minimize())
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let cube = |vs: &[usize]| Cube::from_literals(vs.iter().map(|&v| Literal::pos(v))).expect("ok");
+    let cover = Cover::from_cubes([
+        cube(&[0, 3, 5]),
+        cube(&[0, 4, 5]),
+        cube(&[1, 3, 5]),
+        cube(&[1, 4, 5]),
+        cube(&[2, 3, 5]),
+        cube(&[2, 4, 5]),
+        cube(&[6]),
+        cube(&[0, 7]),
+        cube(&[1, 7]),
+    ]);
+    c.bench_function("kernels/9cube", |b| {
+        b.iter(|| kernels(std::hint::black_box(&cover)))
+    });
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let sg = benchmark_sg("chu150");
+    let mc = synthesize_mc(&sg).expect("CSC holds");
+    let circuit = build_circuit(&sg, &mc);
+    c.bench_function("si_verify/chu150", |b| {
+        b.iter(|| {
+            verify_speed_independence(
+                std::hint::black_box(&circuit),
+                &sg,
+                &VerifyConfig::default(),
+            )
+            .expect("SI")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_reachability,
+    bench_mc,
+    bench_minimize,
+    bench_kernels,
+    bench_verify
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion timing for the Table 1 flow on representative circuits
+//! (small / medium / concurrency-heavy). The full table is produced by
+//! the `table1` binary; this bench tracks the runtime of its core loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simap_bench::reexports::{run_flow, FlowConfig};
+use simap_bench::benchmark_sg;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_flow");
+    group.sample_size(10);
+    for name in ["hazard", "dff", "chu150", "nowick", "rdft", "vbe5b"] {
+        let sg = benchmark_sg(name);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut config = FlowConfig::with_limit(2);
+                config.verify = false;
+                run_flow(std::hint::black_box(&sg), &config).expect("flow")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

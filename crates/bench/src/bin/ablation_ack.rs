@@ -1,0 +1,71 @@
+//! **Ablation A** (design choice, §3/Fig. 4): acknowledgment policies.
+//!
+//! Three policies per benchmark, 2-input target:
+//! * **global** — the paper's method: any cover may acknowledge an
+//!   inserted signal (sharing);
+//! * **local** — the inserted signal's support is confined to the covers
+//!   of the signal being decomposed (fanout stays inside one signal);
+//! * **siegel** — the Siegel/De Micheli-style baseline: *syntactic* gate
+//!   splitting with no state-graph insertion at all, accepted only when
+//!   the split circuit happens to verify speed-independent.
+
+use simap_bench::benchmark_sg;
+use simap_core::{
+    build_decomposed_circuit, decompose, synthesize_mc, AckMode, DecomposeConfig,
+};
+use simap_netlist::{verify_speed_independence, VerifyConfig};
+use simap_stg::benchmark_names;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "{:15} | {:>12} | {:>12} | {:>12}",
+        "circuit", "global", "local", "siegel"
+    );
+    println!("{}", "-".repeat(62));
+    let mut ok = [0usize; 3];
+    let mut rows = 0usize;
+    for name in benchmark_names() {
+        let sg = benchmark_sg(name);
+        if quick && sg.state_count() > 1500 {
+            continue;
+        }
+        rows += 1;
+        let run = |mode: AckMode| {
+            let mut config = DecomposeConfig::with_limit(2);
+            config.ack_mode = mode;
+            let r = decompose(&sg, &config).expect("CSC holds");
+            (r.implementable, r.inserted.len())
+        };
+        let (gi, gn) = run(AckMode::Global);
+        let (li, ln) = run(AckMode::Local);
+        let siegel = synthesize_mc(&sg)
+            .map(|mc| {
+                let circuit = build_decomposed_circuit(&sg, &mc, 2);
+                verify_speed_independence(
+                    &circuit,
+                    &sg,
+                    &VerifyConfig { max_states: 1_500_000 },
+                )
+                .is_ok()
+            })
+            .unwrap_or(false);
+        ok[0] += usize::from(gi);
+        ok[1] += usize::from(li);
+        ok[2] += usize::from(siegel);
+        println!(
+            "{:15} | {:>8} ({}) | {:>8} ({}) | {:>12}",
+            name,
+            if gi { "yes" } else { "n.i." },
+            gn,
+            if li { "yes" } else { "n.i." },
+            ln,
+            if siegel { "yes" } else { "n.i." },
+        );
+    }
+    println!("{}", "-".repeat(62));
+    println!(
+        "2-input implementable over {rows} circuits: global {}, local {}, siegel {}",
+        ok[0], ok[1], ok[2]
+    );
+}

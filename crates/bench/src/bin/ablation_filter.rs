@@ -1,0 +1,34 @@
+//! **Ablation B** (§3.3): the Property 3.1/3.2 progress filter. Compares
+//! runtime and insertion counts with the filter ranking candidates versus
+//! exhaustive trial in generation order.
+
+use simap_bench::benchmark_sg;
+use simap_core::{decompose, DecomposeConfig};
+
+fn main() {
+    let names = ["hazard", "chu150", "ebergen", "mr1", "sbuf-send-ctl", "trimos-send"];
+    println!("{:15} | {:>20} | {:>20}", "circuit", "with filter", "without filter");
+    println!("{}", "-".repeat(64));
+    for name in names {
+        let sg = benchmark_sg(name);
+        let run = |filter: bool| {
+            let mut config = DecomposeConfig::with_limit(2);
+            config.use_progress_filter = filter;
+            let t = std::time::Instant::now();
+            let r = decompose(&sg, &config).expect("CSC holds");
+            (r.implementable, r.inserted.len(), t.elapsed())
+        };
+        let (fi, fn_, ft) = run(true);
+        let (ni, nn, nt) = run(false);
+        println!(
+            "{:15} | {:>6} ins={} {:>9.1?} | {:>6} ins={} {:>9.1?}",
+            name,
+            if fi { "ok" } else { "n.i." },
+            fn_,
+            ft,
+            if ni { "ok" } else { "n.i." },
+            nn,
+            nt
+        );
+    }
+}

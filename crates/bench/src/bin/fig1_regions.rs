@@ -1,0 +1,110 @@
+//! Regenerates **Figure 1**: the state graph of the `hazard` running
+//! example with its excitation/switching/quiescent regions, plus the
+//! §3.2 divisor analysis — which decompositions of the 3-literal cube
+//! cover admit a speed-independence-preserving insertion and which are
+//! rejected (the paper's "illegal diamond intersection" case).
+
+use simap_bench::benchmark_sg;
+use simap_core::{compute_insertion, insert_function, synthesize_mc};
+use simap_boolean::{generate_divisors, DivisorConfig};
+use simap_sg::{diamonds, regions_of, Event};
+
+fn main() {
+    let sg = benchmark_sg("hazard");
+    println!("== hazard state graph ({} states) ==", sg.state_count());
+    for s in sg.states() {
+        let succ: Vec<String> = sg
+            .succ(s)
+            .iter()
+            .map(|&(e, t)| format!("{}->{}", sg.event_name(e), t.0))
+            .collect();
+        println!("  {:8} {}", sg.state_label(s), succ.join(" "));
+    }
+
+    println!("\n== regions (Fig. 1a) ==");
+    for sig in sg.implementable_signals() {
+        for event in [Event::rise(sig), Event::fall(sig)] {
+            for r in regions_of(&sg, event) {
+                let fmt = |set: &simap_sg::StateSet| {
+                    set.iter().map(|s| sg.state_label(s)).collect::<Vec<_>>().join(",")
+                };
+                println!(
+                    "  ER{}({}) = {{{}}}  SR = {{{}}}  QR = {{{}}}  triggers: {}",
+                    r.index,
+                    sg.event_name(event),
+                    fmt(&r.er),
+                    fmt(&r.sr),
+                    fmt(&r.qr),
+                    r.trigger_events(&sg)
+                        .iter()
+                        .map(|&e| sg.event_name(e))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+            }
+        }
+    }
+
+    println!("\n== state diamonds ==");
+    for d in diamonds(&sg) {
+        println!(
+            "  {{{}, {}, {}, {}}} over ({}, {})",
+            sg.state_label(d.s),
+            sg.state_label(d.sa),
+            sg.state_label(d.sb),
+            sg.state_label(d.t),
+            sg.event_name(d.a),
+            sg.event_name(d.b)
+        );
+    }
+
+    println!("\n== divisor legality for the most complex cover (Fig. 1b-d) ==");
+    let mc = synthesize_mc(&sg).expect("hazard has CSC");
+    let over = mc.gates_over(2);
+    let (signal, event, cover, complexity) =
+        over.first().expect("hazard has a >2-literal cover").clone();
+    println!(
+        "  target: cover of {} on signal {} = {} ({} literals)",
+        sg.event_name(event),
+        sg.signals()[signal.0].name,
+        cover.display_with(|v| sg.signals()[v].name.clone()),
+        complexity
+    );
+    let probe = |f: &simap_boolean::Cover| {
+        let rendered = format!("{}", f.display_with(|v| sg.signals()[v].name.clone()));
+        match compute_insertion(&sg, f) {
+            Err(e) => println!("  divisor {rendered:12} ILLEGAL: {e}"),
+            Ok(ins) => match insert_function(&sg, f, "f") {
+                Err(e) => println!("  divisor {rendered:12} ILLEGAL after split: {e}"),
+                Ok((new_sg, _)) => println!(
+                    "  divisor {rendered:12} legal: ER(f+)={} states, ER(f-)={} states, A' has {} states",
+                    ins.er_plus.count(),
+                    ins.er_minus.count(),
+                    new_sg.state_count()
+                ),
+            },
+        }
+    };
+    for f in generate_divisors(&cover, &DivisorConfig::default()) {
+        probe(&f);
+    }
+
+    // The paper's Fig. 1b case: a candidate whose insertion set intersects
+    // a state diamond illegally and cannot be repaired without leaving its
+    // block. Mixed-phase functions over the concurrent falling cube are
+    // exactly such candidates.
+    println!("\n== crafted mixed-phase candidates (the illegal case of Fig. 1b) ==");
+    use simap_boolean::{Cube, Literal};
+    let a = sg.signal_by_name("a").expect("signal a");
+    let b = sg.signal_by_name("b").expect("signal b");
+    let x = sg.signal_by_name("x").expect("signal x");
+    for (na, pa, nb, pb) in
+        [(a.0, false, b.0, true), (b.0, true, x.0, false), (a.0, true, x.0, false)]
+    {
+        let f = simap_boolean::Cover::from_cube(
+            Cube::from_literals([Literal::new(na, pa), Literal::new(nb, pb)])
+                .expect("consistent cube"),
+        );
+        probe(&f);
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Figure 2**: the standard-C architecture. Shows (a) a
+//! state-holding signal implemented with set/reset cover gates and a C
+//! element, and (b/c) complete covers where the C element degenerates to
+//! a wire (one combinational gate).
+
+use simap_bench::benchmark_sg;
+use simap_core::{build_circuit, synthesize_mc, SignalBody};
+
+fn main() {
+    for name in ["dff", "hazard", "converta"] {
+        let sg = benchmark_sg(name);
+        let mc = synthesize_mc(&sg).expect("benchmark has CSC");
+        println!("== {name} ==");
+        for s in &mc.signals {
+            let signal = &sg.signals()[s.signal.0].name;
+            match &s.body {
+                SignalBody::Combinational { cover, complexity } => println!(
+                    "  {signal}: complete cover (C element is a wire): {} [{} lits]",
+                    cover.display_with(|v| sg.signals()[v].name.clone()),
+                    complexity
+                ),
+                SignalBody::StandardC { set, reset } => {
+                    println!("  {signal}: standard-C (set/reset + C element)");
+                    for c in set {
+                        println!(
+                            "    set   {} [{} lits]",
+                            c.cover.display_with(|v| sg.signals()[v].name.clone()),
+                            c.complexity
+                        );
+                    }
+                    for c in reset {
+                        println!(
+                            "    reset {} [{} lits]",
+                            c.cover.display_with(|v| sg.signals()[v].name.clone()),
+                            c.complexity
+                        );
+                    }
+                }
+            }
+        }
+        println!("  netlist:");
+        for line in build_circuit(&sg, &mc).render().lines() {
+            println!("    {line}");
+        }
+        println!();
+    }
+}

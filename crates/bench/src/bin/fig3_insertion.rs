@@ -1,0 +1,43 @@
+//! Regenerates **Figure 3**: the event insertion scheme. Inserts a signal
+//! into a sequencer and prints how states at the entrance / inside / exit
+//! of ER(x) are split, with exit events delayed until x fires.
+
+use simap_bench::benchmark_sg;
+use simap_core::{compute_insertion, insert_signal};
+use simap_boolean::{Cover, Cube, Literal};
+use simap_sg::SignalKind;
+
+fn main() {
+    let sg = benchmark_sg("rdft"); // the 5-signal sequencer
+    let (a, b) = (0usize, 1usize);
+    let f = Cover::from_cube(
+        Cube::from_literals([Literal::pos(a), Literal::pos(b)]).expect("consistent"),
+    );
+    println!(
+        "inserting x realizing f = {} into {}",
+        f.display_with(|v| sg.signals()[v].name.clone()),
+        sg.name()
+    );
+    let ins = compute_insertion(&sg, &f).expect("legal I-partition");
+    let show = |label: &str, set: &simap_sg::StateSet| {
+        println!(
+            "  {label}: {}",
+            set.iter().map(|s| sg.state_label(s)).collect::<Vec<_>>().join(", ")
+        );
+    };
+    show("S1 (f=1)", &ins.s1);
+    show("S0 (f=0)", &ins.s0);
+    show("ER(x+)", &ins.er_plus);
+    show("ER(x-)", &ins.er_minus);
+
+    let new_sg = insert_signal(&sg, &ins, "x", SignalKind::Internal).expect("split");
+    println!("\nA' ({} states, was {}):", new_sg.state_count(), sg.state_count());
+    for s in new_sg.states() {
+        let succ: Vec<String> = new_sg
+            .succ(s)
+            .iter()
+            .map(|&(e, t)| format!("{}->{}", new_sg.event_name(e), t.0))
+            .collect();
+        println!("  {:10} {}", new_sg.state_label(s), succ.join(" "));
+    }
+}

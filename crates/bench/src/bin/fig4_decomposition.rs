@@ -1,0 +1,41 @@
+//! Regenerates **Figure 4**: decomposition of a cover c(a*) = f·g + r
+//! with *global acknowledgment* — the extracted signal is acknowledged by
+//! covers other than the target one (sharing), which is what lets
+//! high-fanin gates decompose (§3, Fig. 4 and the mr0/vbe10b results).
+
+use simap_bench::benchmark_sg;
+use simap_core::{decompose, DecomposeConfig, SignalBody};
+
+fn main() {
+    let sg = benchmark_sg("mr1");
+    let result = decompose(&sg, &DecomposeConfig::with_limit(2)).expect("mr1 has CSC");
+    println!("mr1: {} insertions, implementable: {}", result.inserted.len(), result.implementable);
+    for step in &result.steps {
+        println!(
+            "  inserted {} = {} targeting {} (excess {} -> {})",
+            step.signal, step.divisor, step.target, step.excess.0, step.excess.1
+        );
+    }
+    println!("\nwho acknowledges the inserted signals (support of each final cover):");
+    let names: Vec<String> = result.sg.signals().iter().map(|s| s.name.clone()).collect();
+    for s in &result.mc.signals {
+        let show = |cover: &simap_boolean::Cover, label: String| {
+            let supp: Vec<&str> = cover.support().iter().map(|&v| names[v].as_str()).collect();
+            println!("  {label:18} = {}   support: {{{}}}",
+                cover.display_with(|v| names[v].clone()), supp.join(","));
+        };
+        match &s.body {
+            SignalBody::Combinational { cover, .. } => {
+                show(cover, names[s.signal.0].clone());
+            }
+            SignalBody::StandardC { set, reset } => {
+                for c in set {
+                    show(&c.cover, format!("set({})", names[s.signal.0]));
+                }
+                for c in reset {
+                    show(&c.cover, format!("reset({})", names[s.signal.0]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Regenerates **Table 1** of the paper: for each of the 32 benchmarks,
+//! the initial gate-complexity histogram, the number of signals inserted
+//! to reach i = 2, 3, 4 literal gates, the local-acknowledgment baseline's
+//! 2-input implementability, and the non-SI vs SI decomposition cost
+//! (literals / C elements).
+//!
+//! Usage: `table1 [--no-verify] [--quick] [name ...]`
+//! `--quick` limits the run to the circuits whose state graphs have at
+//! most 1500 states.
+
+use simap_bench::{batch_rows, benchmark_sg, format_histogram, format_inserted, table1_row};
+use simap_stg::benchmark_names;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let explicit: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let names: Vec<&str> = if explicit.is_empty() {
+        benchmark_names().to_vec()
+    } else {
+        explicit.iter().map(|s| s.as_str()).collect()
+    };
+
+    println!(
+        "{:15} | {:>6} | {:17} | {:>4} {:>4} {:>4} | {:>9} | {:>8} | {:>8} | {:>8}",
+        "circuit", "states", "gates n=2..7", "i=2", "i=3", "i=4", "siegel-2in", "non-SI", "SI", "verified"
+    );
+    println!("{}", "-".repeat(110));
+
+    let mut totals_non_si = (0usize, 0usize);
+    let mut totals_si = (0usize, 0usize);
+    let mut implemented = 0usize;
+    let mut collected: Vec<simap_bench::Table1Row> = Vec::new();
+
+    for name in names {
+        let sg = benchmark_sg(name);
+        if quick && sg.state_count() > 1500 {
+            println!("{name:15} | {:>6} | (skipped by --quick)", sg.state_count());
+            continue;
+        }
+        let t = std::time::Instant::now();
+        let row = table1_row(name, verify);
+        println!(
+            "{:15} | {:>6} | {:17} | {:>4} {:>4} {:>4} | {:>9} | {:>8} | {:>8} | {:>8}  [{:.1?}]",
+            row.name,
+            sg.state_count(),
+            format_histogram(&row.histogram),
+            format_inserted(row.inserted[0]),
+            format_inserted(row.inserted[1]),
+            format_inserted(row.inserted[2]),
+            if row.siegel_two_input { "yes" } else { "no" },
+            row.non_si.to_string(),
+            row.si.to_string(),
+            match row.verified {
+                Some(true) => "yes",
+                Some(false) => "NO",
+                None => "-",
+            },
+            t.elapsed(),
+        );
+        collected.push(row.clone());
+        totals_non_si.0 += row.non_si.literals;
+        totals_non_si.1 += row.non_si.c_elements;
+        totals_si.0 += row.si.literals;
+        totals_si.1 += row.si.c_elements;
+        if row.inserted[0].is_some() {
+            implemented += 1;
+        }
+    }
+
+    println!("{}", "-".repeat(110));
+    if csv {
+        print!("{}", simap_core::to_csv(&[2, 3, 4], &batch_rows(&collected)));
+    }
+    if markdown {
+        print!("{}", simap_core::to_markdown(&[2, 3, 4], &batch_rows(&collected)));
+    }
+    println!(
+        "totals: non-SI {}/{}  SI {}/{}  (area ratio {:.2}); {} circuits 2-input implementable",
+        totals_non_si.0,
+        totals_non_si.1,
+        totals_si.0,
+        totals_si.1,
+        (totals_si.0 + 3 * totals_si.1) as f64 / (totals_non_si.0 + 3 * totals_non_si.1).max(1) as f64,
+        implemented,
+    );
+}

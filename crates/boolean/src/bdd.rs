@@ -1,0 +1,480 @@
+//! Reduced Ordered Binary Decision Diagrams.
+//!
+//! A compact ROBDD package with a unique table and an ITE computed
+//! cache. The SOP engine ([`crate::minimize`]) is heuristic; BDDs give
+//! the *exact* side: tautology, equivalence, complementation and
+//! satisfy-count, used to cross-check covers and to validate the
+//! minimizer in tests. Variables use the same indices as [`crate::Cube`]
+//! (natural ordering `x0 < x1 < …`).
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Literal, MAX_VARS};
+use std::collections::HashMap;
+
+/// Reference to a BDD node (terminals included). Only meaningful together
+/// with the [`Bdd`] manager that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The constant-false terminal.
+    pub const FALSE: BddRef = BddRef(0);
+    /// The constant-true terminal.
+    pub const TRUE: BddRef = BddRef(1);
+
+    /// Whether this is one of the two terminals.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: BddRef,
+    hi: BddRef,
+}
+
+/// A BDD manager: owns the node store, the unique table and the operation
+/// cache.
+#[derive(Debug, Default)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, BddRef>,
+    ite_cache: HashMap<(BddRef, BddRef, BddRef), BddRef>,
+}
+
+impl Bdd {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        // Index 0/1 are virtual terminals; the node store starts with two
+        // placeholders so indices line up.
+        let dummy = Node { var: u32::MAX, lo: BddRef::FALSE, hi: BddRef::FALSE };
+        Bdd { nodes: vec![dummy, dummy], unique: HashMap::new(), ite_cache: HashMap::new() }
+    }
+
+    /// Number of live (non-terminal) nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 2
+    }
+
+    fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> BddRef {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = BddRef(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    fn var_of(&self, r: BddRef) -> u32 {
+        if r.is_terminal() {
+            u32::MAX
+        } else {
+            self.nodes[r.0 as usize].var
+        }
+    }
+
+    fn cofactors(&self, r: BddRef, var: u32) -> (BddRef, BddRef) {
+        if r.is_terminal() || self.nodes[r.0 as usize].var != var {
+            (r, r)
+        } else {
+            let n = self.nodes[r.0 as usize];
+            (n.lo, n.hi)
+        }
+    }
+
+    /// The single-variable function `x_var`.
+    ///
+    /// # Panics
+    /// Panics if `var >= MAX_VARS`.
+    pub fn var(&mut self, var: usize) -> BddRef {
+        assert!(var < MAX_VARS);
+        self.mk(var as u32, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// The literal `x_var` or `x̄_var`.
+    pub fn literal(&mut self, lit: Literal) -> BddRef {
+        let v = self.var(lit.var);
+        if lit.phase {
+            v
+        } else {
+            self.not(v)
+        }
+    }
+
+    /// If-then-else: the universal connective all operations reduce to.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        // Terminal cases.
+        if f == BddRef::TRUE {
+            return g;
+        }
+        if f == BddRef::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == BddRef::TRUE && h == BddRef::FALSE {
+            return f;
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.ite(a, b, BddRef::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.ite(a, BddRef::TRUE, b)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, a: BddRef) -> BddRef {
+        self.ite(a, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        let nb = self.not(b);
+        self.ite(a, nb, b)
+    }
+
+    /// Builds the BDD of a cube (conjunction of literals).
+    pub fn from_cube(&mut self, cube: &Cube) -> BddRef {
+        let mut acc = BddRef::TRUE;
+        // Build bottom-up (highest variable first) for linear growth.
+        let lits: Vec<Literal> = cube.literals().collect();
+        for lit in lits.into_iter().rev() {
+            let l = self.literal(lit);
+            acc = self.and(l, acc);
+        }
+        acc
+    }
+
+    /// Builds the BDD of a sum-of-products cover.
+    pub fn from_cover(&mut self, cover: &Cover) -> BddRef {
+        let mut acc = BddRef::FALSE;
+        for cube in cover.cubes() {
+            let c = self.from_cube(cube);
+            acc = self.or(acc, c);
+        }
+        acc
+    }
+
+    /// Evaluates the function on a minterm code.
+    pub fn eval(&self, mut r: BddRef, code: u64) -> bool {
+        while !r.is_terminal() {
+            let n = self.nodes[r.0 as usize];
+            r = if code >> n.var & 1 == 1 { n.hi } else { n.lo };
+        }
+        r == BddRef::TRUE
+    }
+
+    /// Whether the function is the constant true (canonicity makes this a
+    /// pointer test).
+    pub fn is_tautology(&self, r: BddRef) -> bool {
+        r == BddRef::TRUE
+    }
+
+    /// Whether two covers denote the same boolean function.
+    pub fn covers_equal(&mut self, a: &Cover, b: &Cover) -> bool {
+        let ra = self.from_cover(a);
+        let rb = self.from_cover(b);
+        ra == rb
+    }
+
+    /// Whether cover `a` implies cover `b` (`a ⊆ b` as sets of minterms).
+    pub fn cover_implies(&mut self, a: &Cover, b: &Cover) -> bool {
+        let ra = self.from_cover(a);
+        let rb = self.from_cover(b);
+        let nb = self.not(rb);
+        self.and(ra, nb) == BddRef::FALSE
+    }
+
+    /// Number of satisfying assignments over `nvars` variables.
+    pub fn sat_count(&self, r: BddRef, nvars: usize) -> u64 {
+        fn rec(bdd: &Bdd, r: BddRef, nvars: u32, memo: &mut HashMap<BddRef, u64>) -> u64 {
+            // Count over variables var_of(r)..nvars (i.e. weight each
+            // path by skipped levels).
+            match r {
+                BddRef::FALSE => 0,
+                BddRef::TRUE => 1,
+                _ => {
+                    if let Some(&c) = memo.get(&r) {
+                        return c;
+                    }
+                    let n = bdd.nodes[r.0 as usize];
+                    let lo = rec(bdd, n.lo, nvars, memo);
+                    let hi = rec(bdd, n.hi, nvars, memo);
+                    let skip_lo = bdd.var_of(n.lo).min(nvars) - n.var - 1;
+                    let skip_hi = bdd.var_of(n.hi).min(nvars) - n.var - 1;
+                    let c = (lo << skip_lo) + (hi << skip_hi);
+                    memo.insert(r, c);
+                    c
+                }
+            }
+        }
+        let nv = nvars as u32;
+        let mut memo = HashMap::new();
+        let base = rec(self, r, nv, &mut memo);
+        base << self.var_of(r).min(nv)
+    }
+
+    /// Extracts an (irredundant-path) SOP cover: one cube per 1-path.
+    pub fn to_cover(&self, r: BddRef) -> Cover {
+        let mut cubes = Vec::new();
+        let mut path: Vec<Literal> = Vec::new();
+        self.paths(r, &mut path, &mut cubes);
+        Cover::from_cubes(cubes)
+    }
+
+    fn paths(&self, r: BddRef, path: &mut Vec<Literal>, out: &mut Vec<Cube>) {
+        match r {
+            BddRef::FALSE => {}
+            BddRef::TRUE => {
+                out.push(Cube::from_literals(path.iter().copied()).expect("path is consistent"));
+            }
+            _ => {
+                let n = self.nodes[r.0 as usize];
+                path.push(Literal::neg(n.var as usize));
+                self.paths(n.lo, path, out);
+                path.pop();
+                path.push(Literal::pos(n.var as usize));
+                self.paths(n.hi, path, out);
+                path.pop();
+            }
+        }
+    }
+
+    /// Existential quantification of a variable.
+    pub fn exists(&mut self, r: BddRef, var: usize) -> BddRef {
+        let (lo, hi) = self.restrict_pair(r, var);
+        self.or(lo, hi)
+    }
+
+    /// Universal quantification of a variable.
+    pub fn forall(&mut self, r: BddRef, var: usize) -> BddRef {
+        let (lo, hi) = self.restrict_pair(r, var);
+        self.and(lo, hi)
+    }
+
+    /// Restriction `f|_{var=value}`.
+    pub fn restrict(&mut self, r: BddRef, var: usize, value: bool) -> BddRef {
+        let (lo, hi) = self.restrict_pair(r, var);
+        if value {
+            hi
+        } else {
+            lo
+        }
+    }
+
+    fn restrict_pair(&mut self, r: BddRef, var: usize) -> (BddRef, BddRef) {
+        let v = var as u32;
+        fn rec(
+            bdd: &mut Bdd,
+            r: BddRef,
+            v: u32,
+            value: bool,
+            memo: &mut HashMap<BddRef, BddRef>,
+        ) -> BddRef {
+            if r.is_terminal() || bdd.var_of(r) > v {
+                return r;
+            }
+            if let Some(&m) = memo.get(&r) {
+                return m;
+            }
+            let n = bdd.nodes[r.0 as usize];
+            let res = if n.var == v {
+                if value {
+                    n.hi
+                } else {
+                    n.lo
+                }
+            } else {
+                let lo = rec(bdd, n.lo, v, value, memo);
+                let hi = rec(bdd, n.hi, v, value, memo);
+                bdd.mk(n.var, lo, hi)
+            };
+            memo.insert(r, res);
+            res
+        }
+        let lo = rec(self, r, v, false, &mut HashMap::new());
+        let hi = rec(self, r, v, true, &mut HashMap::new());
+        (lo, hi)
+    }
+
+    /// Whether the function depends on `var`.
+    pub fn depends_on(&mut self, r: BddRef, var: usize) -> bool {
+        let (lo, hi) = self.restrict_pair(r, var);
+        lo != hi
+    }
+}
+
+/// Exact check that a cover agrees with an ON/OFF specification: covers
+/// all ON minterms and avoids all OFF minterms (don't-cares free). The
+/// exact counterpart of the debug assertions in [`crate::minimize`].
+pub fn cover_matches_spec(cover: &Cover, nvars: usize, on: &[u64], off: &[u64]) -> bool {
+    let mut bdd = Bdd::new();
+    let f = bdd.from_cover(cover);
+    let mut on_set = BddRef::FALSE;
+    for &m in on {
+        let c = bdd.from_cube(&Cube::minterm(m, nvars));
+        on_set = bdd.or(on_set, c);
+    }
+    let mut off_set = BddRef::FALSE;
+    for &m in off {
+        let c = bdd.from_cube(&Cube::minterm(m, nvars));
+        off_set = bdd.or(off_set, c);
+    }
+    let nf = bdd.not(f);
+    let miss = bdd.and(on_set, nf);
+    let clash = bdd.and(off_set, f);
+    miss == BddRef::FALSE && clash == BddRef::FALSE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits.iter().map(|&(v, p)| Literal::new(v, p))).unwrap()
+    }
+
+    #[test]
+    fn terminals_and_literals() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        assert!(bdd.eval(x, 0b1));
+        assert!(!bdd.eval(x, 0b0));
+        let nx = bdd.not(x);
+        assert!(bdd.eval(nx, 0b0));
+        assert_eq!(bdd.not(nx), x, "double negation is canonical");
+    }
+
+    #[test]
+    fn canonicity_of_equivalent_forms() {
+        let mut bdd = Bdd::new();
+        // a·b + a·c == a·(b + c)
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let ac = bdd.and(a, c);
+        let lhs = bdd.or(ab, ac);
+        let bc = bdd.or(b, c);
+        let rhs = bdd.and(a, bc);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_and_sat_count() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let x = bdd.xor(a, b);
+        assert_eq!(bdd.sat_count(x, 2), 2);
+        assert_eq!(bdd.sat_count(x, 3), 4); // free third variable doubles it
+        assert_eq!(bdd.sat_count(BddRef::TRUE, 5), 32);
+        assert_eq!(bdd.sat_count(BddRef::FALSE, 5), 0);
+    }
+
+    #[test]
+    fn cover_roundtrip() {
+        let mut bdd = Bdd::new();
+        let cover = Cover::from_cubes([
+            cube(&[(0, true), (1, true)]),
+            cube(&[(2, false), (3, true)]),
+        ]);
+        let r = bdd.from_cover(&cover);
+        for code in 0..16u64 {
+            assert_eq!(bdd.eval(r, code), cover.eval(code), "code {code:04b}");
+        }
+        let back = bdd.to_cover(r);
+        let mut bdd2 = Bdd::new();
+        assert!(bdd2.covers_equal(&cover, &back));
+    }
+
+    #[test]
+    fn implication_and_equality() {
+        let mut bdd = Bdd::new();
+        let small = Cover::from_cube(cube(&[(0, true), (1, true)]));
+        let big = Cover::from_cube(cube(&[(0, true)]));
+        assert!(bdd.cover_implies(&small, &big));
+        assert!(!bdd.cover_implies(&big, &small));
+        assert!(!bdd.covers_equal(&small, &big));
+    }
+
+    #[test]
+    fn quantification() {
+        let mut bdd = Bdd::new();
+        // f = a·b: ∃a.f = b ; ∀a.f = 0 ; f|a=1 = b.
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        assert_eq!(bdd.exists(f, 0), b);
+        assert_eq!(bdd.forall(f, 0), BddRef::FALSE);
+        assert_eq!(bdd.restrict(f, 0, true), b);
+        assert_eq!(bdd.restrict(f, 0, false), BddRef::FALSE);
+        assert!(bdd.depends_on(f, 0));
+        assert!(!bdd.depends_on(b, 0));
+    }
+
+    #[test]
+    fn spec_matching() {
+        // ON = {11}, OFF = {00} over 2 vars; x0 matches (1 on 11, 0 on 00).
+        let f = Cover::from_cube(cube(&[(0, true)]));
+        assert!(cover_matches_spec(&f, 2, &[0b11], &[0b00]));
+        assert!(!cover_matches_spec(&f, 2, &[0b10], &[0b01]));
+    }
+
+    #[test]
+    fn tautology_detection() {
+        let mut bdd = Bdd::new();
+        let taut = Cover::from_cubes([cube(&[(0, true)]), cube(&[(0, false)])]);
+        let r = bdd.from_cover(&taut);
+        assert!(bdd.is_tautology(r));
+    }
+
+    #[test]
+    fn node_sharing_keeps_store_small() {
+        let mut bdd = Bdd::new();
+        // Build the same function many times: the store must not grow.
+        let mut r = BddRef::FALSE;
+        for _ in 0..10 {
+            let c = bdd.from_cover(&Cover::from_cubes([
+                cube(&[(0, true), (1, true)]),
+                cube(&[(2, true), (3, true)]),
+            ]));
+            r = bdd.or(r, c);
+        }
+        let after_first = bdd.node_count();
+        for _ in 0..10 {
+            let c = bdd.from_cover(&Cover::from_cubes([
+                cube(&[(0, true), (1, true)]),
+                cube(&[(2, true), (3, true)]),
+            ]));
+            r = bdd.or(r, c);
+        }
+        assert_eq!(bdd.node_count(), after_first);
+    }
+}

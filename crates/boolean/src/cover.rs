@@ -1,0 +1,328 @@
+//! Sum-of-products covers (disjunctions of [`Cube`]s).
+
+use crate::cube::{Cube, Literal};
+use std::fmt;
+
+/// A boolean function in sum-of-products form.
+///
+/// The empty cover is the constant 0; a cover containing the universal cube
+/// is the constant 1.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Cover {
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The constant-0 function.
+    pub fn zero() -> Self {
+        Cover { cubes: Vec::new() }
+    }
+
+    /// The constant-1 function.
+    pub fn one() -> Self {
+        Cover { cubes: vec![Cube::top()] }
+    }
+
+    /// A cover made of a single cube.
+    pub fn from_cube(cube: Cube) -> Self {
+        Cover { cubes: vec![cube] }
+    }
+
+    /// A cover from an iterator of cubes (deduplicated, containment-reduced).
+    pub fn from_cubes<I: IntoIterator<Item = Cube>>(cubes: I) -> Self {
+        let mut cover = Cover { cubes: cubes.into_iter().collect() };
+        cover.make_minimal_wrt_containment();
+        cover
+    }
+
+    /// The single positive literal `x_var` as a cover.
+    pub fn literal(lit: Literal) -> Self {
+        Cover::from_cube(Cube::from_literals([lit]).expect("single literal is consistent"))
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes (product terms).
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total number of literals in SOP form.
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Whether this is the constant-0 cover.
+    pub fn is_zero(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Whether the cover contains the universal cube (syntactic constant 1).
+    pub fn is_one(&self) -> bool {
+        self.cubes.iter().any(Cube::is_top)
+    }
+
+    /// Evaluates the function on a minterm code.
+    pub fn eval(&self, code: u64) -> bool {
+        self.cubes.iter().any(|c| c.eval(code))
+    }
+
+    /// Adds a cube (no reduction performed).
+    pub fn push(&mut self, cube: Cube) {
+        self.cubes.push(cube);
+    }
+
+    /// Disjunction of two covers.
+    #[must_use]
+    pub fn or(&self, other: &Cover) -> Cover {
+        Cover::from_cubes(self.cubes.iter().chain(other.cubes.iter()).copied())
+    }
+
+    /// Conjunction (cube-by-cube product, dropping contradictions).
+    #[must_use]
+    pub fn and(&self, other: &Cover) -> Cover {
+        let mut cubes = Vec::new();
+        for a in &self.cubes {
+            for b in &other.cubes {
+                if let Some(c) = a.intersect(b) {
+                    cubes.push(c);
+                }
+            }
+        }
+        Cover::from_cubes(cubes)
+    }
+
+    /// Product of the cover with a single cube.
+    #[must_use]
+    pub fn and_cube(&self, cube: &Cube) -> Cover {
+        Cover::from_cubes(self.cubes.iter().filter_map(|c| c.intersect(cube)))
+    }
+
+    /// Removes single-cube containment: drops cubes contained in another.
+    pub fn make_minimal_wrt_containment(&mut self) {
+        self.cubes.sort();
+        self.cubes.dedup();
+        let cubes = std::mem::take(&mut self.cubes);
+        let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
+        for c in &cubes {
+            if !cubes.iter().any(|d| d != c && d.contains(c) && !(c.contains(d) && d < c)) {
+                kept.push(*c);
+            }
+        }
+        // The filter above keeps exactly one representative of equal cubes
+        // (dedup removed duplicates already) and removes strictly-contained
+        // cubes.
+        self.cubes = kept;
+    }
+
+    /// The set of variables mentioned by the cover.
+    pub fn support(&self) -> Vec<usize> {
+        let mut mask = 0u64;
+        for c in &self.cubes {
+            mask |= c.pos_mask() | c.neg_mask();
+        }
+        (0..crate::cube::MAX_VARS).filter(|v| mask & (1u64 << v) != 0).collect()
+    }
+
+    /// Support as a bit mask.
+    pub fn support_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for c in &self.cubes {
+            mask |= c.pos_mask() | c.neg_mask();
+        }
+        mask
+    }
+
+    /// Number of cubes containing a given literal.
+    pub fn literal_occurrences(&self, lit: Literal) -> usize {
+        self.cubes.iter().filter(|c| c.phase_of(lit.var) == Some(lit.phase)).count()
+    }
+
+    /// Cofactor with respect to a literal (Shannon).
+    #[must_use]
+    pub fn cofactor(&self, lit: Literal) -> Cover {
+        let mut cubes = Vec::new();
+        for c in &self.cubes {
+            match c.phase_of(lit.var) {
+                Some(p) if p != lit.phase => continue,
+                _ => cubes.push(c.without_var(lit.var)),
+            }
+        }
+        Cover::from_cubes(cubes)
+    }
+
+    /// The largest common cube of all cubes in the cover.
+    pub fn common_cube(&self) -> Cube {
+        let mut iter = self.cubes.iter();
+        let first = match iter.next() {
+            Some(c) => *c,
+            None => return Cube::top(),
+        };
+        iter.fold(first, |acc, c| acc.common_literals(c))
+    }
+
+    /// Whether the cover is *cube-free* (no literal common to all cubes and
+    /// more than one cube).
+    pub fn is_cube_free(&self) -> bool {
+        self.cubes.len() > 1 && self.common_cube().is_top()
+    }
+
+    /// Checks semantic equality of two covers on an explicit universe of
+    /// minterm codes.
+    pub fn equals_on(&self, other: &Cover, universe: &[u64]) -> bool {
+        universe.iter().all(|&m| self.eval(m) == other.eval(m))
+    }
+
+    /// Checks that the function is 1 on every code of `set`.
+    pub fn covers_all(&self, set: &[u64]) -> bool {
+        set.iter().all(|&m| self.eval(m))
+    }
+
+    /// Checks that the function is 0 on every code of `set`.
+    pub fn avoids_all(&self, set: &[u64]) -> bool {
+        set.iter().all(|&m| !self.eval(m))
+    }
+
+    /// Renders the cover with variable names supplied by `name`.
+    pub fn display_with<'a, F>(&'a self, name: F) -> CoverDisplay<'a, F>
+    where
+        F: Fn(usize) -> String,
+    {
+        CoverDisplay { cover: self, name }
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    fn from_iter<T: IntoIterator<Item = Cube>>(iter: T) -> Self {
+        Cover::from_cubes(iter)
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<T: IntoIterator<Item = Cube>>(&mut self, iter: T) {
+        self.cubes.extend(iter);
+        self.make_minimal_wrt_containment();
+    }
+}
+
+/// Helper returned by [`Cover::display_with`].
+pub struct CoverDisplay<'a, F> {
+    cover: &'a Cover,
+    name: F,
+}
+
+impl<F: Fn(usize) -> String> fmt::Display for CoverDisplay<'_, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cover.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for cube in self.cover.cubes() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            write!(f, "{}", cube.display_with(&self.name))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cover({})", self.display_with(|v| format!("x{v}")))
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(|v| format!("x{v}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits.iter().map(|&(v, p)| Literal::new(v, p))).unwrap()
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Cover::zero().is_zero());
+        assert!(Cover::one().is_one());
+        assert!(!Cover::zero().eval(0));
+        assert!(Cover::one().eval(0));
+    }
+
+    #[test]
+    fn containment_reduction() {
+        let a = cube(&[(0, true)]);
+        let ab = cube(&[(0, true), (1, true)]);
+        let cover = Cover::from_cubes([ab, a, ab]);
+        assert_eq!(cover.cube_count(), 1);
+        assert_eq!(cover.cubes()[0], a);
+    }
+
+    #[test]
+    fn eval_or_and() {
+        // f = a + b'c over vars a=0,b=1,c=2
+        let f = Cover::from_cubes([cube(&[(0, true)]), cube(&[(1, false), (2, true)])]);
+        assert!(f.eval(0b001));
+        assert!(f.eval(0b100));
+        assert!(!f.eval(0b010));
+        let g = Cover::literal(Literal::pos(1));
+        let fg = f.and(&g);
+        assert!(fg.eval(0b011));
+        assert!(!fg.eval(0b100)); // b=0 kills b'c? no: code 0b100 => c=1,b=0,a=0: f=1 via b'c but g=0
+        let h = f.or(&g);
+        assert!(h.eval(0b010));
+    }
+
+    #[test]
+    fn cofactor_shannon() {
+        // f = ab + a'c; f|a = b; f|a' = c
+        let f = Cover::from_cubes([cube(&[(0, true), (1, true)]), cube(&[(0, false), (2, true)])]);
+        let fa = f.cofactor(Literal::pos(0));
+        assert_eq!(fa.cubes(), &[cube(&[(1, true)])]);
+        let fna = f.cofactor(Literal::neg(0));
+        assert_eq!(fna.cubes(), &[cube(&[(2, true)])]);
+    }
+
+    #[test]
+    fn support_and_common_cube() {
+        let f = Cover::from_cubes([cube(&[(0, true), (1, true)]), cube(&[(0, true), (2, false)])]);
+        assert_eq!(f.support(), vec![0, 1, 2]);
+        assert_eq!(f.common_cube(), cube(&[(0, true)]));
+        assert!(!f.is_cube_free());
+    }
+
+    #[test]
+    fn literal_occurrences_counts() {
+        let f = Cover::from_cubes([cube(&[(0, true), (1, true)]), cube(&[(0, true), (2, true)])]);
+        assert_eq!(f.literal_occurrences(Literal::pos(0)), 2);
+        assert_eq!(f.literal_occurrences(Literal::neg(0)), 0);
+        assert_eq!(f.literal_occurrences(Literal::pos(2)), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = Cover::from_cubes([cube(&[(0, true)]), cube(&[(1, false)])]);
+        let names = ["a", "b"];
+        let rendered = format!("{}", f.display_with(|v| names[v].to_string()));
+        assert!(rendered == "a + b'" || rendered == "b' + a", "rendered: {rendered}");
+        assert_eq!(format!("{}", Cover::zero()), "0");
+    }
+
+    #[test]
+    fn equality_on_universe() {
+        let f = Cover::from_cubes([cube(&[(0, true)])]);
+        let g = Cover::from_cubes([cube(&[(0, true), (1, true)]), cube(&[(0, true), (1, false)])]);
+        let universe: Vec<u64> = (0..4).collect();
+        assert!(f.equals_on(&g, &universe));
+    }
+}

@@ -1,0 +1,356 @@
+//! Single-cube (product term) representation over up to 64 boolean variables.
+
+use std::fmt;
+
+/// Maximum number of variables supported by the cube engine.
+pub const MAX_VARS: usize = 64;
+
+/// A literal: a variable together with a phase.
+///
+/// `phase == true` denotes the positive literal `x`, `phase == false` the
+/// complemented literal `x̄`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal {
+    /// Variable index (must be `< MAX_VARS`).
+    pub var: usize,
+    /// `true` for `x`, `false` for `x̄`.
+    pub phase: bool,
+}
+
+impl Literal {
+    /// Creates a literal over variable `var` with the given phase.
+    ///
+    /// # Panics
+    /// Panics if `var >= MAX_VARS`.
+    pub fn new(var: usize, phase: bool) -> Self {
+        assert!(var < MAX_VARS, "variable index {var} out of range");
+        Literal { var, phase }
+    }
+
+    /// Positive literal `x_var`.
+    pub fn pos(var: usize) -> Self {
+        Literal::new(var, true)
+    }
+
+    /// Negative literal `x̄_var`.
+    pub fn neg(var: usize) -> Self {
+        Literal::new(var, false)
+    }
+
+    /// The literal with the same variable and opposite phase.
+    pub fn complement(self) -> Self {
+        Literal { var: self.var, phase: !self.phase }
+    }
+
+    /// A dense index usable for ordering literals: `2*var + phase`.
+    pub fn index(self) -> usize {
+        self.var * 2 + usize::from(self.phase)
+    }
+
+    /// Inverse of [`Literal::index`].
+    pub fn from_index(index: usize) -> Self {
+        Literal::new(index / 2, index % 2 == 1)
+    }
+
+    /// Evaluates the literal on a minterm code (bit `var` of `code`).
+    pub fn eval(self, code: u64) -> bool {
+        ((code >> self.var) & 1 == 1) == self.phase
+    }
+}
+
+/// A product term (conjunction of literals) over at most [`MAX_VARS`]
+/// variables, stored as a pair of bit masks.
+///
+/// Bit `i` of `pos` requires variable `i` to be 1; bit `i` of `neg`
+/// requires it to be 0. A variable mentioned in neither mask is a
+/// don't-care. The invariant `pos & neg == 0` always holds: a
+/// contradictory cube (empty set of minterms) is not representable and is
+/// instead modelled by dropping the cube from a [`crate::Cover`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    pos: u64,
+    neg: u64,
+}
+
+impl Cube {
+    /// The universal cube (no literals — covers every minterm).
+    pub fn top() -> Self {
+        Cube { pos: 0, neg: 0 }
+    }
+
+    /// Builds a cube from raw positive/negative masks.
+    ///
+    /// Returns `None` if the masks overlap (contradictory cube).
+    pub fn from_masks(pos: u64, neg: u64) -> Option<Self> {
+        if pos & neg != 0 {
+            None
+        } else {
+            Some(Cube { pos, neg })
+        }
+    }
+
+    /// Builds a cube from an iterator of literals.
+    ///
+    /// Returns `None` if two literals contradict each other.
+    pub fn from_literals<I: IntoIterator<Item = Literal>>(literals: I) -> Option<Self> {
+        let mut cube = Cube::top();
+        for lit in literals {
+            cube = cube.with_literal(lit)?;
+        }
+        Some(cube)
+    }
+
+    /// The full minterm cube for `code` restricted to `nvars` variables.
+    pub fn minterm(code: u64, nvars: usize) -> Self {
+        assert!(nvars <= MAX_VARS);
+        let mask = if nvars == MAX_VARS { u64::MAX } else { (1u64 << nvars) - 1 };
+        Cube { pos: code & mask, neg: !code & mask }
+    }
+
+    /// Positive-literal mask.
+    pub fn pos_mask(&self) -> u64 {
+        self.pos
+    }
+
+    /// Negative-literal mask.
+    pub fn neg_mask(&self) -> u64 {
+        self.neg
+    }
+
+    /// Adds a literal; `None` on contradiction.
+    #[must_use]
+    pub fn with_literal(self, lit: Literal) -> Option<Self> {
+        let bit = 1u64 << lit.var;
+        let (pos, neg) = if lit.phase { (self.pos | bit, self.neg) } else { (self.pos, self.neg | bit) };
+        Cube::from_masks(pos, neg)
+    }
+
+    /// Removes any literal on variable `var`.
+    #[must_use]
+    pub fn without_var(self, var: usize) -> Self {
+        let bit = !(1u64 << var);
+        Cube { pos: self.pos & bit, neg: self.neg & bit }
+    }
+
+    /// Number of literals in the cube.
+    pub fn literal_count(&self) -> usize {
+        (self.pos.count_ones() + self.neg.count_ones()) as usize
+    }
+
+    /// Whether the cube has no literals.
+    pub fn is_top(&self) -> bool {
+        self.pos == 0 && self.neg == 0
+    }
+
+    /// Whether the cube constrains variable `var`, and with which phase.
+    pub fn phase_of(&self, var: usize) -> Option<bool> {
+        let bit = 1u64 << var;
+        if self.pos & bit != 0 {
+            Some(true)
+        } else if self.neg & bit != 0 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Iterator over the literals of the cube, in increasing variable order.
+    pub fn literals(&self) -> impl Iterator<Item = Literal> + '_ {
+        let pos = self.pos;
+        let neg = self.neg;
+        (0..MAX_VARS).filter_map(move |v| {
+            let bit = 1u64 << v;
+            if pos & bit != 0 {
+                Some(Literal::pos(v))
+            } else if neg & bit != 0 {
+                Some(Literal::neg(v))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Evaluates the cube on a minterm code.
+    pub fn eval(&self, code: u64) -> bool {
+        (code & self.pos) == self.pos && (code & self.neg) == 0
+    }
+
+    /// Set-containment: does `self` cover every minterm of `other`?
+    ///
+    /// Holds iff the literals of `self` are a subset of the literals of
+    /// `other`.
+    pub fn contains(&self, other: &Cube) -> bool {
+        (self.pos & other.pos) == self.pos && (self.neg & other.neg) == self.neg
+    }
+
+    /// Intersection of two cubes; `None` if they are disjoint.
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        Cube::from_masks(self.pos | other.pos, self.neg | other.neg)
+    }
+
+    /// Whether the two cubes share at least one minterm.
+    pub fn intersects(&self, other: &Cube) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Removes from `self` all literals that appear in `other`
+    /// (cube "division" by a cube known to be contained in the literal set).
+    ///
+    /// Only meaningful when `other.contains_literals_of(self)`-style checks
+    /// have been made by the caller; this simply clears the shared mask bits.
+    #[must_use]
+    pub fn remove_literals_of(&self, other: &Cube) -> Cube {
+        Cube { pos: self.pos & !other.pos, neg: self.neg & !other.neg }
+    }
+
+    /// Whether all literals of `other` occur in `self`.
+    pub fn has_all_literals_of(&self, other: &Cube) -> bool {
+        (other.pos & self.pos) == other.pos && (other.neg & self.neg) == other.neg
+    }
+
+    /// The largest cube containing both (the common literals).
+    #[must_use]
+    pub fn common_literals(&self, other: &Cube) -> Cube {
+        Cube { pos: self.pos & other.pos, neg: self.neg & other.neg }
+    }
+
+    /// Distance: number of variables on which the cubes require opposite
+    /// phases. Distance 0 means the cubes intersect.
+    pub fn distance(&self, other: &Cube) -> usize {
+        ((self.pos & other.neg) | (self.neg & other.pos)).count_ones() as usize
+    }
+
+    /// Renders the cube with variable names supplied by `name`.
+    pub fn display_with<'a, F>(&'a self, name: F) -> CubeDisplay<'a, F>
+    where
+        F: Fn(usize) -> String,
+    {
+        CubeDisplay { cube: self, name }
+    }
+}
+
+/// Helper returned by [`Cube::display_with`].
+pub struct CubeDisplay<'a, F> {
+    cube: &'a Cube,
+    name: F,
+}
+
+impl<F: Fn(usize) -> String> fmt::Display for CubeDisplay<'_, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cube.is_top() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for lit in self.cube.literals() {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            if lit.phase {
+                write!(f, "{}", (self.name)(lit.var))?;
+            } else {
+                write!(f, "{}'", (self.name)(lit.var))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube({})", self.display_with(|v| format!("x{v}")))
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(|v| format!("x{v}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_roundtrip() {
+        for var in [0, 5, 63] {
+            for phase in [false, true] {
+                let lit = Literal::new(var, phase);
+                assert_eq!(Literal::from_index(lit.index()), lit);
+                assert_eq!(lit.complement().complement(), lit);
+            }
+        }
+    }
+
+    #[test]
+    fn literal_eval() {
+        assert!(Literal::pos(2).eval(0b100));
+        assert!(!Literal::pos(2).eval(0b011));
+        assert!(Literal::neg(0).eval(0b100));
+        assert!(!Literal::neg(2).eval(0b100));
+    }
+
+    #[test]
+    fn cube_from_literals_detects_contradiction() {
+        assert!(Cube::from_literals([Literal::pos(1), Literal::neg(1)]).is_none());
+        let c = Cube::from_literals([Literal::pos(1), Literal::neg(2)]).unwrap();
+        assert_eq!(c.literal_count(), 2);
+    }
+
+    #[test]
+    fn cube_eval_and_minterm() {
+        let c = Cube::minterm(0b101, 3);
+        assert!(c.eval(0b101));
+        assert!(!c.eval(0b100));
+        assert_eq!(c.literal_count(), 3);
+    }
+
+    #[test]
+    fn cube_containment() {
+        let ab = Cube::from_literals([Literal::pos(0), Literal::pos(1)]).unwrap();
+        let a = Cube::from_literals([Literal::pos(0)]).unwrap();
+        assert!(a.contains(&ab));
+        assert!(!ab.contains(&a));
+        assert!(Cube::top().contains(&ab));
+    }
+
+    #[test]
+    fn cube_intersection_and_distance() {
+        let a = Cube::from_literals([Literal::pos(0)]).unwrap();
+        let na = Cube::from_literals([Literal::neg(0)]).unwrap();
+        assert!(a.intersect(&na).is_none());
+        assert_eq!(a.distance(&na), 1);
+        let b = Cube::from_literals([Literal::pos(1)]).unwrap();
+        let ab = a.intersect(&b).unwrap();
+        assert_eq!(ab.literal_count(), 2);
+        assert_eq!(a.distance(&b), 0);
+    }
+
+    #[test]
+    fn remove_and_common_literals() {
+        let abc = Cube::from_literals([Literal::pos(0), Literal::pos(1), Literal::neg(2)]).unwrap();
+        let ab = Cube::from_literals([Literal::pos(0), Literal::pos(1)]).unwrap();
+        assert!(abc.has_all_literals_of(&ab));
+        let rest = abc.remove_literals_of(&ab);
+        assert_eq!(rest, Cube::from_literals([Literal::neg(2)]).unwrap());
+        assert_eq!(abc.common_literals(&ab), ab);
+    }
+
+    #[test]
+    fn phase_of_reports_constraints() {
+        let c = Cube::from_literals([Literal::pos(3), Literal::neg(5)]).unwrap();
+        assert_eq!(c.phase_of(3), Some(true));
+        assert_eq!(c.phase_of(5), Some(false));
+        assert_eq!(c.phase_of(0), None);
+    }
+
+    #[test]
+    fn display_names() {
+        let c = Cube::from_literals([Literal::pos(0), Literal::neg(1)]).unwrap();
+        let names = ["a", "b"];
+        let s = format!("{}", c.display_with(|v| names[v].to_string()));
+        assert_eq!(s, "a b'");
+        assert_eq!(format!("{}", Cube::top()), "1");
+    }
+}

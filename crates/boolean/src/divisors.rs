@@ -1,0 +1,243 @@
+//! Candidate-divisor generation for logic decomposition (paper §3.1).
+//!
+//! For a cover `c(a*)` the paper considers:
+//! * kernels and co-kernels of `c(a*)`;
+//! * OR-decompositions: any subset of the terms of a poly-term cover;
+//! * AND-decompositions: any subset of the literals of a single cube;
+//! * recursive decomposition of the candidates (sub-kernels,
+//!   AND/OR-decompositions of kernels);
+//! heuristically pruned to avoid an explosion of candidates.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::kernels::kernels;
+
+/// Controls how aggressively divisor candidates are generated.
+#[derive(Debug, Clone)]
+pub struct DivisorConfig {
+    /// Maximum number of candidates returned.
+    pub max_candidates: usize,
+    /// Maximum subset size enumerated for OR-decompositions.
+    pub max_or_subset: usize,
+    /// Maximum subset size enumerated for AND-decompositions of a cube.
+    pub max_and_subset: usize,
+    /// Recursion depth for decomposing candidates themselves.
+    pub recursion_depth: usize,
+}
+
+impl Default for DivisorConfig {
+    fn default() -> Self {
+        DivisorConfig { max_candidates: 64, max_or_subset: 3, max_and_subset: 3, recursion_depth: 1 }
+    }
+}
+
+/// Generates candidate divisors for `cover`, ordered so that "larger"
+/// divisors (more potential savings) come first.
+///
+/// Trivial single-literal divisors are excluded, as in the paper's
+/// Example 2.
+pub fn generate_divisors(cover: &Cover, config: &DivisorConfig) -> Vec<Cover> {
+    let mut out: Vec<Cover> = Vec::new();
+    let mut push = |cand: Cover, out: &mut Vec<Cover>| {
+        if is_trivial(&cand, cover) {
+            return;
+        }
+        if !out.contains(&cand) {
+            out.push(cand);
+        }
+    };
+
+    collect_level(cover, config, config.recursion_depth, &mut push, &mut out);
+
+    // Order: multi-cube divisors by (cube_count, literal_count) descending
+    // potential, then single-cube AND divisors by literal count descending.
+    out.sort_by_key(|d| {
+        let lits = d.literal_count();
+        let cubes = d.cube_count();
+        (std::cmp::Reverse(cubes), std::cmp::Reverse(lits))
+    });
+    out.truncate(config.max_candidates);
+    out
+}
+
+fn collect_level(
+    cover: &Cover,
+    config: &DivisorConfig,
+    depth: usize,
+    push: &mut impl FnMut(Cover, &mut Vec<Cover>),
+    out: &mut Vec<Cover>,
+) {
+    // Kernels and co-kernels.
+    let ks = kernels(cover);
+    for k in &ks {
+        push(k.kernel.clone(), out);
+        if k.cokernel.literal_count() >= 2 {
+            push(Cover::from_cube(k.cokernel), out);
+        }
+    }
+
+    // OR-decompositions: subsets of terms (size 2..=max, plus complements of
+    // the enumerated subsets so that "all but these" splits are available).
+    let cubes = cover.cubes();
+    if cubes.len() >= 2 {
+        let n = cubes.len();
+        for size in 2..=config.max_or_subset.min(n.saturating_sub(1)) {
+            for subset in subsets(n, size) {
+                let chosen: Vec<Cube> = subset.iter().map(|&i| cubes[i]).collect();
+                push(Cover::from_cubes(chosen), out);
+                if n > size + 1 {
+                    let rest: Vec<Cube> =
+                        (0..n).filter(|i| !subset.contains(i)).map(|i| cubes[i]).collect();
+                    if rest.len() >= 2 {
+                        push(Cover::from_cubes(rest), out);
+                    }
+                }
+                if out.len() > config.max_candidates * 4 {
+                    break;
+                }
+            }
+        }
+        // Individual cubes of a poly-term cover are OR-divisors too (single
+        // terms with >= 2 literals).
+        for c in cubes {
+            if c.literal_count() >= 2 {
+                push(Cover::from_cube(*c), out);
+            }
+        }
+    }
+
+    // AND-decompositions: subsets of literals of each cube.
+    for c in cubes {
+        let lits: Vec<_> = c.literals().collect();
+        if lits.len() < 3 && cubes.len() == 1 {
+            // A 2-literal lone cube has only trivial sub-divisors.
+            continue;
+        }
+        let n = lits.len();
+        for size in 2..=config.max_and_subset.min(n.saturating_sub(1)) {
+            for subset in subsets(n, size) {
+                let sub = Cube::from_literals(subset.iter().map(|&i| lits[i]))
+                    .expect("subset of a consistent cube is consistent");
+                push(Cover::from_cube(sub), out);
+            }
+            if out.len() > config.max_candidates * 4 {
+                break;
+            }
+        }
+        // Also the (n-1)-literal sub-cubes, which drop exactly one literal.
+        if n >= 3 {
+            for skip in 0..n {
+                let sub = Cube::from_literals(
+                    lits.iter().enumerate().filter(|&(i, _)| i != skip).map(|(_, &l)| l),
+                )
+                .expect("sub-cube consistent");
+                push(Cover::from_cube(sub), out);
+            }
+        }
+    }
+
+    // Recursive decomposition of kernel candidates.
+    if depth > 0 {
+        for k in ks {
+            if k.kernel != *cover {
+                collect_level(&k.kernel, config, depth - 1, push, out);
+            }
+        }
+    }
+}
+
+fn is_trivial(candidate: &Cover, original: &Cover) -> bool {
+    candidate.is_zero()
+        || candidate.is_one()
+        || candidate.literal_count() < 2
+        || candidate == original
+}
+
+/// Enumerates all `size`-element subsets of `0..n` (small sizes only).
+fn subsets(n: usize, size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(size);
+    fn rec(n: usize, size: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == size {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..n {
+            current.push(i);
+            rec(n, size, i + 1, current, out);
+            current.pop();
+        }
+    }
+    rec(n, size, 0, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Literal;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits.iter().map(|&(v, p)| Literal::new(v, p))).unwrap()
+    }
+
+    // a=0 b=1 c=2 d=3 e=4 f=5
+    #[test]
+    fn paper_example_2() {
+        // c(z*) = ab + ac + def.
+        let cover = Cover::from_cubes([
+            cube(&[(0, true), (1, true)]),
+            cube(&[(0, true), (2, true)]),
+            cube(&[(3, true), (4, true), (5, true)]),
+        ]);
+        let divisors = generate_divisors(&cover, &DivisorConfig::default());
+        let want = [
+            // kernel b + c
+            Cover::from_cubes([cube(&[(1, true)]), cube(&[(2, true)])]),
+            // OR-decompositions
+            Cover::from_cube(cube(&[(0, true), (1, true)])),
+            Cover::from_cube(cube(&[(0, true), (2, true)])),
+            Cover::from_cube(cube(&[(3, true), (4, true), (5, true)])),
+            Cover::from_cubes([cube(&[(0, true), (1, true)]), cube(&[(0, true), (2, true)])]),
+            Cover::from_cubes([cube(&[(0, true), (1, true)]), cube(&[(3, true), (4, true), (5, true)])]),
+            Cover::from_cubes([cube(&[(0, true), (2, true)]), cube(&[(3, true), (4, true), (5, true)])]),
+            // AND-decompositions of def
+            Cover::from_cube(cube(&[(3, true), (4, true)])),
+            Cover::from_cube(cube(&[(3, true), (5, true)])),
+            Cover::from_cube(cube(&[(4, true), (5, true)])),
+        ];
+        for w in &want {
+            assert!(divisors.contains(w), "missing divisor {w:?}");
+        }
+        // Trivial single-literal divisors are not generated.
+        assert!(!divisors.contains(&Cover::literal(Literal::pos(0))));
+    }
+
+    #[test]
+    fn single_cube_and_decomposition() {
+        // hazard.g style: a single 3-literal cube a'cd decomposes three ways.
+        let cover = Cover::from_cube(cube(&[(0, false), (2, true), (3, true)]));
+        let divisors = generate_divisors(&cover, &DivisorConfig::default());
+        assert!(divisors.contains(&Cover::from_cube(cube(&[(0, false), (2, true)]))));
+        assert!(divisors.contains(&Cover::from_cube(cube(&[(0, false), (3, true)]))));
+        assert!(divisors.contains(&Cover::from_cube(cube(&[(2, true), (3, true)]))));
+        assert_eq!(divisors.len(), 3);
+    }
+
+    #[test]
+    fn respects_max_candidates() {
+        let cover = Cover::from_cubes(
+            (0..8).map(|i| cube(&[(i, true), ((i + 1) % 8, true), ((i + 2) % 8, true)])),
+        );
+        let config = DivisorConfig { max_candidates: 10, ..DivisorConfig::default() };
+        let divisors = generate_divisors(&cover, &config);
+        assert!(divisors.len() <= 10);
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        assert_eq!(subsets(3, 2), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert_eq!(subsets(2, 2), vec![vec![0, 1]]);
+        assert!(subsets(2, 3).is_empty());
+    }
+}

@@ -1,0 +1,286 @@
+//! Factoring of SOP covers into bounded-fanin gate trees.
+//!
+//! Used by the non-speed-independent baseline (SIS `tech_decomp -a 2`
+//! equivalent) and by the cost model: a factored form is decomposed into
+//! 2-input AND/OR gates and the cost is the total number of gate inputs
+//! ("literals of the combinational gates", §4).
+
+use crate::cover::Cover;
+use crate::cube::Literal;
+use crate::divide::algebraic_divide;
+use crate::kernels::kernels;
+
+/// A factored boolean expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Factored {
+    /// A literal leaf.
+    Literal(Literal),
+    /// Conjunction of sub-expressions.
+    And(Vec<Factored>),
+    /// Disjunction of sub-expressions.
+    Or(Vec<Factored>),
+    /// Constant.
+    Const(bool),
+}
+
+impl Factored {
+    /// Number of literal leaves in the tree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Factored::Literal(_) => 1,
+            Factored::Const(_) => 0,
+            Factored::And(xs) | Factored::Or(xs) => xs.iter().map(Factored::leaf_count).sum(),
+        }
+    }
+
+    /// Number of 2-input gates needed to realize the tree (each k-ary node
+    /// costs `k-1` two-input gates).
+    pub fn two_input_gate_count(&self) -> usize {
+        match self {
+            Factored::Literal(_) | Factored::Const(_) => 0,
+            Factored::And(xs) | Factored::Or(xs) => {
+                let inner: usize = xs.iter().map(Factored::two_input_gate_count).sum();
+                inner + xs.len().saturating_sub(1)
+            }
+        }
+    }
+
+    /// Evaluates the tree on a minterm code.
+    pub fn eval(&self, code: u64) -> bool {
+        match self {
+            Factored::Literal(l) => l.eval(code),
+            Factored::Const(b) => *b,
+            Factored::And(xs) => xs.iter().all(|x| x.eval(code)),
+            Factored::Or(xs) => xs.iter().any(|x| x.eval(code)),
+        }
+    }
+
+    /// Renders with variable names.
+    pub fn display_with<F: Fn(usize) -> String>(&self, name: &F) -> String {
+        match self {
+            Factored::Literal(l) => {
+                if l.phase {
+                    name(l.var)
+                } else {
+                    format!("{}'", name(l.var))
+                }
+            }
+            Factored::Const(b) => if *b { "1" } else { "0" }.to_string(),
+            Factored::And(xs) => {
+                let parts: Vec<String> = xs
+                    .iter()
+                    .map(|x| match x {
+                        Factored::Or(_) => format!("({})", x.display_with(name)),
+                        _ => x.display_with(name),
+                    })
+                    .collect();
+                parts.join(" ")
+            }
+            Factored::Or(xs) => {
+                let parts: Vec<String> = xs.iter().map(|x| x.display_with(name)).collect();
+                parts.join(" + ")
+            }
+        }
+    }
+}
+
+/// Produces a factored form of `cover` using recursive kernel extraction
+/// ("good factor"): pick the best kernel `k`, divide to get
+/// `cover = q·k + r`, and recurse on `q`, `k`, `r`.
+pub fn good_factor(cover: &Cover) -> Factored {
+    if cover.is_zero() {
+        return Factored::Const(false);
+    }
+    if cover.is_one() {
+        return Factored::Const(true);
+    }
+    if cover.cube_count() == 1 {
+        return factor_cube(cover);
+    }
+    // Strip a common cube first.
+    let common = cover.common_cube();
+    if !common.is_top() {
+        let quotient = algebraic_divide(cover, &Cover::from_cube(common)).quotient;
+        let mut parts: Vec<Factored> = common.literals().map(Factored::Literal).collect();
+        parts.push(good_factor(&quotient));
+        return flatten_and(parts);
+    }
+    // Choose the kernel that saves the most literals.
+    let ks = kernels(cover);
+    let mut best: Option<(usize, Cover)> = None;
+    for k in &ks {
+        if k.kernel == *cover {
+            continue;
+        }
+        let div = algebraic_divide(cover, &k.kernel);
+        if div.quotient.is_zero() {
+            continue;
+        }
+        let new_cost = k.kernel.literal_count()
+            + div.quotient.literal_count()
+            + div.remainder.literal_count();
+        let old_cost = cover.literal_count();
+        if new_cost < old_cost {
+            let saving = old_cost - new_cost;
+            if best.as_ref().map(|(s, _)| saving > *s).unwrap_or(true) {
+                best = Some((saving, k.kernel.clone()));
+            }
+        }
+    }
+    match best {
+        Some((_, kernel)) => {
+            let div = algebraic_divide(cover, &kernel);
+            let product = flatten_and(vec![good_factor(&div.quotient), good_factor(&kernel)]);
+            if div.remainder.is_zero() {
+                product
+            } else {
+                flatten_or(vec![product, good_factor(&div.remainder)])
+            }
+        }
+        None => {
+            // No useful kernel: OR of the factored cubes.
+            flatten_or(cover.cubes().iter().map(|c| factor_cube(&Cover::from_cube(*c))).collect())
+        }
+    }
+}
+
+fn factor_cube(cover: &Cover) -> Factored {
+    let cube = cover.cubes()[0];
+    let lits: Vec<Factored> = cube.literals().map(Factored::Literal).collect();
+    match lits.len() {
+        0 => Factored::Const(true),
+        1 => lits.into_iter().next().expect("len checked"),
+        _ => Factored::And(lits),
+    }
+}
+
+fn flatten_and(parts: Vec<Factored>) -> Factored {
+    let mut flat = Vec::new();
+    for p in parts {
+        match p {
+            Factored::And(xs) => flat.extend(xs),
+            Factored::Const(true) => {}
+            other => flat.push(other),
+        }
+    }
+    match flat.len() {
+        0 => Factored::Const(true),
+        1 => flat.into_iter().next().expect("len checked"),
+        _ => Factored::And(flat),
+    }
+}
+
+fn flatten_or(parts: Vec<Factored>) -> Factored {
+    let mut flat = Vec::new();
+    for p in parts {
+        match p {
+            Factored::Or(xs) => flat.extend(xs),
+            Factored::Const(false) => {}
+            other => flat.push(other),
+        }
+    }
+    match flat.len() {
+        0 => Factored::Const(false),
+        1 => flat.into_iter().next().expect("len checked"),
+        _ => Factored::Or(flat),
+    }
+}
+
+/// Cost of realizing `cover` with 2-input AND/OR gates after factoring:
+/// total number of gate inputs (2 per gate), the §4 "non-SI" literal model.
+pub fn two_input_decomposition_cost(cover: &Cover) -> usize {
+    let f = good_factor(cover);
+    2 * f.two_input_gate_count()
+        + if f.two_input_gate_count() == 0 && f.leaf_count() > 0 { 1 } else { 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Cube;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits.iter().map(|&(v, p)| Literal::new(v, p))).unwrap()
+    }
+
+    #[test]
+    fn factors_preserve_function() {
+        let covers = [
+            Cover::from_cubes([cube(&[(0, true), (1, true)]), cube(&[(0, true), (2, true)])]),
+            Cover::from_cubes([
+                cube(&[(0, true), (3, true)]),
+                cube(&[(1, true), (3, true)]),
+                cube(&[(2, false)]),
+            ]),
+            Cover::from_cube(cube(&[(0, true), (1, false), (2, true), (3, true)])),
+        ];
+        for cover in &covers {
+            let f = good_factor(cover);
+            for code in 0..16u64 {
+                assert_eq!(f.eval(code), cover.eval(code), "mismatch on {code:04b} for {cover:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn factoring_saves_literals() {
+        // ab + ac + ad = a(b+c+d): 6 SOP literals -> 4 leaves.
+        let f = Cover::from_cubes([
+            cube(&[(0, true), (1, true)]),
+            cube(&[(0, true), (2, true)]),
+            cube(&[(0, true), (3, true)]),
+        ]);
+        let t = good_factor(&f);
+        assert_eq!(t.leaf_count(), 4);
+        assert_eq!(t.two_input_gate_count(), 3); // OR2, OR2, AND2
+    }
+
+    #[test]
+    fn kernel_based_factoring() {
+        // ad + ae + bd + be = (a+b)(d+e): 8 -> 4 leaves.
+        let f = Cover::from_cubes([
+            cube(&[(0, true), (3, true)]),
+            cube(&[(0, true), (4, true)]),
+            cube(&[(1, true), (3, true)]),
+            cube(&[(1, true), (4, true)]),
+        ]);
+        let t = good_factor(&f);
+        assert_eq!(t.leaf_count(), 4);
+        for code in 0..32u64 {
+            assert_eq!(t.eval(code), f.eval(code));
+        }
+    }
+
+    #[test]
+    fn cost_model() {
+        // Single 2-literal cube: one AND2, cost 2.
+        let f = Cover::from_cube(cube(&[(0, true), (1, true)]));
+        assert_eq!(two_input_decomposition_cost(&f), 2);
+        // Single literal: a wire/buffer, cost 1.
+        let g = Cover::literal(Literal::pos(0));
+        assert_eq!(two_input_decomposition_cost(&g), 1);
+        // 6-literal cube: 5 AND2 gates, cost 10.
+        let h = Cover::from_cube(
+            Cube::from_literals((0..6).map(Literal::pos)).unwrap(),
+        );
+        assert_eq!(two_input_decomposition_cost(&h), 10);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(good_factor(&Cover::zero()), Factored::Const(false));
+        assert_eq!(good_factor(&Cover::one()), Factored::Const(true));
+    }
+
+    #[test]
+    fn display() {
+        let f = Cover::from_cubes([
+            cube(&[(0, true), (1, true)]),
+            cube(&[(0, true), (2, false)]),
+        ]);
+        let t = good_factor(&f);
+        let names = ["a", "b", "c"];
+        let s = t.display_with(&|v| names[v].to_string());
+        assert!(s.contains('a'), "rendered: {s}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Kernel / co-kernel extraction (Brayton–McMullen algebraic kernels).
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Literal, MAX_VARS};
+use crate::divide::divide_by_cube;
+
+/// A kernel of a cover together with its co-kernel cube.
+///
+/// `kernel` is a cube-free quotient of the original cover by `cokernel`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// The cube-free quotient.
+    pub kernel: Cover,
+    /// The cube by which the original cover was divided.
+    pub cokernel: Cube,
+}
+
+/// Computes all kernels (level-0 and higher) of `cover`, including the
+/// cover itself when it is cube-free.
+///
+/// The classic recursive `kernel1` algorithm: for each literal appearing in
+/// at least two cubes, divide, strip the common cube, and recurse with an
+/// index guard to avoid duplicates.
+pub fn kernels(cover: &Cover) -> Vec<Kernel> {
+    let mut out = Vec::new();
+    if cover.cube_count() < 2 {
+        return out;
+    }
+    let base = {
+        let cc = cover.common_cube();
+        if cc.is_top() {
+            cover.clone()
+        } else {
+            divide_by_cube(cover, &cc).quotient
+        }
+    };
+    if base.is_cube_free() {
+        out.push(Kernel { kernel: base.clone(), cokernel: cover.common_cube() });
+    }
+    kernel_rec(&base, 0, &cover.common_cube(), &mut out);
+    dedupe(&mut out);
+    out
+}
+
+fn kernel_rec(cover: &Cover, min_index: usize, cokernel_so_far: &Cube, out: &mut Vec<Kernel>) {
+    for idx in min_index..(MAX_VARS * 2) {
+        let lit = Literal::from_index(idx);
+        if cover.literal_occurrences(lit) < 2 {
+            continue;
+        }
+        let lit_cube = Cube::from_literals([lit]).expect("literal cube");
+        let quotient = divide_by_cube(cover, &lit_cube).quotient;
+        if quotient.cube_count() < 2 {
+            continue;
+        }
+        // Make cube-free by stripping the largest common cube.
+        let common = quotient.common_cube();
+        let cube_free =
+            if common.is_top() { quotient.clone() } else { divide_by_cube(&quotient, &common).quotient };
+        // Skip if the common cube contains a literal with smaller index:
+        // this kernel was (or will be) produced from that branch.
+        let full_co = lit_cube
+            .intersect(&common)
+            .and_then(|c| c.intersect(cokernel_so_far))
+            .expect("co-kernel literals are disjoint from quotient support");
+        let smaller_seen = common
+            .literals()
+            .chain(std::iter::once(lit))
+            .any(|l| l.index() < idx && common.phase_of(l.var) == Some(l.phase));
+        if !smaller_seen && cube_free.cube_count() >= 2 {
+            out.push(Kernel { kernel: cube_free.clone(), cokernel: full_co });
+            kernel_rec(&cube_free, idx + 1, &full_co, out);
+        }
+    }
+}
+
+fn dedupe(kernels: &mut Vec<Kernel>) {
+    let mut seen: Vec<Cover> = Vec::new();
+    kernels.retain(|k| {
+        if seen.contains(&k.kernel) {
+            false
+        } else {
+            seen.push(k.kernel.clone());
+            true
+        }
+    });
+}
+
+/// Level-0 kernels only (kernels that have no kernels other than
+/// themselves). Handy for quick factoring.
+pub fn level0_kernels(cover: &Cover) -> Vec<Kernel> {
+    kernels(cover)
+        .into_iter()
+        .filter(|k| {
+            kernels(&k.kernel).iter().all(|inner| inner.kernel == k.kernel)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits.iter().map(|&(v, p)| Literal::new(v, p))).unwrap()
+    }
+
+    // a=0 b=1 c=2 d=3 e=4 f=5 g=6
+    #[test]
+    fn simple_kernel() {
+        // f = ab + ac: kernel b + c with cokernel a.
+        let f = Cover::from_cubes([cube(&[(0, true), (1, true)]), cube(&[(0, true), (2, true)])]);
+        let ks = kernels(&f);
+        assert!(ks.iter().any(|k| {
+            k.kernel == Cover::from_cubes([cube(&[(1, true)]), cube(&[(2, true)])])
+                && k.cokernel == cube(&[(0, true)])
+        }));
+    }
+
+    #[test]
+    fn textbook_kernels() {
+        // f = adf + aef + bdf + bef + cdf + cef + g
+        //   = (a+b+c)(d+e)f + g.
+        let mk = |x: usize, y: usize| cube(&[(x, true), (y, true), (5, true)]);
+        let f = Cover::from_cubes([
+            mk(0, 3),
+            mk(0, 4),
+            mk(1, 3),
+            mk(1, 4),
+            mk(2, 3),
+            mk(2, 4),
+            cube(&[(6, true)]),
+        ]);
+        let ks = kernels(&f);
+        let abc = Cover::from_cubes([cube(&[(0, true)]), cube(&[(1, true)]), cube(&[(2, true)])]);
+        let de = Cover::from_cubes([cube(&[(3, true)]), cube(&[(4, true)])]);
+        assert!(ks.iter().any(|k| k.kernel == abc), "a+b+c should be a kernel");
+        assert!(ks.iter().any(|k| k.kernel == de), "d+e should be a kernel");
+        // The whole function is cube-free (because of the lone g term).
+        assert!(ks.iter().any(|k| k.kernel == f));
+    }
+
+    #[test]
+    fn single_cube_has_no_kernels() {
+        let f = Cover::from_cubes([cube(&[(0, true), (1, true)])]);
+        assert!(kernels(&f).is_empty());
+    }
+
+    #[test]
+    fn kernels_are_cube_free() {
+        let f = Cover::from_cubes([
+            cube(&[(0, true), (1, true), (2, true)]),
+            cube(&[(0, true), (1, true), (3, true)]),
+            cube(&[(0, true), (4, true)]),
+        ]);
+        for k in kernels(&f) {
+            assert!(
+                k.kernel.is_cube_free() || k.kernel.cube_count() < 2,
+                "kernel {:?} is not cube-free",
+                k.kernel
+            );
+        }
+    }
+
+    #[test]
+    fn negative_literal_kernels() {
+        // f = a'b + a'c => kernel b+c, cokernel a'.
+        let f = Cover::from_cubes([cube(&[(0, false), (1, true)]), cube(&[(0, false), (2, true)])]);
+        let ks = kernels(&f);
+        assert!(ks.iter().any(|k| k.cokernel == cube(&[(0, false)])));
+    }
+
+    #[test]
+    fn level0_subset() {
+        let mk = |x: usize, y: usize| cube(&[(x, true), (y, true), (5, true)]);
+        let f = Cover::from_cubes([mk(0, 3), mk(0, 4), mk(1, 3), mk(1, 4)]);
+        let l0 = level0_kernels(&f);
+        assert!(!l0.is_empty());
+        for k in l0 {
+            assert!(kernels(&k.kernel).iter().all(|inner| inner.kernel == k.kernel));
+        }
+    }
+}

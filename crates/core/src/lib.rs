@@ -1,0 +1,46 @@
+//! # simap-core
+//!
+//! The paper's primary contribution: technology mapping of
+//! speed-independent circuits by combinational decomposition and
+//! resynthesis (Cortadella, Kishinevsky, Kondratyev, Lavagno, Yakovlev —
+//! DATE 1997).
+//!
+//! The pipeline:
+//! 1. [`mc`] — monotonous-cover synthesis for the standard-C architecture;
+//! 2. [`insertion`] — speed-independence-preserving event insertion
+//!    (I-partitions, well-formed SIP excitation regions, the Fig. 3
+//!    splitting scheme);
+//! 3. [`progress`] — Property 3.1/3.2 filters ranking candidate divisors;
+//! 4. [`mod@decompose`] — the main loop: pick the most complex cover, divide
+//!    it (kernels / OR / AND decompositions), insert the best divisor's
+//!    signal, resynthesize every cover from scratch;
+//! 5. [`flow`] — netlist construction, §4 cost accounting and
+//!    speed-independence verification.
+//!
+//! ```
+//! use simap_core::{run_flow, FlowConfig};
+//! let stg = simap_stg::benchmark("hazard").ok_or("unknown benchmark")?;
+//! let sg = simap_stg::elaborate(&stg)?;
+//! let report = run_flow(&sg, &FlowConfig::with_limit(2))?;
+//! assert!(report.inserted.is_some()); // implementable with 2-input gates
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csc;
+pub mod decompose;
+pub mod flow;
+pub mod insertion;
+pub mod mc;
+pub mod progress;
+pub mod report;
+
+pub use csc::{csc_conflicts, repair_csc, CscConflict, CscRepairConfig, CscRepairError};
+pub use decompose::{decompose, excess, AckMode, DecomposeConfig, DecomposeResult, DecomposeStep};
+pub use flow::{build_circuit, build_circuit_with_or_limit, build_decomposed_circuit, non_si_cost, run_flow, si_cost, FlowConfig, FlowReport};
+pub use insertion::{compute_insertion, compute_insertion_from_block, insert_function, insert_signal, Insertion, InsertionError};
+pub use mc::{synthesize_mc, synthesize_signal, validate_mc, McError, McImpl, RegionCover, SignalBody, SignalImpl};
+pub use report::{dossier, to_csv, to_markdown, BatchRow};
+pub use progress::{estimate_progress, replaces_trigger, ProgressEstimate};

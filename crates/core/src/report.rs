@@ -1,0 +1,174 @@
+//! Structured emitters for flow results: markdown and CSV renderings of
+//! Table 1-style batches, plus a per-circuit synthesis dossier.
+
+use crate::flow::FlowReport;
+use std::fmt::Write as _;
+
+/// One row of a batch report (a named flow result at several limits).
+#[derive(Debug, Clone)]
+pub struct BatchRow {
+    /// Circuit name.
+    pub name: String,
+    /// Number of states of the elaborated specification.
+    pub states: usize,
+    /// Reports per literal limit, in the same order as the batch header.
+    pub reports: Vec<FlowReport>,
+}
+
+/// Renders a batch as a GitHub-flavoured markdown table.
+pub fn to_markdown(limits: &[usize], rows: &[BatchRow]) -> String {
+    let mut out = String::new();
+    let mut header = String::from("| circuit | states |");
+    let mut rule = String::from("|---|---|");
+    for l in limits {
+        let _ = write!(header, " i={l} |");
+        rule.push_str("---|");
+    }
+    header.push_str(" non-SI | SI | verified |");
+    rule.push_str("---|---|---|");
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{rule}");
+    for row in rows {
+        let _ = write!(out, "| {} | {} |", row.name, row.states);
+        for r in &row.reports {
+            match r.inserted {
+                Some(n) => {
+                    let _ = write!(out, " {n} |");
+                }
+                None => {
+                    let _ = write!(out, " n.i. |");
+                }
+            }
+        }
+        let first = row.reports.first();
+        let (non_si, si, verified) = match first {
+            Some(r) => (
+                r.non_si_cost.to_string(),
+                r.si_cost.to_string(),
+                match r.verified {
+                    Some(true) => "yes",
+                    Some(false) => "NO",
+                    None => "-",
+                }
+                .to_string(),
+            ),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        let _ = writeln!(out, " {non_si} | {si} | {verified} |");
+    }
+    out
+}
+
+/// Renders a batch as CSV (one line per circuit × limit).
+pub fn to_csv(limits: &[usize], rows: &[BatchRow]) -> String {
+    let mut out = String::from(
+        "circuit,states,literal_limit,inserted,implementable,si_literals,si_celements,non_si_literals,non_si_celements,verified\n",
+    );
+    for row in rows {
+        for (l, r) in limits.iter().zip(&row.reports) {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{}",
+                row.name,
+                row.states,
+                l,
+                r.inserted.map(|n| n.to_string()).unwrap_or_default(),
+                r.inserted.is_some(),
+                r.si_cost.literals,
+                r.si_cost.c_elements,
+                r.non_si_cost.literals,
+                r.non_si_cost.c_elements,
+                r.verified.map(|v| v.to_string()).unwrap_or_default(),
+            );
+        }
+    }
+    out
+}
+
+/// A human-readable synthesis dossier for one flow result: histogram,
+/// steps and costs.
+pub fn dossier(report: &FlowReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "circuit: {}", report.name);
+    let hist: Vec<String> = report
+        .initial_histogram
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, &c)| c > 0)
+        .map(|(n, &c)| format!("{c}x{n}lit"))
+        .collect();
+    let _ = writeln!(out, "initial gates: {}", hist.join(" "));
+    match report.inserted {
+        Some(n) => {
+            let _ = writeln!(out, "implementable with {n} inserted signal(s)");
+        }
+        None => {
+            let _ = writeln!(out, "not implementable at this limit (n.i.)");
+        }
+    }
+    for step in &report.outcome.steps {
+        let _ = writeln!(
+            out,
+            "  {} = {}  [target {}, excess {}->{}]",
+            step.signal, step.divisor, step.target, step.excess.0, step.excess.1
+        );
+    }
+    let _ = writeln!(
+        out,
+        "cost: SI {} vs non-SI {}; verified: {:?}",
+        report.si_cost, report.non_si_cost, report.verified
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{run_flow, FlowConfig};
+    use simap_sg::{Event, Signal, SignalId, SignalKind, StateGraphBuilder};
+
+    fn handshake_report() -> FlowReport {
+        let mut bd = StateGraphBuilder::new(
+            "hs",
+            vec![Signal::new("a", SignalKind::Input), Signal::new("b", SignalKind::Output)],
+        )
+        .unwrap();
+        let s = [bd.add_state(0b00), bd.add_state(0b01), bd.add_state(0b11), bd.add_state(0b10)];
+        bd.add_arc(s[0], Event::rise(SignalId(0)), s[1]);
+        bd.add_arc(s[1], Event::rise(SignalId(1)), s[2]);
+        bd.add_arc(s[2], Event::fall(SignalId(0)), s[3]);
+        bd.add_arc(s[3], Event::fall(SignalId(1)), s[0]);
+        let sg = bd.build(s[0]).unwrap();
+        run_flow(&sg, &FlowConfig::with_limit(2)).unwrap()
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let report = handshake_report();
+        let rows = vec![BatchRow { name: "hs".into(), states: 4, reports: vec![report] }];
+        let md = to_markdown(&[2], &rows);
+        assert!(md.starts_with("| circuit |"));
+        assert!(md.contains("| hs | 4 | 0 |"), "{md}");
+        assert!(md.contains("yes"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let report = handshake_report();
+        let rows = vec![BatchRow { name: "hs".into(), states: 4, reports: vec![report] }];
+        let csv = to_csv(&[2], &rows);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("circuit,states"));
+        let data = lines.next().unwrap();
+        assert!(data.starts_with("hs,4,2,0,true,"), "{data}");
+    }
+
+    #[test]
+    fn dossier_mentions_costs() {
+        let report = handshake_report();
+        let text = dossier(&report);
+        assert!(text.contains("circuit: hs"));
+        assert!(text.contains("cost: SI"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Gate-level circuits in the standard-C architecture (§2.2, Fig. 2).
+
+use crate::gate::{Gate, GateFunc, NetId};
+use simap_boolean::Cover;
+use simap_sg::SignalId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A named net, optionally bound to a specification signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// The specification signal this net carries, if any (interface and
+    /// state-signal nets have one; first-level cover nets do not).
+    pub signal: Option<SignalId>,
+}
+
+/// A gate-level circuit: nets, gates (each net driven by at most one
+/// gate), and a mapping between nets and specification signals.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    driver: HashMap<NetId, usize>,
+    by_signal: HashMap<SignalId, NetId>,
+}
+
+/// Errors when assembling a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// Two gates drive the same net.
+    MultipleDrivers(String),
+    /// A gate references a net that does not exist.
+    DanglingNet(usize),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
+            CircuitError::DanglingNet(i) => write!(f, "gate references unknown net #{i}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Circuit::default()
+    }
+
+    /// Adds a net; `signal` binds it to a specification signal.
+    pub fn add_net(&mut self, name: impl Into<String>, signal: Option<SignalId>) -> NetId {
+        let id = NetId(self.nets.len());
+        self.nets.push(Net { name: name.into(), signal });
+        if let Some(s) = signal {
+            self.by_signal.insert(s, id);
+        }
+        id
+    }
+
+    /// Adds a gate.
+    ///
+    /// # Errors
+    /// Fails when the output net already has a driver or a referenced net
+    /// does not exist.
+    pub fn add_gate(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        for n in gate.fanin.iter().chain(std::iter::once(&gate.output)) {
+            if n.0 >= self.nets.len() {
+                return Err(CircuitError::DanglingNet(n.0));
+            }
+        }
+        if self.driver.contains_key(&gate.output) {
+            return Err(CircuitError::MultipleDrivers(self.nets[gate.output.0].name.clone()));
+        }
+        self.driver.insert(gate.output, self.gates.len());
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// The nets of the circuit.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The gates of the circuit.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The net bound to a specification signal.
+    pub fn net_of_signal(&self, s: SignalId) -> Option<NetId> {
+        self.by_signal.get(&s).copied()
+    }
+
+    /// The gate driving `net`, if any (primary inputs have none).
+    pub fn driver_of(&self, net: NetId) -> Option<&Gate> {
+        self.driver.get(&net).map(|&i| &self.gates[i])
+    }
+
+    /// Total SOP literals over all combinational gates.
+    pub fn literal_cost(&self) -> usize {
+        self.gates.iter().map(Gate::literal_count).sum()
+    }
+
+    /// Number of C elements.
+    pub fn c_element_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_c_element()).count()
+    }
+
+    /// Largest combinational-gate literal count (the "most complex gate").
+    pub fn max_gate_literals(&self) -> usize {
+        self.gates.iter().map(Gate::literal_count).max().unwrap_or(0)
+    }
+
+    /// Histogram of combinational gates by literal count: `hist[n]` is the
+    /// number of gates with exactly `n` literals (index 0 unused).
+    pub fn gate_histogram(&self) -> Vec<usize> {
+        let max = self.max_gate_literals();
+        let mut hist = vec![0usize; max + 1];
+        for g in &self.gates {
+            if !g.is_c_element() {
+                hist[g.literal_count()] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Logic depth per net: the longest gate chain from an undriven
+    /// (primary-input) net, with C elements cutting feedback (their
+    /// output depth counts the gate itself but cycles through them are
+    /// not followed). Returns the maximum over all nets.
+    pub fn logic_depth(&self) -> usize {
+        // Iterative longest-path with cycle cutting: feedback in the
+        // standard-C architecture always goes through a signal net driven
+        // by a C element or a state-holding complex gate; treat any net
+        // on a cycle as depth-0 source for the next round.
+        let n = self.nets.len();
+        let mut depth = vec![0usize; n];
+        // Relax up to n times; cycles simply stop improving.
+        for _ in 0..self.gates.len().min(64) {
+            let mut changed = false;
+            for g in &self.gates {
+                let input_depth =
+                    g.fanin.iter().map(|f| depth[f.0]).max().unwrap_or(0);
+                let candidate = input_depth + 1;
+                if candidate > depth[g.output.0] && candidate <= self.gates.len() {
+                    depth[g.output.0] = candidate;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Largest gate fanin in the circuit.
+    pub fn max_fanin(&self) -> usize {
+        self.gates.iter().map(|g| g.fanin.len()).max().unwrap_or(0)
+    }
+
+    /// Renders a readable netlist.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for g in &self.gates {
+            let out_name = &self.nets[g.output.0].name;
+            match &g.func {
+                GateFunc::Sop(cover) => {
+                    let names: Vec<String> =
+                        g.fanin.iter().map(|n| self.nets[n.0].name.clone()).collect();
+                    let _ = writeln!(
+                        out,
+                        "{out_name} = {}",
+                        cover.display_with(|v| names[v].clone())
+                    );
+                }
+                GateFunc::CElement => {
+                    let _ = writeln!(
+                        out,
+                        "{out_name} = C({}, {})",
+                        self.nets[g.fanin[0].0].name, self.nets[g.fanin[1].0].name
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds a single-output SOP gate over the given fanin nets, remapping a
+/// cover expressed in an arbitrary variable space via `var_to_net`.
+///
+/// `cover`'s support variables are looked up through `var_to_net` and
+/// become the gate's fanin (in increasing variable order).
+pub fn sop_gate(
+    name: impl Into<String>,
+    cover: &Cover,
+    var_to_net: impl Fn(usize) -> NetId,
+    output: NetId,
+) -> Gate {
+    let support = cover.support();
+    let fanin: Vec<NetId> = support.iter().map(|&v| var_to_net(v)).collect();
+    // Remap cover variables to local indices.
+    let local = remap_cover(cover, &support);
+    Gate { name: name.into(), func: GateFunc::Sop(local), fanin, output }
+}
+
+/// Remaps a cover's variables onto local indices `0..support.len()`.
+pub fn remap_cover(cover: &Cover, support: &[usize]) -> Cover {
+    use simap_boolean::{Cube, Literal};
+    let pos_of = |v: usize| support.iter().position(|&s| s == v).expect("var in support");
+    Cover::from_cubes(cover.cubes().iter().map(|c| {
+        Cube::from_literals(
+            c.literals().map(|l| Literal::new(pos_of(l.var), l.phase)),
+        )
+        .expect("remapped cube stays consistent")
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simap_boolean::{Cube, Literal};
+
+    #[test]
+    fn build_and_query() {
+        let mut c = Circuit::new();
+        let a = c.add_net("a", Some(SignalId(0)));
+        let b = c.add_net("b", Some(SignalId(1)));
+        let y = c.add_net("y", Some(SignalId(2)));
+        let cover = Cover::from_cube(
+            Cube::from_literals([Literal::pos(0), Literal::neg(1)]).unwrap(),
+        );
+        c.add_gate(Gate {
+            name: "g0".into(),
+            func: GateFunc::Sop(cover),
+            fanin: vec![a, b],
+            output: y,
+        })
+        .unwrap();
+        assert_eq!(c.net_of_signal(SignalId(2)), Some(y));
+        assert!(c.driver_of(y).is_some());
+        assert!(c.driver_of(a).is_none());
+        assert_eq!(c.literal_cost(), 2);
+        assert_eq!(c.c_element_count(), 0);
+        assert_eq!(c.gate_histogram(), vec![0, 0, 1]);
+        assert!(c.render().contains("y ="));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut c = Circuit::new();
+        let a = c.add_net("a", None);
+        let y = c.add_net("y", None);
+        let mk = |out| Gate {
+            name: "g".into(),
+            func: GateFunc::Sop(Cover::literal(Literal::pos(0))),
+            fanin: vec![a],
+            output: out,
+        };
+        c.add_gate(mk(y)).unwrap();
+        assert!(matches!(c.add_gate(mk(y)), Err(CircuitError::MultipleDrivers(_))));
+    }
+
+    #[test]
+    fn dangling_net_rejected() {
+        let mut c = Circuit::new();
+        let a = c.add_net("a", None);
+        let g = Gate {
+            name: "g".into(),
+            func: GateFunc::Sop(Cover::literal(Literal::pos(0))),
+            fanin: vec![a],
+            output: NetId(42),
+        };
+        assert!(matches!(c.add_gate(g), Err(CircuitError::DanglingNet(42))));
+    }
+
+    #[test]
+    fn sop_gate_remaps_support() {
+        let mut c = Circuit::new();
+        let n5 = c.add_net("x5", None);
+        let n9 = c.add_net("x9", None);
+        let out = c.add_net("out", None);
+        // Cover over global vars 5 and 9.
+        let cover = Cover::from_cube(
+            Cube::from_literals([Literal::pos(5), Literal::neg(9)]).unwrap(),
+        );
+        let nets = [n5, n9];
+        let g = sop_gate("g", &cover, |v| nets[if v == 5 { 0 } else { 1 }], out);
+        assert_eq!(g.fanin, vec![n5, n9]);
+        // Local function: var0 & !var1.
+        let vals = |n: NetId| n == n5;
+        assert!(g.eval(&vals, false));
+    }
+}

@@ -1,0 +1,209 @@
+//! The closed system "circuit ∥ specification-as-environment" under the
+//! unbounded gate delay model — shared by the exhaustive verifier
+//! ([`crate::verify`]) and the randomized simulator ([`crate::sim`]).
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, NetId};
+use crate::verify::VerifyError;
+use simap_sg::{Event, SignalKind, StateGraph, StateId};
+
+/// A packed valuation of every net.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NetValues(Vec<u64>);
+
+impl NetValues {
+    /// All-zero valuation for `n` nets.
+    pub fn new(n: usize) -> Self {
+        NetValues(vec![0; n.div_ceil(64)])
+    }
+
+    /// Value of a net.
+    pub fn get(&self, n: NetId) -> bool {
+        self.0[n.0 / 64] >> (n.0 % 64) & 1 == 1
+    }
+
+    /// Sets a net.
+    pub fn set(&mut self, n: NetId, v: bool) {
+        if v {
+            self.0[n.0 / 64] |= 1 << (n.0 % 64);
+        } else {
+            self.0[n.0 / 64] &= !(1 << (n.0 % 64));
+        }
+    }
+
+    /// Toggles a net.
+    pub fn toggle(&mut self, n: NetId) {
+        self.0[n.0 / 64] ^= 1 << (n.0 % 64);
+    }
+}
+
+/// One enabled action of the composition.
+#[derive(Debug, Clone)]
+pub struct Move {
+    /// Human-readable description (for diagnostics).
+    pub description: String,
+    /// Index of the firing gate, `None` for environment (input) moves.
+    pub fired_gate: Option<usize>,
+    /// Specification state after the move.
+    pub spec_next: StateId,
+    /// Net valuation after the move.
+    pub vals_next: NetValues,
+}
+
+/// The composition context: net↔signal maps plus the gate list.
+#[derive(Debug)]
+pub struct Composition<'a> {
+    /// The circuit under verification.
+    pub circuit: &'a Circuit,
+    /// The specification acting as environment.
+    pub sg: &'a StateGraph,
+    signal_net: Vec<NetId>,
+    net_signal: Vec<Option<usize>>,
+}
+
+impl<'a> Composition<'a> {
+    /// Builds the composition, checking that every specification signal
+    /// has a net.
+    ///
+    /// # Errors
+    /// [`VerifyError::MissingNet`] when a signal is unmapped.
+    pub fn new(circuit: &'a Circuit, sg: &'a StateGraph) -> Result<Self, VerifyError> {
+        let mut signal_net = Vec::with_capacity(sg.signal_count());
+        for (i, sig) in sg.signals().iter().enumerate() {
+            match circuit.net_of_signal(simap_sg::SignalId(i)) {
+                Some(n) => signal_net.push(n),
+                None => return Err(VerifyError::MissingNet { signal: sig.name.clone() }),
+            }
+        }
+        let mut net_signal = vec![None; circuit.nets().len()];
+        for (i, &n) in signal_net.iter().enumerate() {
+            net_signal[n.0] = Some(i);
+        }
+        Ok(Composition { circuit, sg, signal_net, net_signal })
+    }
+
+    /// The initial valuation: signal nets pinned to the initial code,
+    /// internal nets stabilized by bounded fixpoint sweeps.
+    ///
+    /// # Errors
+    /// [`VerifyError::UnstableInit`] when the sweeps do not converge.
+    pub fn initial_values(&self) -> Result<NetValues, VerifyError> {
+        let mut init = NetValues::new(self.circuit.nets().len());
+        let init_code = self.sg.code(self.sg.initial());
+        for (i, &n) in self.signal_net.iter().enumerate() {
+            init.set(n, init_code >> i & 1 == 1);
+        }
+        let gates = self.circuit.gates();
+        for _ in 0..=gates.len() {
+            let mut changed = false;
+            for g in gates {
+                if self.net_signal[g.output.0].is_some() {
+                    continue;
+                }
+                let cur = init.get(g.output);
+                let next = g.eval(&|n| init.get(n), cur);
+                if next != cur {
+                    init.set(g.output, next);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(init);
+            }
+        }
+        Err(VerifyError::UnstableInit)
+    }
+
+    /// Whether a gate is excited (next output ≠ current output).
+    pub fn excited(&self, vals: &NetValues, gate: &Gate) -> bool {
+        gate.eval(&|n| vals.get(n), vals.get(gate.output)) != vals.get(gate.output)
+    }
+
+    /// Indices of all excited gates.
+    pub fn excited_gates(&self, vals: &NetValues) -> Vec<usize> {
+        (0..self.circuit.gates().len())
+            .filter(|&i| self.excited(vals, &self.circuit.gates()[i]))
+            .collect()
+    }
+
+    /// Enumerates every enabled move of the composition.
+    ///
+    /// # Errors
+    /// [`VerifyError::UnexpectedOutput`] when an excited gate would fire an
+    /// output transition the specification does not allow.
+    pub fn moves(&self, spec: StateId, vals: &NetValues) -> Result<Vec<Move>, VerifyError> {
+        let mut moves = Vec::new();
+        // Environment moves.
+        for &(e, t) in self.sg.succ(spec) {
+            if self.sg.signals()[e.signal.0].kind != SignalKind::Input {
+                continue;
+            }
+            let mut next = vals.clone();
+            next.toggle(self.signal_net[e.signal.0]);
+            moves.push(Move {
+                description: format!("input {}", self.sg.event_name(e)),
+                fired_gate: None,
+                spec_next: t,
+                vals_next: next,
+            });
+        }
+        // Circuit moves.
+        for (gi, g) in self.circuit.gates().iter().enumerate() {
+            if !self.excited(vals, g) {
+                continue;
+            }
+            let rising = !vals.get(g.output);
+            let mut next = vals.clone();
+            next.toggle(g.output);
+            match self.net_signal[g.output.0] {
+                Some(sig) => {
+                    let ev = Event { signal: simap_sg::SignalId(sig), rising };
+                    match self.sg.fire(spec, ev) {
+                        Some(t) => moves.push(Move {
+                            description: format!("output {}", self.sg.event_name(ev)),
+                            fired_gate: Some(gi),
+                            spec_next: t,
+                            vals_next: next,
+                        }),
+                        None => {
+                            return Err(VerifyError::UnexpectedOutput {
+                                event: self.sg.event_name(ev),
+                            })
+                        }
+                    }
+                }
+                None => moves.push(Move {
+                    description: format!("internal {}", g.name),
+                    fired_gate: Some(gi),
+                    spec_next: spec,
+                    vals_next: next,
+                }),
+            }
+        }
+        Ok(moves)
+    }
+
+    /// Semi-modularity check for one move: every excited gate other than
+    /// the firing one must stay excited.
+    ///
+    /// # Errors
+    /// [`VerifyError::Disabled`] naming the hazard.
+    pub fn check_semi_modularity(
+        &self,
+        excited_before: &[usize],
+        mv: &Move,
+    ) -> Result<(), VerifyError> {
+        for &gi in excited_before {
+            if Some(gi) == mv.fired_gate {
+                continue;
+            }
+            if !self.excited(&mv.vals_next, &self.circuit.gates()[gi]) {
+                return Err(VerifyError::Disabled {
+                    gate: self.circuit.gates()[gi].name.clone(),
+                    by: mv.description.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}

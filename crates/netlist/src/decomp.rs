@@ -1,0 +1,154 @@
+//! Non-speed-independent decomposition baseline: the SIS
+//! `tech_decomp -a <i>` equivalent used by Table 1's "non-SI" cost column.
+//!
+//! Each cover gate is factored ([`simap_boolean::good_factor`]) and its
+//! tree realized with gates of at most `fanin_limit` inputs, **without**
+//! any hazard analysis. The cost model is the paper's: total number of
+//! literals (gate input pins) of the combinational gates, plus the number
+//! of C elements (reported separately; a C element is roughly a 3-input
+//! gate in area, §4).
+
+use simap_boolean::{good_factor, Cover, Factored};
+
+/// Cost of a circuit in the paper's §4 model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// Total literals (gate input pins) of combinational gates.
+    pub literals: usize,
+    /// Number of C elements.
+    pub c_elements: usize,
+}
+
+impl std::fmt::Display for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.literals, self.c_elements)
+    }
+}
+
+impl Cost {
+    /// Combines two costs.
+    pub fn add(self, other: Cost) -> Cost {
+        Cost {
+            literals: self.literals + other.literals,
+            c_elements: self.c_elements + other.c_elements,
+        }
+    }
+
+    /// Approximate area with a C element counted as a 3-input gate (§4).
+    pub fn area(self) -> usize {
+        self.literals + 3 * self.c_elements
+    }
+}
+
+/// Number of `fanin_limit`-input gates needed to realize one `k`-ary node.
+fn gates_for_arity(k: usize, fanin_limit: usize) -> usize {
+    if k <= 1 {
+        0
+    } else {
+        (k - 1).div_ceil(fanin_limit - 1)
+    }
+}
+
+/// Total gate input pins to realize one `k`-ary node with
+/// `fanin_limit`-input gates (inputs plus internal tree connections).
+fn pins_for_arity(k: usize, fanin_limit: usize) -> usize {
+    if k <= 1 {
+        k
+    } else {
+        k + gates_for_arity(k, fanin_limit) - 1
+    }
+}
+
+fn tree_pins(t: &Factored, fanin_limit: usize) -> usize {
+    match t {
+        Factored::Literal(_) | Factored::Const(_) => 0,
+        Factored::And(xs) | Factored::Or(xs) => {
+            let children: usize = xs.iter().map(|x| tree_pins(x, fanin_limit)).sum();
+            children + pins_for_arity(xs.len(), fanin_limit)
+        }
+    }
+}
+
+/// Literal cost of realizing `cover` with bounded-fanin gates after
+/// factoring, ignoring speed-independence.
+///
+/// # Panics
+/// Panics if `fanin_limit < 2`.
+pub fn tech_decomp_literals(cover: &Cover, fanin_limit: usize) -> usize {
+    assert!(fanin_limit >= 2, "fanin limit must be at least 2");
+    let tree = good_factor(cover);
+    match &tree {
+        Factored::Literal(_) => 1, // a buffer/wire: one pin
+        Factored::Const(_) => 0,
+        _ => tree_pins(&tree, fanin_limit),
+    }
+}
+
+/// Non-SI decomposition cost of a whole implementation given its cover
+/// gates and C-element count.
+pub fn tech_decomp_cost<'a>(
+    covers: impl IntoIterator<Item = &'a Cover>,
+    c_elements: usize,
+    fanin_limit: usize,
+) -> Cost {
+    let literals =
+        covers.into_iter().map(|c| tech_decomp_literals(c, fanin_limit)).sum::<usize>();
+    Cost { literals, c_elements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simap_boolean::{Cube, Literal};
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits.iter().map(|&(v, p)| Literal::new(v, p))).unwrap()
+    }
+
+    #[test]
+    fn arity_math() {
+        assert_eq!(gates_for_arity(2, 2), 1);
+        assert_eq!(gates_for_arity(6, 2), 5);
+        assert_eq!(gates_for_arity(6, 4), 2);
+        assert_eq!(pins_for_arity(6, 2), 10); // 5 AND2 gates = 10 pins
+        assert_eq!(pins_for_arity(6, 4), 7); // AND4 + AND3 = 7 pins
+        assert_eq!(pins_for_arity(1, 2), 1);
+    }
+
+    #[test]
+    fn six_literal_cube_costs_ten_at_two() {
+        let f = Cover::from_cube(Cube::from_literals((0..6).map(Literal::pos)).unwrap());
+        assert_eq!(tech_decomp_literals(&f, 2), 10);
+        assert_eq!(tech_decomp_literals(&f, 4), 7);
+        assert_eq!(tech_decomp_literals(&f, 6), 6);
+    }
+
+    #[test]
+    fn factoring_reduces_cost() {
+        // ab + ac + ad = a(b + c + d): flat SOP would cost more.
+        let f = Cover::from_cubes([
+            cube(&[(0, true), (1, true)]),
+            cube(&[(0, true), (2, true)]),
+            cube(&[(0, true), (3, true)]),
+        ]);
+        // Factored: OR3 (b,c,d) then AND2: pins = (3+2-1) + 2 = 6.
+        assert_eq!(tech_decomp_literals(&f, 2), 6);
+    }
+
+    #[test]
+    fn whole_implementation_cost() {
+        let set = Cover::from_cube(cube(&[(0, true), (1, true)]));
+        let reset = Cover::from_cube(cube(&[(0, false), (1, false)]));
+        let cost = tech_decomp_cost([&set, &reset], 1, 2);
+        assert_eq!(cost, Cost { literals: 4, c_elements: 1 });
+        assert_eq!(cost.area(), 7);
+        assert_eq!(format!("{cost}"), "4/1");
+    }
+
+    #[test]
+    fn trivial_covers() {
+        assert_eq!(tech_decomp_literals(&Cover::one(), 2), 0);
+        assert_eq!(tech_decomp_literals(&Cover::zero(), 2), 0);
+        assert_eq!(tech_decomp_literals(&Cover::literal(Literal::pos(0)), 2), 1);
+    }
+}

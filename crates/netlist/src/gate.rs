@@ -1,0 +1,146 @@
+//! Gates: combinational SOP cells and Muller C elements.
+
+use simap_boolean::Cover;
+use std::fmt;
+
+/// Index of a net in a [`crate::Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub usize);
+
+/// The logic function of a gate.
+///
+/// Combinational gates carry a [`Cover`] over *local* variables
+/// `0..fanin.len()`; variable `k` of the cover refers to `fanin[k]`. This
+/// keeps gate functions independent of the circuit-wide net count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateFunc {
+    /// A sum-of-products cell (AND/OR/AOI/complex gate).
+    Sop(Cover),
+    /// A Muller C element with a set and a reset input:
+    /// `next(q) = set·reset̄ + q·(set + reset̄)`.
+    ///
+    /// The monotonous-cover conditions make the cover outputs one-hot
+    /// *functionally*; under unbounded gate delays a stale cover wire can
+    /// still transiently overlap the opposite network, so the cell holds
+    /// its value when both inputs are 1 — the hazard-free semantics the
+    /// standard-C architecture (§2.2) relies on.
+    CElement,
+}
+
+/// A gate instance: a function, its input nets and its output net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Human-readable instance name.
+    pub name: String,
+    /// The function; for [`GateFunc::CElement`] the fanin must be
+    /// `[set, reset]`.
+    pub func: GateFunc,
+    /// Input nets, in local-variable order.
+    pub fanin: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+}
+
+impl Gate {
+    /// Evaluates the gate's next output value given current net values.
+    ///
+    /// `value(net)` must return the present value of any net; `current` is
+    /// the present output value (only used by the C element's hold state).
+    pub fn eval(&self, value: &impl Fn(NetId) -> bool, current: bool) -> bool {
+        match &self.func {
+            GateFunc::Sop(cover) => {
+                let mut code = 0u64;
+                for (k, &n) in self.fanin.iter().enumerate() {
+                    if value(n) {
+                        code |= 1 << k;
+                    }
+                }
+                cover.eval(code)
+            }
+            GateFunc::CElement => {
+                let set = value(self.fanin[0]);
+                let reset = value(self.fanin[1]);
+                (set && !reset) || (current && (set || !reset))
+            }
+        }
+    }
+
+    /// Number of SOP literals (0 for C elements, which are costed
+    /// separately).
+    pub fn literal_count(&self) -> usize {
+        match &self.func {
+            GateFunc::Sop(c) => c.literal_count(),
+            GateFunc::CElement => 0,
+        }
+    }
+
+    /// Whether this gate is a C element.
+    pub fn is_c_element(&self) -> bool {
+        matches!(self.func, GateFunc::CElement)
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            GateFunc::Sop(c) => write!(f, "{} = {:?}", self.name, c),
+            GateFunc::CElement => {
+                write!(f, "{} = C(set=n{}, reset=n{})", self.name, self.fanin[0].0, self.fanin[1].0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simap_boolean::{Cube, Literal};
+
+    fn and2(a: NetId, b: NetId, out: NetId) -> Gate {
+        Gate {
+            name: "and2".into(),
+            func: GateFunc::Sop(Cover::from_cube(
+                Cube::from_literals([Literal::pos(0), Literal::pos(1)]).unwrap(),
+            )),
+            fanin: vec![a, b],
+            output: out,
+        }
+    }
+
+    #[test]
+    fn sop_eval_uses_local_variables() {
+        let g = and2(NetId(7), NetId(3), NetId(9));
+        let vals = |n: NetId| n == NetId(7) || n == NetId(3);
+        assert!(g.eval(&vals, false));
+        let vals2 = |n: NetId| n == NetId(7);
+        assert!(!g.eval(&vals2, false));
+        assert_eq!(g.literal_count(), 2);
+        assert!(!g.is_c_element());
+    }
+
+    #[test]
+    fn c_element_holds() {
+        let g = Gate {
+            name: "c".into(),
+            func: GateFunc::CElement,
+            fanin: vec![NetId(0), NetId(1)],
+            output: NetId(2),
+        };
+        let none = |_: NetId| false;
+        // set=0,reset=0: holds.
+        assert!(!g.eval(&none, false));
+        assert!(g.eval(&none, true));
+        // set=1: rises.
+        let set_on = |n: NetId| n == NetId(0);
+        assert!(g.eval(&set_on, false));
+        // reset=1: falls.
+        let reset_on = |n: NetId| n == NetId(1);
+        assert!(!g.eval(&reset_on, true));
+        // both high (stale cover wire): holds.
+        let both = |_: NetId| true;
+        assert!(g.eval(&both, true));
+        assert!(!g.eval(&both, false));
+        assert_eq!(g.literal_count(), 0);
+        assert!(g.is_c_element());
+    }
+}

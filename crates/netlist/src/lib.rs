@@ -1,0 +1,43 @@
+//! # simap-netlist
+//!
+//! Gate-level circuits for speed-independent synthesis: SOP cells and
+//! Muller C elements wired into the standard-C architecture, the paper's
+//! §4 literal/C-element cost model, the non-SI `tech_decomp` baseline, and
+//! a speed-independence verifier that composes a circuit with its
+//! specification state graph under the unbounded gate delay model and
+//! checks semi-modularity.
+//!
+//! ```
+//! use simap_netlist::{Circuit, sop_gate};
+//! use simap_boolean::{Cover, Literal};
+//! use simap_sg::SignalId;
+//!
+//! let mut circuit = Circuit::new();
+//! let a = circuit.add_net("a", Some(SignalId(0)));
+//! let y = circuit.add_net("y", Some(SignalId(1)));
+//! let buf = Cover::literal(Literal::pos(0));
+//! circuit.add_gate(sop_gate("buf", &buf, |_| a, y))?;
+//! assert_eq!(circuit.literal_cost(), 1);
+//! # Ok::<(), simap_netlist::CircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod composition;
+pub mod library;
+pub mod sim;
+pub mod verilog;
+pub mod decomp;
+pub mod gate;
+pub mod verify;
+
+pub use circuit::{remap_cover, sop_gate, Circuit, CircuitError, Net};
+pub use decomp::{tech_decomp_cost, tech_decomp_literals, Cost};
+pub use gate::{Gate, GateFunc, NetId};
+pub use composition::{Composition, Move, NetValues};
+pub use library::{classify, CellShape, Library};
+pub use sim::{simulate, SimConfig, SimStats};
+pub use verilog::to_verilog;
+pub use verify::{verify_speed_independence, VerifyConfig, VerifyError, VerifyStats};

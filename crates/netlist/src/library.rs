@@ -1,0 +1,236 @@
+//! Standard-cell library model.
+//!
+//! The paper measures gate complexity as "the number of literals required
+//! to implement it as a sum-of-product gate, either complemented or not"
+//! (§4): a library is characterized by the largest SOP cell it offers.
+//! This module gives that limit a name, classifies covers onto concrete
+//! cells (AND/OR/AOI/OAI/…) and lets netlists be reported against a
+//! target library.
+
+use crate::gate::{Gate, GateFunc};
+use simap_boolean::Cover;
+use std::fmt;
+
+/// A concrete cell shape a cover maps onto.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellShape {
+    /// Buffer or inverter (single literal).
+    Buffer {
+        /// Whether the literal is complemented.
+        inverting: bool,
+    },
+    /// A single product term: AND/NAND with optional input inversions.
+    And {
+        /// Number of inputs.
+        inputs: usize,
+    },
+    /// A single sum of single literals: OR/NOR with optional inversions.
+    Or {
+        /// Number of inputs.
+        inputs: usize,
+    },
+    /// A general AND-OR (sum-of-products) cell.
+    AndOr {
+        /// Number of product terms.
+        terms: usize,
+        /// Total literals.
+        literals: usize,
+    },
+    /// A Muller C element.
+    CElement,
+    /// A constant tie cell.
+    Constant {
+        /// The tied value.
+        value: bool,
+    },
+}
+
+impl fmt::Display for CellShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellShape::Buffer { inverting: false } => write!(f, "BUF"),
+            CellShape::Buffer { inverting: true } => write!(f, "INV"),
+            CellShape::And { inputs } => write!(f, "AND{inputs}"),
+            CellShape::Or { inputs } => write!(f, "OR{inputs}"),
+            CellShape::AndOr { terms, literals } => write!(f, "AO{terms}x{literals}"),
+            CellShape::CElement => write!(f, "C2"),
+            CellShape::Constant { value } => write!(f, "TIE{}", u8::from(*value)),
+        }
+    }
+}
+
+/// Classifies a cover onto the cell shape that implements it.
+pub fn classify(cover: &Cover) -> CellShape {
+    if cover.is_zero() {
+        return CellShape::Constant { value: false };
+    }
+    if cover.is_one() {
+        return CellShape::Constant { value: true };
+    }
+    let cubes = cover.cubes();
+    if cubes.len() == 1 {
+        let lits = cubes[0].literal_count();
+        if lits == 1 {
+            let lit = cubes[0].literals().next().expect("one literal");
+            return CellShape::Buffer { inverting: !lit.phase };
+        }
+        return CellShape::And { inputs: lits };
+    }
+    if cubes.iter().all(|c| c.literal_count() == 1) {
+        return CellShape::Or { inputs: cubes.len() };
+    }
+    CellShape::AndOr { terms: cubes.len(), literals: cover.literal_count() }
+}
+
+/// A bounded-complexity standard-cell library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Library {
+    /// Library name (for reports).
+    pub name: String,
+    /// The largest SOP cell: total literals, complemented or not (§4).
+    pub max_literals: usize,
+    /// Whether the library provides C elements (asynchronous libraries
+    /// do; a plain CMOS library would emulate them with feedback).
+    pub has_c_elements: bool,
+}
+
+impl Library {
+    /// The 2-literal worst-case library ("two-input gates are a standard
+    /// worst case against which the performance of a decomposition
+    /// algorithm can be measured", §3).
+    pub fn two_input() -> Self {
+        Library { name: "2-input".into(), max_literals: 2, has_c_elements: true }
+    }
+
+    /// A 3-literal library.
+    pub fn three_input() -> Self {
+        Library { name: "3-input".into(), max_literals: 3, has_c_elements: true }
+    }
+
+    /// A 4-literal library (typical AOI22-class cells).
+    pub fn four_input() -> Self {
+        Library { name: "4-input".into(), max_literals: 4, has_c_elements: true }
+    }
+
+    /// Whether one gate fits the library.
+    pub fn admits(&self, gate: &Gate) -> bool {
+        match &gate.func {
+            GateFunc::Sop(cover) => cover.literal_count() <= self.max_literals,
+            GateFunc::CElement => self.has_c_elements,
+        }
+    }
+
+    /// Gates of `circuit` that do not fit, with their shapes.
+    pub fn misfits<'a>(&self, circuit: &'a crate::Circuit) -> Vec<(&'a Gate, CellShape)> {
+        circuit
+            .gates()
+            .iter()
+            .filter(|g| !self.admits(g))
+            .map(|g| {
+                let shape = match &g.func {
+                    GateFunc::Sop(c) => classify(c),
+                    GateFunc::CElement => CellShape::CElement,
+                };
+                (g, shape)
+            })
+            .collect()
+    }
+
+    /// A cell-usage report: shape → count.
+    pub fn cell_report(&self, circuit: &crate::Circuit) -> Vec<(CellShape, usize)> {
+        let mut counts: Vec<(CellShape, usize)> = Vec::new();
+        for g in circuit.gates() {
+            let shape = match &g.func {
+                GateFunc::Sop(c) => classify(c),
+                GateFunc::CElement => CellShape::CElement,
+            };
+            match counts.iter_mut().find(|(s, _)| *s == shape) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((shape, 1)),
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::gate::NetId;
+    use simap_boolean::{Cube, Literal};
+
+    fn cover(cubes: &[&[(usize, bool)]]) -> Cover {
+        Cover::from_cubes(cubes.iter().map(|lits| {
+            Cube::from_literals(lits.iter().map(|&(v, p)| Literal::new(v, p))).expect("cube")
+        }))
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify(&Cover::zero()), CellShape::Constant { value: false });
+        assert_eq!(classify(&Cover::one()), CellShape::Constant { value: true });
+        assert_eq!(
+            classify(&cover(&[&[(0, true)]])),
+            CellShape::Buffer { inverting: false }
+        );
+        assert_eq!(
+            classify(&cover(&[&[(0, false)]])),
+            CellShape::Buffer { inverting: true }
+        );
+        assert_eq!(classify(&cover(&[&[(0, true), (1, false)]])), CellShape::And { inputs: 2 });
+        assert_eq!(
+            classify(&cover(&[&[(0, true)], &[(1, true)], &[(2, false)]])),
+            CellShape::Or { inputs: 3 }
+        );
+        assert_eq!(
+            classify(&cover(&[&[(0, true), (1, true)], &[(2, true), (3, true)]])),
+            CellShape::AndOr { terms: 2, literals: 4 }
+        );
+    }
+
+    #[test]
+    fn shape_names() {
+        assert_eq!(format!("{}", CellShape::And { inputs: 3 }), "AND3");
+        assert_eq!(format!("{}", CellShape::Buffer { inverting: true }), "INV");
+        assert_eq!(format!("{}", CellShape::CElement), "C2");
+        assert_eq!(format!("{}", CellShape::AndOr { terms: 2, literals: 4 }), "AO2x4");
+    }
+
+    #[test]
+    fn admits_and_misfits() {
+        let lib = Library::two_input();
+        let mut c = Circuit::new();
+        let a = c.add_net("a", None);
+        let b = c.add_net("b", None);
+        let x = c.add_net("x", None);
+        let y = c.add_net("y", None);
+        let and2 = cover(&[&[(0, true), (1, true)]]);
+        let and3ish = cover(&[&[(0, true), (1, true)], &[(0, true), (1, false)]]);
+        c.add_gate(crate::circuit::sop_gate("g1", &and2, |v| [a, b][v], x)).expect("fresh");
+        c.add_gate(crate::circuit::sop_gate("g2", &and3ish, |v| [a, b][v], y)).expect("fresh");
+        assert_eq!(lib.misfits(&c).len(), 1);
+        assert!(Library::four_input().misfits(&c).is_empty());
+        let report = lib.cell_report(&c);
+        assert_eq!(report.len(), 2);
+    }
+
+    #[test]
+    fn c_element_availability() {
+        let mut lib = Library::two_input();
+        let mut c = Circuit::new();
+        let s = c.add_net("s", None);
+        let r = c.add_net("r", None);
+        let q = c.add_net("q", None);
+        c.add_gate(Gate {
+            name: "c".into(),
+            func: GateFunc::CElement,
+            fanin: vec![s, r],
+            output: q,
+        })
+        .expect("fresh");
+        assert!(lib.misfits(&c).is_empty());
+        lib.has_c_elements = false;
+        assert_eq!(lib.misfits(&c).len(), 1);
+    }
+}

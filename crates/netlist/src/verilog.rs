@@ -1,0 +1,220 @@
+//! Structural Verilog export of mapped circuits.
+//!
+//! SOP gates become continuous assignments; C elements become instances
+//! of a behavioural `celement` module (emitted once per file) with the
+//! hold-on-both-high semantics of [`crate::gate::GateFunc::CElement`].
+//! The output is meant for downstream consumption (simulation, LVS-style
+//! diffing), not for re-synthesis.
+
+use crate::circuit::Circuit;
+use crate::gate::GateFunc;
+use simap_sg::{SignalKind, StateGraph};
+use std::fmt::Write as _;
+
+/// Sanitizes a net name into a Verilog identifier.
+fn ident(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('n');
+        }
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('n');
+    }
+    out
+}
+
+/// Emits a structural Verilog module for `circuit`, using `sg` to decide
+/// port directions (inputs come from the specification's input signals;
+/// every other specification signal is an output port).
+pub fn to_verilog(circuit: &Circuit, sg: &StateGraph, module: &str) -> String {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    for (i, sig) in sg.signals().iter().enumerate() {
+        let name = ident(&sig.name);
+        match sig.kind {
+            SignalKind::Input => inputs.push(name),
+            // Internal signals (inserted during decomposition or CSC
+            // repair) stay inside the module as wires.
+            SignalKind::Internal => {}
+            SignalKind::Output => {
+                if circuit.net_of_signal(simap_sg::SignalId(i)).is_some() {
+                    outputs.push(name);
+                }
+            }
+        }
+    }
+
+    let mut body = String::new();
+    let mut wires: Vec<String> = Vec::new();
+    let mut uses_celement = false;
+
+    for (gi, gate) in circuit.gates().iter().enumerate() {
+        let out_name = ident(&circuit.nets()[gate.output.0].name);
+        let is_port = inputs.contains(&out_name) || outputs.contains(&out_name);
+        if !is_port && !wires.contains(&out_name) {
+            wires.push(out_name.clone());
+        }
+        match &gate.func {
+            GateFunc::Sop(cover) => {
+                let expr = if cover.is_zero() {
+                    "1'b0".to_string()
+                } else if cover.is_one() {
+                    "1'b1".to_string()
+                } else {
+                    let terms: Vec<String> = cover
+                        .cubes()
+                        .iter()
+                        .map(|cube| {
+                            let lits: Vec<String> = cube
+                                .literals()
+                                .map(|l| {
+                                    let n = ident(&circuit.nets()[gate.fanin[l.var].0].name);
+                                    if l.phase {
+                                        n
+                                    } else {
+                                        format!("~{n}")
+                                    }
+                                })
+                                .collect();
+                            if lits.len() == 1 {
+                                lits.into_iter().next().expect("len checked")
+                            } else {
+                                format!("({})", lits.join(" & "))
+                            }
+                        })
+                        .collect();
+                    terms.join(" | ")
+                };
+                let _ = writeln!(body, "  assign {out_name} = {expr};");
+            }
+            GateFunc::CElement => {
+                uses_celement = true;
+                let set = ident(&circuit.nets()[gate.fanin[0].0].name);
+                let reset = ident(&circuit.nets()[gate.fanin[1].0].name);
+                let _ = writeln!(
+                    body,
+                    "  celement u_c{gi} (.set({set}), .reset({reset}), .q({out_name}));"
+                );
+            }
+        }
+    }
+
+    let mut out = String::new();
+    if uses_celement {
+        out.push_str(
+            "// Muller C element with set/reset networks; holds when both\n\
+             // inputs are transiently high (standard-C architecture cell).\n\
+             module celement (input set, input reset, output reg q);\n\
+             \x20 initial q = 1'b0;\n\
+             \x20 always @(*) begin\n\
+             \x20   if (set & ~reset) q = 1'b1;\n\
+             \x20   else if (~set & reset) q = 1'b0;\n\
+             \x20 end\n\
+             endmodule\n\n",
+        );
+    }
+    let mut ports: Vec<String> = Vec::new();
+    ports.extend(inputs.iter().map(|n| format!("input {n}")));
+    ports.extend(outputs.iter().map(|n| format!("output {n}")));
+    let _ = writeln!(out, "module {} (", ident(module));
+    let _ = writeln!(out, "  {}", ports.join(",\n  "));
+    let _ = writeln!(out, ");");
+    for w in &wires {
+        let _ = writeln!(out, "  wire {w};");
+    }
+    out.push_str(&body);
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::sop_gate;
+    use crate::gate::{Gate, NetId};
+    use simap_boolean::{Cover, Cube, Literal};
+    use simap_sg::{Event, Signal, SignalId, StateGraphBuilder};
+
+    fn handshake() -> StateGraph {
+        let mut b = StateGraphBuilder::new(
+            "hs",
+            vec![Signal::new("req", SignalKind::Input), Signal::new("ack", SignalKind::Output)],
+        )
+        .unwrap();
+        let s = [b.add_state(0b00), b.add_state(0b01), b.add_state(0b11), b.add_state(0b10)];
+        b.add_arc(s[0], Event::rise(SignalId(0)), s[1]);
+        b.add_arc(s[1], Event::rise(SignalId(1)), s[2]);
+        b.add_arc(s[2], Event::fall(SignalId(0)), s[3]);
+        b.add_arc(s[3], Event::fall(SignalId(1)), s[0]);
+        b.build(s[0]).unwrap()
+    }
+
+    #[test]
+    fn buffer_module() {
+        let sg = handshake();
+        let mut c = Circuit::new();
+        let a = c.add_net("req", Some(SignalId(0)));
+        let b = c.add_net("ack", Some(SignalId(1)));
+        c.add_gate(sop_gate("buf", &Cover::literal(Literal::pos(0)), |_| a, b)).unwrap();
+        let v = to_verilog(&c, &sg, "hs");
+        assert!(v.contains("module hs ("), "{v}");
+        assert!(v.contains("input req"));
+        assert!(v.contains("output ack"));
+        assert!(v.contains("assign ack = req;"));
+        assert!(!v.contains("module celement"), "no C element needed");
+    }
+
+    #[test]
+    fn c_element_instantiation_and_sop() {
+        let sg = handshake();
+        let mut c = Circuit::new();
+        let a = c.add_net("req", Some(SignalId(0)));
+        let b = c.add_net("ack", Some(SignalId(1)));
+        let set = c.add_net("ack_set", None);
+        let reset = c.add_net("ack_reset", None);
+        let and = Cover::from_cube(Cube::from_literals([Literal::pos(0)]).unwrap());
+        let nand = Cover::from_cube(Cube::from_literals([Literal::neg(0)]).unwrap());
+        c.add_gate(sop_gate("s", &and, |_| a, set)).unwrap();
+        c.add_gate(sop_gate("r", &nand, |_| a, reset)).unwrap();
+        c.add_gate(Gate {
+            name: "c".into(),
+            func: GateFunc::CElement,
+            fanin: vec![set, reset],
+            output: b,
+        })
+        .unwrap();
+        let v = to_verilog(&c, &sg, "hs");
+        assert!(v.contains("module celement"));
+        assert!(v.contains(".set(ack_set)"));
+        assert!(v.contains("assign ack_reset = ~req;"));
+        assert!(v.contains("wire ack_set;"));
+    }
+
+    #[test]
+    fn identifier_sanitization() {
+        assert_eq!(ident("mp-forward-pkt"), "mp_forward_pkt");
+        assert_eq!(ident("3x"), "n3x");
+        assert_eq!(ident(""), "n");
+        assert_eq!(ident("ok_name9"), "ok_name9");
+    }
+
+    #[test]
+    fn multi_cube_sop_renders_as_or_of_ands() {
+        let sg = handshake();
+        let mut c = Circuit::new();
+        let a = c.add_net("req", Some(SignalId(0)));
+        let b = c.add_net("ack", Some(SignalId(1)));
+        let cover = Cover::from_cubes([
+            Cube::from_literals([Literal::pos(0)]).unwrap(),
+            Cube::from_literals([Literal::neg(0)]).unwrap(),
+        ]);
+        // A tautology as a 1-input function: renders as a 2-term OR.
+        c.add_gate(sop_gate("t", &cover, |_| a, b)).unwrap();
+        let v = to_verilog(&c, &sg, "hs");
+        assert!(v.contains("assign ack = 1'b1;") || v.contains('|'), "{v}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Graphviz (`dot`) export of state graphs, with optional region
+//! highlighting — the format Fig. 1 of the paper is drawn in.
+
+use crate::graph::{StateGraph, StateId};
+use crate::regions::Region;
+use std::fmt::Write as _;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Regions to highlight: ER states are filled, QR states outlined.
+    pub highlight: Vec<Region>,
+    /// Render codes most-significant-signal first inside each node.
+    pub show_codes: bool,
+}
+
+/// Renders the state graph in Graphviz `dot` syntax.
+pub fn to_dot(sg: &StateGraph, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sg.name());
+    let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontname=\"monospace\"];");
+
+    let er_of = |s: StateId| options.highlight.iter().find(|r| r.er.contains(s));
+    let qr_of = |s: StateId| options.highlight.iter().find(|r| r.qr.contains(s));
+
+    for s in sg.states() {
+        let label = if options.show_codes {
+            sg.state_label(s)
+        } else {
+            format!("{}", s.0)
+        };
+        let mut attrs = format!("label=\"{label}\"");
+        if let Some(r) = er_of(s) {
+            let _ = write!(
+                attrs,
+                ", style=filled, fillcolor=lightblue, tooltip=\"ER({})\"",
+                sg.event_name(r.event)
+            );
+        } else if let Some(r) = qr_of(s) {
+            let _ = write!(
+                attrs,
+                ", color=blue, tooltip=\"QR({})\"",
+                sg.event_name(r.event)
+            );
+        }
+        if s == sg.initial() {
+            attrs.push_str(", peripheries=2");
+        }
+        let _ = writeln!(out, "  s{} [{attrs}];", s.0);
+    }
+    for s in sg.states() {
+        for &(e, t) in sg.succ(s) {
+            let _ = writeln!(out, "  s{} -> s{} [label=\"{}\"];", s.0, t.0, sg.event_name(e));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::StateGraphBuilder;
+    use crate::regions::regions_of;
+    use crate::signal::{Event, Signal, SignalId, SignalKind};
+
+    fn toy() -> StateGraph {
+        let mut b = StateGraphBuilder::new(
+            "toy",
+            vec![Signal::new("a", SignalKind::Input), Signal::new("b", SignalKind::Output)],
+        )
+        .unwrap();
+        let s = [b.add_state(0b00), b.add_state(0b01), b.add_state(0b11), b.add_state(0b10)];
+        b.add_arc(s[0], Event::rise(SignalId(0)), s[1]);
+        b.add_arc(s[1], Event::rise(SignalId(1)), s[2]);
+        b.add_arc(s[2], Event::fall(SignalId(0)), s[3]);
+        b.add_arc(s[3], Event::fall(SignalId(1)), s[0]);
+        b.build(s[0]).unwrap()
+    }
+
+    #[test]
+    fn dot_has_all_nodes_and_edges() {
+        let sg = toy();
+        let dot = to_dot(&sg, &DotOptions { show_codes: true, ..Default::default() });
+        assert!(dot.starts_with("digraph"));
+        for s in 0..4 {
+            assert!(dot.contains(&format!("s{s} [")), "missing node {s}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), 4);
+        assert!(dot.contains("label=\"a+\""));
+        assert!(dot.contains("peripheries=2"), "initial state marked");
+    }
+
+    #[test]
+    fn regions_are_highlighted() {
+        let sg = toy();
+        let regions = regions_of(&sg, Event::rise(SignalId(1)));
+        let dot = to_dot(&sg, &DotOptions { highlight: regions, show_codes: false });
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("tooltip=\"ER(b+)\""));
+    }
+}

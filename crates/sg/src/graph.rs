@@ -1,0 +1,361 @@
+//! The State Graph (SG) model of §2.1.
+
+use crate::signal::{Event, Signal, SignalId, SignalKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a state within a [`StateGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub usize);
+
+/// A labeled directed graph whose nodes are states (each labeled with a
+/// binary signal vector) and whose arcs are labeled with signal
+/// transitions.
+///
+/// Codes assign bit `i` to signal `i`; up to 64 signals are supported.
+#[derive(Debug, Clone)]
+pub struct StateGraph {
+    signals: Vec<Signal>,
+    codes: Vec<u64>,
+    succ: Vec<Vec<(Event, StateId)>>,
+    pred: Vec<Vec<(Event, StateId)>>,
+    initial: StateId,
+    name: String,
+}
+
+/// Errors produced when building a state graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildSgError {
+    /// More than 64 signals.
+    TooManySignals(usize),
+    /// A duplicate signal name.
+    DuplicateSignal(String),
+    /// The graph has no states.
+    Empty,
+}
+
+impl fmt::Display for BuildSgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildSgError::TooManySignals(n) => write!(f, "too many signals: {n} (max 64)"),
+            BuildSgError::DuplicateSignal(s) => write!(f, "duplicate signal name `{s}`"),
+            BuildSgError::Empty => write!(f, "state graph has no states"),
+        }
+    }
+}
+
+impl std::error::Error for BuildSgError {}
+
+/// Incremental builder for [`StateGraph`].
+#[derive(Debug, Clone)]
+pub struct StateGraphBuilder {
+    signals: Vec<Signal>,
+    codes: Vec<u64>,
+    arcs: Vec<(StateId, Event, StateId)>,
+    by_code: HashMap<u64, Vec<StateId>>,
+    name: String,
+}
+
+impl StateGraphBuilder {
+    /// Starts a builder with the given signal declarations.
+    ///
+    /// # Errors
+    /// Fails if there are more than 64 signals or duplicate names.
+    pub fn new(name: impl Into<String>, signals: Vec<Signal>) -> Result<Self, BuildSgError> {
+        if signals.len() > 64 {
+            return Err(BuildSgError::TooManySignals(signals.len()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for s in &signals {
+            if !seen.insert(s.name.clone()) {
+                return Err(BuildSgError::DuplicateSignal(s.name.clone()));
+            }
+        }
+        Ok(StateGraphBuilder {
+            signals,
+            codes: Vec::new(),
+            arcs: Vec::new(),
+            by_code: HashMap::new(),
+            name: name.into(),
+        })
+    }
+
+    /// Adds a state labeled with `code`; states with equal codes are
+    /// distinct nodes (needed before CSC holds).
+    pub fn add_state(&mut self, code: u64) -> StateId {
+        let id = StateId(self.codes.len());
+        self.codes.push(code);
+        self.by_code.entry(code).or_default().push(id);
+        id
+    }
+
+    /// Returns an existing state with this code or adds one. Only sensible
+    /// for graphs known to satisfy unique state coding per marking.
+    pub fn state_for_code(&mut self, code: u64) -> StateId {
+        if let Some(ids) = self.by_code.get(&code) {
+            if let Some(&id) = ids.first() {
+                return id;
+            }
+        }
+        self.add_state(code)
+    }
+
+    /// Adds an arc `src --event--> dst`.
+    pub fn add_arc(&mut self, src: StateId, event: Event, dst: StateId) {
+        self.arcs.push((src, event, dst));
+    }
+
+    /// Finishes the graph with `initial` as initial state.
+    ///
+    /// # Errors
+    /// Fails if no state was added.
+    pub fn build(self, initial: StateId) -> Result<StateGraph, BuildSgError> {
+        if self.codes.is_empty() {
+            return Err(BuildSgError::Empty);
+        }
+        let n = self.codes.len();
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        for (src, ev, dst) in self.arcs {
+            succ[src.0].push((ev, dst));
+            pred[dst.0].push((ev, src));
+        }
+        for list in succ.iter_mut().chain(pred.iter_mut()) {
+            list.sort();
+            list.dedup();
+        }
+        Ok(StateGraph { signals: self.signals, codes: self.codes, succ, pred, initial, name: self.name })
+    }
+}
+
+impl StateGraph {
+    /// Name of the specification.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared signals.
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// Number of signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// All state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.codes.len()).map(StateId)
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// The binary code labeling a state.
+    pub fn code(&self, s: StateId) -> u64 {
+        self.codes[s.0]
+    }
+
+    /// Value of `signal` in state `s`.
+    pub fn value(&self, s: StateId, signal: SignalId) -> bool {
+        self.codes[s.0] >> signal.0 & 1 == 1
+    }
+
+    /// Outgoing arcs of `s`.
+    pub fn succ(&self, s: StateId) -> &[(Event, StateId)] {
+        &self.succ[s.0]
+    }
+
+    /// Incoming arcs of `s`.
+    pub fn pred(&self, s: StateId) -> &[(Event, StateId)] {
+        &self.pred[s.0]
+    }
+
+    /// Whether `event` is enabled (has an outgoing arc) at `s`.
+    pub fn enabled(&self, s: StateId, event: Event) -> bool {
+        self.succ[s.0].iter().any(|&(e, _)| e == event)
+    }
+
+    /// The target of `event` from `s`, if enabled (deterministic graphs
+    /// have at most one).
+    pub fn fire(&self, s: StateId, event: Event) -> Option<StateId> {
+        self.succ[s.0].iter().find(|&&(e, _)| e == event).map(|&(_, t)| t)
+    }
+
+    /// Whether signal `a` is *excited* at `s` (some transition of `a` is
+    /// enabled).
+    pub fn excited(&self, s: StateId, signal: SignalId) -> bool {
+        self.succ[s.0].iter().any(|&(e, _)| e.signal == signal)
+    }
+
+    /// Whether signal `a` is *stable* at `s` (not excited).
+    pub fn stable(&self, s: StateId, signal: SignalId) -> bool {
+        !self.excited(s, signal)
+    }
+
+    /// Events enabled at `s`.
+    pub fn enabled_events(&self, s: StateId) -> Vec<Event> {
+        let mut evs: Vec<Event> = self.succ[s.0].iter().map(|&(e, _)| e).collect();
+        evs.sort();
+        evs.dedup();
+        evs
+    }
+
+    /// Output/internal events enabled at `s` (used by the CSC check).
+    pub fn enabled_non_input_events(&self, s: StateId) -> Vec<Event> {
+        self.enabled_events(s)
+            .into_iter()
+            .filter(|e| self.signals[e.signal.0].kind.is_implementable())
+            .collect()
+    }
+
+    /// Looks a signal up by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.signals.iter().position(|s| s.name == name).map(SignalId)
+    }
+
+    /// The ids of all signals of a given kind.
+    pub fn signals_of_kind(&self, kind: SignalKind) -> Vec<SignalId> {
+        self.signals
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == kind)
+            .map(|(i, _)| SignalId(i))
+            .collect()
+    }
+
+    /// All signals the circuit must implement (outputs + internals).
+    pub fn implementable_signals(&self) -> Vec<SignalId> {
+        self.signals
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind.is_implementable())
+            .map(|(i, _)| SignalId(i))
+            .collect()
+    }
+
+    /// Collects the distinct codes of all states (the reachable universe
+    /// for two-level minimization).
+    pub fn reachable_codes(&self) -> Vec<u64> {
+        let mut codes = self.codes.clone();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+
+    /// States whose code satisfies `pred`.
+    pub fn states_where(&self, mut pred: impl FnMut(u64) -> bool) -> Vec<StateId> {
+        self.states().filter(|&s| pred(self.code(s))).collect()
+    }
+
+    /// Renders an event with its signal name (`req+`).
+    pub fn event_name(&self, e: Event) -> String {
+        e.display_with(|s| self.signals[s.0].name.clone())
+    }
+
+    /// Renders a state as `name:code` with the code shown
+    /// most-significant-signal first.
+    pub fn state_label(&self, s: StateId) -> String {
+        let code = self.code(s);
+        let bits: String =
+            (0..self.signal_count()).rev().map(|i| if code >> i & 1 == 1 { '1' } else { '0' }).collect();
+        format!("{}({})", s.0, bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> StateGraph {
+        // Two signals a (input), b (output); cycle a+ b+ a- b-.
+        let mut b = StateGraphBuilder::new(
+            "toy",
+            vec![Signal::new("a", SignalKind::Input), Signal::new("b", SignalKind::Output)],
+        )
+        .unwrap();
+        let s00 = b.add_state(0b00);
+        let s01 = b.add_state(0b01);
+        let s11 = b.add_state(0b11);
+        let s10 = b.add_state(0b10);
+        let a = SignalId(0);
+        let bb = SignalId(1);
+        b.add_arc(s00, Event::rise(a), s01);
+        b.add_arc(s01, Event::rise(bb), s11);
+        b.add_arc(s11, Event::fall(a), s10);
+        b.add_arc(s10, Event::fall(bb), s00);
+        b.build(s00).unwrap()
+    }
+
+    #[test]
+    fn basic_structure() {
+        let g = toy();
+        assert_eq!(g.state_count(), 4);
+        assert_eq!(g.signal_count(), 2);
+        assert_eq!(g.initial(), StateId(0));
+        assert!(g.enabled(StateId(0), Event::rise(SignalId(0))));
+        assert_eq!(g.fire(StateId(0), Event::rise(SignalId(0))), Some(StateId(1)));
+        assert!(g.excited(StateId(1), SignalId(1)));
+        assert!(g.stable(StateId(0), SignalId(1)));
+    }
+
+    #[test]
+    fn signal_lookup_and_kinds() {
+        let g = toy();
+        assert_eq!(g.signal_by_name("b"), Some(SignalId(1)));
+        assert_eq!(g.signal_by_name("zzz"), None);
+        assert_eq!(g.implementable_signals(), vec![SignalId(1)]);
+        assert_eq!(g.signals_of_kind(SignalKind::Input), vec![SignalId(0)]);
+    }
+
+    #[test]
+    fn codes_and_values() {
+        let g = toy();
+        // state 1 has code 0b01: a=1, b=0.
+        assert!(g.value(StateId(1), SignalId(0)));
+        assert!(!g.value(StateId(1), SignalId(1)));
+        assert_eq!(g.reachable_codes(), vec![0, 1, 2, 3]);
+        assert_eq!(g.states_where(|c| c & 1 == 1).len(), 2);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(matches!(
+            StateGraphBuilder::new(
+                "dup",
+                vec![
+                    Signal::new("x", SignalKind::Input),
+                    Signal::new("x", SignalKind::Output)
+                ]
+            ),
+            Err(BuildSgError::DuplicateSignal(_))
+        ));
+        let b = StateGraphBuilder::new("empty", vec![]).unwrap();
+        assert!(matches!(b.build(StateId(0)), Err(BuildSgError::Empty)));
+    }
+
+    #[test]
+    fn event_and_state_labels() {
+        let g = toy();
+        assert_eq!(g.event_name(Event::rise(SignalId(1))), "b+");
+        assert_eq!(g.state_label(StateId(2)), "2(11)");
+    }
+
+    #[test]
+    fn pred_mirrors_succ() {
+        let g = toy();
+        for s in g.states() {
+            for &(e, t) in g.succ(s) {
+                assert!(g.pred(t).contains(&(e, s)));
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Signals and signal transitions (events).
+
+use std::fmt;
+
+/// Index of a signal within a [`crate::StateGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub usize);
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Role of a signal in the specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Driven by the environment; the circuit may never delay it.
+    Input,
+    /// Driven by the circuit and observed by the environment.
+    Output,
+    /// Driven by the circuit, invisible to the environment (e.g. signals
+    /// inserted during decomposition or state encoding).
+    Internal,
+}
+
+impl SignalKind {
+    /// Whether the circuit must implement this signal.
+    pub fn is_implementable(self) -> bool {
+        !matches!(self, SignalKind::Input)
+    }
+}
+
+/// A named signal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signal {
+    /// Human-readable name (e.g. `"req"`).
+    pub name: String,
+    /// Input/output/internal role.
+    pub kind: SignalKind,
+}
+
+impl Signal {
+    /// Creates a signal.
+    pub fn new(name: impl Into<String>, kind: SignalKind) -> Self {
+        Signal { name: name.into(), kind }
+    }
+}
+
+/// A signal transition: `a+` (rising) or `a-` (falling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event {
+    /// The signal that toggles.
+    pub signal: SignalId,
+    /// `true` for `a+`, `false` for `a-`.
+    pub rising: bool,
+}
+
+impl Event {
+    /// Rising transition of `signal`.
+    pub fn rise(signal: SignalId) -> Self {
+        Event { signal, rising: true }
+    }
+
+    /// Falling transition of `signal`.
+    pub fn fall(signal: SignalId) -> Self {
+        Event { signal, rising: false }
+    }
+
+    /// The opposite transition of the same signal.
+    pub fn complement(self) -> Self {
+        Event { signal: self.signal, rising: !self.rising }
+    }
+
+    /// The signal value *after* this event fires.
+    pub fn post_value(self) -> bool {
+        self.rising
+    }
+
+    /// The signal value *before* this event fires.
+    pub fn pre_value(self) -> bool {
+        !self.rising
+    }
+
+    /// Renders the event using a name lookup, e.g. `req+`.
+    pub fn display_with<F: Fn(SignalId) -> String>(self, name: F) -> String {
+        format!("{}{}", name(self.signal), if self.rising { "+" } else { "-" })
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.signal, if self.rising { "+" } else { "-" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_values() {
+        let e = Event::rise(SignalId(3));
+        assert!(e.post_value());
+        assert!(!e.pre_value());
+        assert_eq!(e.complement(), Event::fall(SignalId(3)));
+        assert_eq!(e.complement().complement(), e);
+    }
+
+    #[test]
+    fn kind_implementable() {
+        assert!(!SignalKind::Input.is_implementable());
+        assert!(SignalKind::Output.is_implementable());
+        assert!(SignalKind::Internal.is_implementable());
+    }
+
+    #[test]
+    fn display() {
+        let e = Event::fall(SignalId(1));
+        assert_eq!(format!("{e}"), "s1-");
+        assert_eq!(e.display_with(|_| "ack".to_string()), "ack-");
+    }
+}

@@ -1,0 +1,160 @@
+//! Dense bit-set over state ids.
+
+use crate::graph::StateId;
+
+/// A set of [`StateId`]s backed by a bit vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct StateSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl StateSet {
+    /// Empty set sized for `n` states.
+    pub fn new(n: usize) -> Self {
+        StateSet { bits: vec![0; n.div_ceil(64)], len: n }
+    }
+
+    /// Set containing the given states.
+    pub fn from_states<I: IntoIterator<Item = StateId>>(n: usize, states: I) -> Self {
+        let mut set = StateSet::new(n);
+        for s in states {
+            set.insert(s);
+        }
+        set
+    }
+
+    /// Capacity (number of addressable states).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts a state; returns whether it was newly inserted.
+    pub fn insert(&mut self, s: StateId) -> bool {
+        let (w, b) = (s.0 / 64, s.0 % 64);
+        let present = self.bits[w] >> b & 1 == 1;
+        self.bits[w] |= 1 << b;
+        !present
+    }
+
+    /// Removes a state; returns whether it was present.
+    pub fn remove(&mut self, s: StateId) -> bool {
+        let (w, b) = (s.0 / 64, s.0 % 64);
+        let present = self.bits[w] >> b & 1 == 1;
+        self.bits[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: StateId) -> bool {
+        let (w, b) = (s.0 / 64, s.0 % 64);
+        self.bits.get(w).map(|word| word >> b & 1 == 1).unwrap_or(false)
+    }
+
+    /// Number of states in the set.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64).filter_map(move |b| {
+                if word >> b & 1 == 1 {
+                    Some(StateId(w * 64 + b))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &StateSet) {
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &StateSet) {
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &StateSet) {
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// Whether the two sets share a member.
+    pub fn intersects(&self, other: &StateSet) -> bool {
+        self.bits.iter().zip(&other.bits).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &StateSet) -> bool {
+        self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
+    }
+}
+
+impl FromIterator<StateId> for StateSet {
+    /// Collects states, growing capacity to the largest id seen.
+    fn from_iter<T: IntoIterator<Item = StateId>>(iter: T) -> Self {
+        let states: Vec<StateId> = iter.into_iter().collect();
+        let n = states.iter().map(|s| s.0 + 1).max().unwrap_or(0);
+        StateSet::from_states(n, states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = StateSet::new(130);
+        assert!(set.insert(StateId(0)));
+        assert!(set.insert(StateId(129)));
+        assert!(!set.insert(StateId(0)));
+        assert!(set.contains(StateId(129)));
+        assert!(!set.contains(StateId(1)));
+        assert_eq!(set.count(), 2);
+        assert!(set.remove(StateId(0)));
+        assert!(!set.remove(StateId(0)));
+        assert_eq!(set.count(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = StateSet::from_states(10, [StateId(1), StateId(2), StateId(3)]);
+        let b = StateSet::from_states(10, [StateId(3), StateId(4)]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 4);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![StateId(1), StateId(2)]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![StateId(3)]);
+        assert!(a.intersects(&b));
+        assert!(i.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let set = StateSet::from_states(100, [StateId(99), StateId(5), StateId(64)]);
+        let ids: Vec<usize> = set.iter().map(|s| s.0).collect();
+        assert_eq!(ids, vec![5, 64, 99]);
+    }
+}

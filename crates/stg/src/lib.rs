@@ -1,0 +1,35 @@
+//! # simap-stg
+//!
+//! Signal Transition Graphs (STGs): Petri nets labeled with signal
+//! transitions, the `.g` textual format used by the asynchronous-circuit
+//! benchmark suites, token-game reachability into
+//! [`simap_sg::StateGraph`]s, parametric specification generators, and the
+//! reconstructed 32-circuit benchmark set of the paper's Table 1.
+//!
+//! ```
+//! let stg = simap_stg::parse_g(
+//!     ".model ring\n.inputs a\n.outputs b\n.graph\n\
+//!      a+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n",
+//! )?;
+//! let sg = simap_stg::elaborate(&stg)?;
+//! assert_eq!(sg.state_count(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod benchmarks;
+pub mod parse;
+pub mod patterns;
+pub mod petri;
+pub mod reach;
+pub mod write;
+
+pub use analysis::{analyze, StgAnalysis};
+pub use benchmarks::{all_benchmarks, benchmark, benchmark_names, Benchmark};
+pub use parse::{parse_g, ParseStgError};
+pub use petri::{Place, PlaceId, Stg, StgError, Transition, TransitionId};
+pub use reach::{elaborate, elaborate_with, ReachConfig, ReachError};
+pub use write::write_g;

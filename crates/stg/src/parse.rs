@@ -1,0 +1,365 @@
+//! Parser for the `astg` / SIS `.g` textual STG format.
+//!
+//! Supported directives: `.model`/`.name`, `.inputs`, `.outputs`,
+//! `.internal`, `.graph`, `.marking { ... }`, `.capacity` (ignored),
+//! `.end`. Comments start with `#`. Transition tokens look like `a+`,
+//! `b-`, `a+/2`; every other token inside `.graph` is an explicit place.
+
+use crate::petri::{Stg, TransitionId};
+use simap_sg::{Event, Signal, SignalKind};
+use std::fmt;
+
+/// A `.g` parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStgError {
+    /// Line where the problem was found (0 when global).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseStgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseStgError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseStgError {
+    ParseStgError { line, message: message.into() }
+}
+
+/// Parses `.g` source text into an [`Stg`].
+///
+/// # Errors
+/// Returns [`ParseStgError`] on malformed input: unknown directives inside
+/// the graph, transitions of undeclared signals, markings of unknown
+/// places, or missing sections.
+pub fn parse_g(source: &str) -> Result<Stg, ParseStgError> {
+    let mut name = String::from("unnamed");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut internal: Vec<String> = Vec::new();
+    let mut graph_lines: Vec<(usize, String)> = Vec::new();
+    let mut marking_text: Option<(usize, String)> = None;
+    let mut in_graph = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".model").or_else(|| line.strip_prefix(".name")) {
+            name = rest.trim().to_string();
+            in_graph = false;
+        } else if let Some(rest) = line.strip_prefix(".inputs") {
+            inputs.extend(rest.split_whitespace().map(String::from));
+            in_graph = false;
+        } else if let Some(rest) = line.strip_prefix(".outputs") {
+            outputs.extend(rest.split_whitespace().map(String::from));
+            in_graph = false;
+        } else if let Some(rest) = line.strip_prefix(".internal") {
+            internal.extend(rest.split_whitespace().map(String::from));
+            in_graph = false;
+        } else if line.starts_with(".dummy") {
+            return Err(err(lineno, "dummy transitions are not supported"));
+        } else if line.starts_with(".graph") {
+            in_graph = true;
+        } else if let Some(rest) = line.strip_prefix(".marking") {
+            marking_text = Some((lineno, rest.trim().to_string()));
+            in_graph = false;
+        } else if line.starts_with(".capacity") {
+            // Capacities are ignored: reachability enforces its own bound.
+        } else if line.starts_with(".end") {
+            break;
+        } else if line.starts_with('.') {
+            return Err(err(lineno, format!("unknown directive `{line}`")));
+        } else if in_graph {
+            graph_lines.push((lineno, line.to_string()));
+        } else {
+            return Err(err(lineno, format!("unexpected line outside .graph: `{line}`")));
+        }
+    }
+
+    let mut signals: Vec<Signal> = Vec::new();
+    for (names, kind) in [
+        (&inputs, SignalKind::Input),
+        (&outputs, SignalKind::Output),
+        (&internal, SignalKind::Internal),
+    ] {
+        for n in names {
+            if signals.iter().any(|s| &s.name == n) {
+                return Err(err(0, format!("signal `{n}` declared twice")));
+            }
+            signals.push(Signal::new(n.clone(), kind));
+        }
+    }
+    if signals.is_empty() {
+        return Err(err(0, "no signals declared"));
+    }
+
+    let mut stg = Stg::new(name, signals);
+
+    // Node parsing helpers.
+    #[derive(Clone, Copy)]
+    enum Node {
+        Transition(TransitionId),
+        Place(crate::petri::PlaceId),
+    }
+    let node_of = |stg: &mut Stg, token: &str, lineno: usize| -> Result<Node, ParseStgError> {
+        if let Some((event, instance)) = parse_transition_token(stg, token) {
+            return Ok(Node::Transition(stg.add_transition(event, instance)));
+        }
+        if token.contains('+') || token.contains('-') || token.contains('/') {
+            return Err(err(lineno, format!("`{token}` is not a transition of a declared signal")));
+        }
+        let p = match stg.place_by_name(token) {
+            Some(p) => p,
+            None => stg.add_place(token, 0),
+        };
+        Ok(Node::Place(p))
+    };
+
+    for (lineno, line) in &graph_lines {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() < 2 {
+            return Err(err(*lineno, "graph line needs a source and at least one target"));
+        }
+        let src = node_of(&mut stg, tokens[0], *lineno)?;
+        for tok in &tokens[1..] {
+            let dst = node_of(&mut stg, tok, *lineno)?;
+            match (src, dst) {
+                (Node::Transition(a), Node::Transition(b)) => {
+                    stg.connect(a, b);
+                }
+                (Node::Transition(a), Node::Place(p)) => stg.add_arc_tp(a, p),
+                (Node::Place(p), Node::Transition(b)) => stg.add_arc_pt(p, b),
+                (Node::Place(_), Node::Place(_)) => {
+                    return Err(err(*lineno, "place-to-place arcs are not allowed"));
+                }
+            }
+        }
+    }
+
+    if let Some((lineno, text)) = marking_text {
+        parse_marking(&mut stg, &text, lineno)?;
+    }
+
+    Ok(stg)
+}
+
+/// Parses a transition token like `a+`, `b-`, `c+/3` against the declared
+/// signals of `stg`. Returns `None` when the token is not a transition.
+fn parse_transition_token(stg: &Stg, token: &str) -> Option<(Event, u32)> {
+    let (base, instance) = match token.split_once('/') {
+        Some((b, i)) => (b, i.parse::<u32>().ok()?),
+        None => (token, 1),
+    };
+    let (name, rising) = if let Some(n) = base.strip_suffix('+') {
+        (n, true)
+    } else if let Some(n) = base.strip_suffix('-') {
+        (n, false)
+    } else {
+        return None;
+    };
+    let sig = stg.signal_by_name(name)?;
+    Some((if rising { Event::rise(sig) } else { Event::fall(sig) }, instance))
+}
+
+fn parse_marking(stg: &mut Stg, text: &str, lineno: usize) -> Result<(), ParseStgError> {
+    let inner = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| err(lineno, "marking must be wrapped in { }"))?;
+    // Tokenize: implicit places `<a+,b+>` may not contain spaces in our
+    // dialect; entries are whitespace-separated, optionally `=k` suffixed.
+    for entry in inner.split_whitespace() {
+        let (place_txt, tokens) = match entry.split_once('=') {
+            Some((p, k)) => {
+                let k: u8 =
+                    k.parse().map_err(|_| err(lineno, format!("bad token count `{k}`")))?;
+                (p, k)
+            }
+            None => (entry, 1),
+        };
+        if let Some(pair) = place_txt.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
+            let (t1_txt, t2_txt) = pair
+                .split_once(',')
+                .ok_or_else(|| err(lineno, format!("bad implicit place `{place_txt}`")))?;
+            let t1 = parse_transition_token(stg, t1_txt)
+                .and_then(|(e, i)| stg.transition(e, i))
+                .ok_or_else(|| err(lineno, format!("unknown transition `{t1_txt}` in marking")))?;
+            let t2 = parse_transition_token(stg, t2_txt)
+                .and_then(|(e, i)| stg.transition(e, i))
+                .ok_or_else(|| err(lineno, format!("unknown transition `{t2_txt}` in marking")))?;
+            let p = stg
+                .implicit_place(t1, t2)
+                .ok_or_else(|| err(lineno, format!("no implicit place `{place_txt}`")))?;
+            stg.set_marking(p, tokens);
+        } else {
+            let p = stg
+                .place_by_name(place_txt)
+                .ok_or_else(|| err(lineno, format!("unknown place `{place_txt}`")))?;
+            stg.set_marking(p, tokens);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RING: &str = "\
+# simplest handshake
+.model ring
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+
+    #[test]
+    fn parses_ring() {
+        let stg = parse_g(RING).unwrap();
+        assert_eq!(stg.name(), "ring");
+        assert_eq!(stg.signals().len(), 2);
+        assert_eq!(stg.transitions().len(), 4);
+        assert_eq!(stg.places().len(), 4);
+        assert_eq!(stg.initial_marking().iter().sum::<u8>(), 1);
+    }
+
+    #[test]
+    fn parses_explicit_places_and_instances() {
+        let src = "\
+.model two
+.inputs a
+.outputs b
+.graph
+p0 a+
+a+ b+
+b+ a-/1
+a-/1 b-
+b- p0
+a+ p1
+p1 b+
+.marking { p0 }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        assert!(stg.place_by_name("p0").is_some());
+        assert!(stg.place_by_name("p1").is_some());
+        let p0 = stg.place_by_name("p0").unwrap();
+        assert_eq!(stg.initial_marking()[p0.0], 1);
+    }
+
+    #[test]
+    fn rejects_unknown_signal() {
+        let src = ".model x\n.inputs a\n.graph\na+ zz+\n.marking { <zz+,a+> }\n.end\n";
+        let e = parse_g(src).unwrap_err();
+        assert!(e.message.contains("zz+"), "{e}");
+    }
+
+    #[test]
+    fn rejects_place_to_place() {
+        let src = ".model x\n.inputs a\n.graph\np q\n.marking { p }\n.end\n";
+        assert!(parse_g(src).is_err());
+    }
+
+    #[test]
+    fn rejects_dummy() {
+        let src = ".model x\n.inputs a\n.dummy e\n.graph\na+ a-\n.marking { }\n.end\n";
+        assert!(parse_g(src).is_err());
+    }
+
+    #[test]
+    fn marking_with_counts() {
+        let src = "\
+.model counts
+.inputs a
+.graph
+p a+
+a+ p2
+p2 a-
+a- p
+.marking { p=2 }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let p = stg.place_by_name("p").unwrap();
+        assert_eq!(stg.initial_marking()[p.0], 2);
+    }
+
+    #[test]
+    fn default_model_name_and_split_declarations() {
+        let src = "\
+.inputs a
+.inputs b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        assert_eq!(stg.name(), "unnamed");
+        assert_eq!(stg.signals().len(), 3);
+        assert_eq!(stg.initial_marking().iter().filter(|&&t| t > 0).count(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_signal_declaration() {
+        let src = ".inputs a\n.outputs a\n.graph\na+ a-\na- a+\n.marking { <a-,a+> }\n.end\n";
+        let e = parse_g(src).unwrap_err();
+        assert!(e.message.contains("declared twice"), "{e}");
+    }
+
+    #[test]
+    fn rejects_graph_line_with_one_token() {
+        let src = ".inputs a\n.graph\na+\n.marking { }\n.end\n";
+        assert!(parse_g(src).is_err());
+    }
+
+    #[test]
+    fn rejects_marking_of_unknown_place() {
+        let src = ".inputs a\n.graph\na+ a-\na- a+\n.marking { nowhere }\n.end\n";
+        let e = parse_g(src).unwrap_err();
+        assert!(e.message.contains("unknown place"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let src = "\
+# leading comment
+
+.model c   # trailing
+.inputs a
+.outputs b
+.graph
+a+ b+   # arc
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+        assert!(parse_g(src).is_ok());
+    }
+}

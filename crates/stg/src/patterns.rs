@@ -1,0 +1,360 @@
+//! Parametric STG generators: the structural building blocks the named
+//! benchmark suite is assembled from (and the scaling-sweep workloads).
+//!
+//! Every generator produces a consistent, speed-independent, CSC-correct
+//! specification (asserted by the test-suite through full elaboration and
+//! property checking).
+
+use crate::petri::{Stg, TransitionId};
+use simap_sg::{Event, Signal, SignalId, SignalKind};
+
+/// A sequencer ring: `s0+ ; s1+ ; … ; s(k-1)+ ; s0- ; … ; s(k-1)-`.
+///
+/// Signal kinds alternate Input/Output starting with Input unless `kinds`
+/// overrides them.
+pub fn sequencer(k: usize, kinds: Option<Vec<SignalKind>>) -> Stg {
+    assert!(k >= 2, "sequencer needs at least two signals");
+    let kinds = kinds.unwrap_or_else(|| {
+        (0..k)
+            .map(|i| if i % 2 == 0 { SignalKind::Input } else { SignalKind::Output })
+            .collect()
+    });
+    let signals: Vec<Signal> =
+        kinds.iter().enumerate().map(|(i, &kind)| Signal::new(format!("s{i}"), kind)).collect();
+    let mut stg = Stg::new(format!("seq{k}"), signals);
+    let rises: Vec<TransitionId> =
+        (0..k).map(|i| stg.add_transition(Event::rise(SignalId(i)), 1)).collect();
+    let falls: Vec<TransitionId> =
+        (0..k).map(|i| stg.add_transition(Event::fall(SignalId(i)), 1)).collect();
+    for i in 0..k - 1 {
+        stg.connect(rises[i], rises[i + 1]);
+        stg.connect(falls[i], falls[i + 1]);
+    }
+    stg.connect(rises[k - 1], falls[0]);
+    stg.connect(falls[k - 1], rises[0]);
+    stg.mark_between(falls[k - 1], rises[0]).expect("arc exists");
+    stg
+}
+
+/// A `k`-input Muller C-element specification: output `c` rises after all
+/// inputs rise and falls after all inputs fall. The monotonous covers of
+/// `c` are the `k`-literal cubes `a0·…·a(k-1)` and `ā0·…·ā(k-1)` — the
+/// high-fanin gates of the paper's `mr0`/`vbe10b` experiments.
+pub fn celement(k: usize) -> Stg {
+    assert!((1..=16).contains(&k));
+    let mut signals: Vec<Signal> =
+        (0..k).map(|i| Signal::new(format!("a{i}"), SignalKind::Input)).collect();
+    signals.push(Signal::new("c", SignalKind::Output));
+    let c = SignalId(k);
+    let mut stg = Stg::new(format!("celem{k}"), signals);
+    let cp = stg.add_transition(Event::rise(c), 1);
+    let cm = stg.add_transition(Event::fall(c), 1);
+    for i in 0..k {
+        let ap = stg.add_transition(Event::rise(SignalId(i)), 1);
+        let am = stg.add_transition(Event::fall(SignalId(i)), 1);
+        stg.connect(ap, cp);
+        stg.connect(cp, am);
+        stg.connect(am, cm);
+        stg.connect(cm, ap);
+        stg.mark_between(cm, ap).expect("arc exists");
+    }
+    stg
+}
+
+/// A fork/join controller: one request input `r`, `m` parallel chains of
+/// `depth` output signals each, and a completion output `done` that joins
+/// the chains; mirrored for the falling phase.
+pub fn fork_join(m: usize, depth: usize) -> Stg {
+    assert!(m >= 1 && depth >= 1);
+    let mut signals = vec![Signal::new("r", SignalKind::Input)];
+    for i in 0..m {
+        for j in 0..depth {
+            signals.push(Signal::new(format!("x{i}_{j}"), SignalKind::Output));
+        }
+    }
+    signals.push(Signal::new("done", SignalKind::Output));
+    let r = SignalId(0);
+    let done = SignalId(1 + m * depth);
+    let sig = |i: usize, j: usize| SignalId(1 + i * depth + j);
+
+    let mut stg = Stg::new(format!("fj{m}x{depth}"), signals);
+    let rp = stg.add_transition(Event::rise(r), 1);
+    let rm = stg.add_transition(Event::fall(r), 1);
+    let dp = stg.add_transition(Event::rise(done), 1);
+    let dm = stg.add_transition(Event::fall(done), 1);
+    for i in 0..m {
+        let mut prev_rise = rp;
+        let mut prev_fall = rm;
+        for j in 0..depth {
+            let xr = stg.add_transition(Event::rise(sig(i, j)), 1);
+            let xf = stg.add_transition(Event::fall(sig(i, j)), 1);
+            stg.connect(prev_rise, xr);
+            stg.connect(prev_fall, xf);
+            prev_rise = xr;
+            prev_fall = xf;
+        }
+        stg.connect(prev_rise, dp);
+        stg.connect(prev_fall, dm);
+    }
+    stg.connect(dp, rm);
+    stg.connect(dm, rp);
+    stg.mark_between(dm, rp).expect("arc exists");
+    stg
+}
+
+/// A Muller pipeline control chain of `n` stages: signal `c0` is the
+/// environment's request, `c1..=cn` are stage-control outputs. Adjacent
+/// stages are coupled by the classic 4-cycle
+/// `ci+ → ci+1+ → ci− → ci+1− → ci+`, so a new token may enter a stage
+/// only after the next stage has emptied — the canonical asynchronous
+/// pipeline behaviour.
+pub fn pipeline(n: usize) -> Stg {
+    assert!(n >= 1);
+    let mut signals = vec![Signal::new("c0", SignalKind::Input)];
+    for i in 1..=n {
+        signals.push(Signal::new(format!("c{i}"), SignalKind::Output));
+    }
+    let mut stg = Stg::new(format!("pipe{n}"), signals);
+    let rise: Vec<TransitionId> =
+        (0..=n).map(|i| stg.add_transition(Event::rise(SignalId(i)), 1)).collect();
+    let fall: Vec<TransitionId> =
+        (0..=n).map(|i| stg.add_transition(Event::fall(SignalId(i)), 1)).collect();
+    for i in 0..n {
+        stg.connect(rise[i], rise[i + 1]);
+        stg.connect(rise[i + 1], fall[i]);
+        stg.connect(fall[i], fall[i + 1]);
+        stg.connect(fall[i + 1], rise[i]);
+        stg.mark_between(fall[i + 1], rise[i]).expect("arc exists");
+    }
+    stg
+}
+
+/// An input-choice dispatcher: the environment picks one of `k` request
+/// inputs `r_i`; the circuit answers with output `a_i`; four-phase return
+/// to zero. A free-choice place models the selection.
+pub fn choice(k: usize) -> Stg {
+    assert!(k >= 2);
+    let mut signals = Vec::new();
+    for i in 0..k {
+        signals.push(Signal::new(format!("r{i}"), SignalKind::Input));
+    }
+    for i in 0..k {
+        signals.push(Signal::new(format!("a{i}"), SignalKind::Output));
+    }
+    let mut stg = Stg::new(format!("choice{k}"), signals);
+    let idle = stg.add_place("idle", 1);
+    for i in 0..k {
+        let rp = stg.add_transition(Event::rise(SignalId(i)), 1);
+        let ap = stg.add_transition(Event::rise(SignalId(k + i)), 1);
+        let rm = stg.add_transition(Event::fall(SignalId(i)), 1);
+        let am = stg.add_transition(Event::fall(SignalId(k + i)), 1);
+        stg.add_arc_pt(idle, rp);
+        stg.connect(rp, ap);
+        stg.connect(ap, rm);
+        stg.connect(rm, am);
+        stg.add_arc_tp(am, idle);
+    }
+    stg
+}
+
+/// A shared-output dispatcher: like [`choice`] but every branch drives the
+/// *same* output `x` (distinct transition instances), giving `x` several
+/// excitation regions.
+pub fn shared_output_choice(k: usize) -> Stg {
+    assert!(k >= 2);
+    let mut signals = Vec::new();
+    for i in 0..k {
+        signals.push(Signal::new(format!("r{i}"), SignalKind::Input));
+    }
+    signals.push(Signal::new("x", SignalKind::Output));
+    let x = SignalId(k);
+    let mut stg = Stg::new(format!("shared{k}"), signals);
+    let idle = stg.add_place("idle", 1);
+    for i in 0..k {
+        let rp = stg.add_transition(Event::rise(SignalId(i)), 1);
+        let xp = stg.add_transition(Event::rise(x), (i + 1) as u32);
+        let rm = stg.add_transition(Event::fall(SignalId(i)), 1);
+        let xm = stg.add_transition(Event::fall(x), (i + 1) as u32);
+        stg.add_arc_pt(idle, rp);
+        stg.connect(rp, xp);
+        stg.connect(xp, rm);
+        stg.connect(rm, xm);
+        stg.add_arc_tp(xm, idle);
+    }
+    stg
+}
+
+/// Disjoint parallel composition: runs the given STGs concurrently with
+/// signals renamed `p{index}_{original}`. State space is the product.
+pub fn parallel(name: &str, parts: &[Stg]) -> Stg {
+    let mut signals = Vec::new();
+    for (idx, part) in parts.iter().enumerate() {
+        for s in part.signals() {
+            signals.push(Signal::new(format!("p{idx}_{}", s.name), s.kind));
+        }
+    }
+    let mut stg = Stg::new(name, signals);
+    let mut base = 0usize;
+    for (idx, part) in parts.iter().enumerate() {
+        // Transitions.
+        let tmap: Vec<TransitionId> = part
+            .transitions()
+            .iter()
+            .map(|t| {
+                let ev = Event { signal: SignalId(t.event.signal.0 + base), rising: t.event.rising };
+                stg.add_transition(ev, t.instance)
+            })
+            .collect();
+        // Places and arcs.
+        for (pi, place) in part.places().iter().enumerate() {
+            let pid = match place.implicit {
+                Some((from, to)) => stg.connect(tmap[from.0], tmap[to.0]),
+                None => {
+                    let np = stg.add_place(format!("p{idx}_{}", place.name), 0);
+                    for t in part.consumers(crate::petri::PlaceId(pi)) {
+                        stg.add_arc_pt(np, tmap[t.0]);
+                    }
+                    for t in part.producers(crate::petri::PlaceId(pi)) {
+                        stg.add_arc_tp(tmap[t.0], np);
+                    }
+                    np
+                }
+            };
+            stg.set_marking(pid, part.initial_marking()[pi]);
+        }
+        base += part.signals().len();
+    }
+    stg
+}
+
+/// Renames the net (handy when assembling named benchmarks).
+pub fn renamed(mut stg: Stg, name: &str) -> Stg {
+    stg = Stg::new(name, stg.signals().to_vec()).merged_from(stg);
+    stg
+}
+
+impl Stg {
+    /// Internal helper for [`renamed`]: copies structure from `other` into
+    /// an empty net with the same signals.
+    fn merged_from(mut self, other: Stg) -> Stg {
+        let tmap: Vec<TransitionId> = other
+            .transitions()
+            .iter()
+            .map(|t| self.add_transition(t.event, t.instance))
+            .collect();
+        for (pi, place) in other.places().iter().enumerate() {
+            let pid = match place.implicit {
+                Some((from, to)) => self.connect(tmap[from.0], tmap[to.0]),
+                None => {
+                    let np = self.add_place(place.name.clone(), 0);
+                    for t in other.consumers(crate::petri::PlaceId(pi)) {
+                        self.add_arc_pt(np, tmap[t.0]);
+                    }
+                    for t in other.producers(crate::petri::PlaceId(pi)) {
+                        self.add_arc_tp(tmap[t.0], np);
+                    }
+                    np
+                }
+            };
+            self.set_marking(pid, other.initial_marking()[pi]);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::elaborate;
+    use simap_sg::check_all;
+
+    fn assert_clean(stg: &Stg) {
+        let sg = elaborate(stg).unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+        let report = check_all(&sg);
+        assert!(report.is_ok(), "{}: {:?}", stg.name(), report.violations);
+    }
+
+    #[test]
+    fn sequencer_is_clean() {
+        for k in 2..=6 {
+            assert_clean(&sequencer(k, None));
+        }
+    }
+
+    #[test]
+    fn sequencer_state_count() {
+        let sg = elaborate(&sequencer(4, None)).unwrap();
+        assert_eq!(sg.state_count(), 8);
+    }
+
+    #[test]
+    fn celement_is_clean() {
+        for k in 2..=7 {
+            assert_clean(&celement(k));
+        }
+    }
+
+    #[test]
+    fn celement_state_count() {
+        // Rising-phase subsets with c=0 plus falling-phase subsets with c=1.
+        let sg = elaborate(&celement(3)).unwrap();
+        assert_eq!(sg.state_count(), 16);
+    }
+
+    #[test]
+    fn fork_join_is_clean() {
+        assert_clean(&fork_join(2, 1));
+        assert_clean(&fork_join(3, 2));
+    }
+
+    #[test]
+    fn choice_is_clean() {
+        assert_clean(&choice(2));
+        assert_clean(&choice(3));
+    }
+
+    #[test]
+    fn pipeline_is_clean() {
+        for n in 1..=5 {
+            assert_clean(&pipeline(n));
+        }
+    }
+
+    #[test]
+    fn pipeline_state_counts_grow() {
+        // The composed handshakes give strictly growing (Fibonacci-like)
+        // state counts.
+        let counts: Vec<usize> = (1..=5)
+            .map(|n| elaborate(&pipeline(n)).unwrap().state_count())
+            .collect();
+        assert_eq!(counts[0], 4);
+        for w in counts.windows(2) {
+            assert!(w[1] > w[0], "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn shared_output_choice_has_multiple_regions() {
+        let stg = shared_output_choice(2);
+        assert_clean(&stg);
+        let sg = elaborate(&stg).unwrap();
+        let x = sg.signal_by_name("x").unwrap();
+        let regs = simap_sg::regions_of(&sg, Event::rise(x));
+        assert_eq!(regs.len(), 2, "x+ should have two excitation regions");
+    }
+
+    #[test]
+    fn parallel_composition_is_clean() {
+        let combined = parallel("combo", &[sequencer(2, None), celement(2)]);
+        assert_clean(&combined);
+        let sg = elaborate(&combined).unwrap();
+        assert_eq!(sg.state_count(), 4 * 8);
+    }
+
+    #[test]
+    fn renamed_keeps_structure() {
+        let stg = renamed(celement(2), "fancy");
+        assert_eq!(stg.name(), "fancy");
+        assert_clean(&stg);
+    }
+}

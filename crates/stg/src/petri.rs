@@ -1,0 +1,327 @@
+//! Signal Transition Graphs: Petri nets whose transitions are labeled with
+//! signal transitions.
+
+use simap_sg::{Event, Signal, SignalId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a transition in an [`Stg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionId(pub usize);
+
+/// Index of a place in an [`Stg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlaceId(pub usize);
+
+/// A labeled transition: a signal event plus an instance number so the same
+/// event may occur several times in the net (`a+/2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Transition {
+    /// The signal transition this net transition is labeled with.
+    pub event: Event,
+    /// Instance number (1-based; `a+` is instance 1, `a+/2` instance 2).
+    pub instance: u32,
+}
+
+/// A place, possibly implicit (anonymous place between two transitions as
+/// produced by `t1 t2` arcs in the `.g` format).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Place {
+    /// Name (synthesized for implicit places).
+    pub name: String,
+    /// For implicit places, the transition pair they connect.
+    pub implicit: Option<(TransitionId, TransitionId)>,
+}
+
+/// A Signal Transition Graph.
+#[derive(Debug, Clone)]
+pub struct Stg {
+    name: String,
+    signals: Vec<Signal>,
+    transitions: Vec<Transition>,
+    places: Vec<Place>,
+    /// Pre-places of each transition.
+    pre: Vec<Vec<PlaceId>>,
+    /// Post-places of each transition.
+    post: Vec<Vec<PlaceId>>,
+    /// Initial token count per place.
+    marking: Vec<u8>,
+    transition_index: HashMap<(Event, u32), TransitionId>,
+}
+
+/// Errors constructing an STG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StgError {
+    /// Unknown signal name.
+    UnknownSignal(String),
+    /// Transition declared twice.
+    DuplicateTransition(String),
+    /// Referenced transition does not exist.
+    UnknownTransition(String),
+    /// Referenced place does not exist.
+    UnknownPlace(String),
+}
+
+impl fmt::Display for StgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgError::UnknownSignal(s) => write!(f, "unknown signal `{s}`"),
+            StgError::DuplicateTransition(s) => write!(f, "duplicate transition `{s}`"),
+            StgError::UnknownTransition(s) => write!(f, "unknown transition `{s}`"),
+            StgError::UnknownPlace(s) => write!(f, "unknown place `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for StgError {}
+
+impl Stg {
+    /// Creates an empty net over the given signals.
+    pub fn new(name: impl Into<String>, signals: Vec<Signal>) -> Self {
+        Stg {
+            name: name.into(),
+            signals,
+            transitions: Vec::new(),
+            places: Vec::new(),
+            pre: Vec::new(),
+            post: Vec::new(),
+            marking: Vec::new(),
+            transition_index: HashMap::new(),
+        }
+    }
+
+    /// Net name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared signals.
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// Transitions of the net.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Places of the net.
+    pub fn places(&self) -> &[Place] {
+        &self.places
+    }
+
+    /// Initial marking (token count per place).
+    pub fn initial_marking(&self) -> &[u8] {
+        &self.marking
+    }
+
+    /// Pre-places of a transition.
+    pub fn pre(&self, t: TransitionId) -> &[PlaceId] {
+        &self.pre[t.0]
+    }
+
+    /// Post-places of a transition.
+    pub fn post(&self, t: TransitionId) -> &[PlaceId] {
+        &self.post[t.0]
+    }
+
+    /// Looks up a signal id by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.signals.iter().position(|s| s.name == name).map(SignalId)
+    }
+
+    /// Adds (or returns) the transition for `event` instance `instance`.
+    pub fn add_transition(&mut self, event: Event, instance: u32) -> TransitionId {
+        if let Some(&t) = self.transition_index.get(&(event, instance)) {
+            return t;
+        }
+        let id = TransitionId(self.transitions.len());
+        self.transitions.push(Transition { event, instance });
+        self.pre.push(Vec::new());
+        self.post.push(Vec::new());
+        self.transition_index.insert((event, instance), id);
+        id
+    }
+
+    /// Finds an existing transition.
+    pub fn transition(&self, event: Event, instance: u32) -> Option<TransitionId> {
+        self.transition_index.get(&(event, instance)).copied()
+    }
+
+    /// Adds a named place with `tokens` initial tokens.
+    pub fn add_place(&mut self, name: impl Into<String>, tokens: u8) -> PlaceId {
+        let id = PlaceId(self.places.len());
+        self.places.push(Place { name: name.into(), implicit: None });
+        self.marking.push(tokens);
+        id
+    }
+
+    /// Looks up a place by name.
+    pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
+        self.places.iter().position(|p| p.name == name).map(PlaceId)
+    }
+
+    /// Adds an arc place → transition.
+    pub fn add_arc_pt(&mut self, p: PlaceId, t: TransitionId) {
+        if !self.pre[t.0].contains(&p) {
+            self.pre[t.0].push(p);
+        }
+    }
+
+    /// Adds an arc transition → place.
+    pub fn add_arc_tp(&mut self, t: TransitionId, p: PlaceId) {
+        if !self.post[t.0].contains(&p) {
+            self.post[t.0].push(p);
+        }
+    }
+
+    /// Adds (or reuses) the implicit place between two transitions and
+    /// connects it, returning its id.
+    pub fn connect(&mut self, from: TransitionId, to: TransitionId) -> PlaceId {
+        if let Some(pid) = self.implicit_place(from, to) {
+            return pid;
+        }
+        let id = PlaceId(self.places.len());
+        self.places.push(Place {
+            name: format!("<{},{}>", self.transition_label(from), self.transition_label(to)),
+            implicit: Some((from, to)),
+        });
+        self.marking.push(0);
+        self.post[from.0].push(id);
+        self.pre[to.0].push(id);
+        id
+    }
+
+    /// The implicit place between two transitions, if present.
+    pub fn implicit_place(&self, from: TransitionId, to: TransitionId) -> Option<PlaceId> {
+        self.places
+            .iter()
+            .position(|p| p.implicit == Some((from, to)))
+            .map(PlaceId)
+    }
+
+    /// Sets the token count of a place.
+    pub fn set_marking(&mut self, p: PlaceId, tokens: u8) {
+        self.marking[p.0] = tokens;
+    }
+
+    /// Marks the implicit place between two transitions with one token.
+    ///
+    /// # Errors
+    /// Fails with [`StgError::UnknownPlace`] when no such implicit place
+    /// exists.
+    pub fn mark_between(&mut self, from: TransitionId, to: TransitionId) -> Result<(), StgError> {
+        match self.implicit_place(from, to) {
+            Some(p) => {
+                self.marking[p.0] = 1;
+                Ok(())
+            }
+            None => Err(StgError::UnknownPlace(format!(
+                "<{},{}>",
+                self.transition_label(from),
+                self.transition_label(to)
+            ))),
+        }
+    }
+
+    /// Human-readable label of a transition (`a+`, `b-/2`).
+    pub fn transition_label(&self, t: TransitionId) -> String {
+        let tr = &self.transitions[t.0];
+        let base = tr.event.display_with(|s| self.signals[s.0].name.clone());
+        if tr.instance > 1 {
+            format!("{base}/{}", tr.instance)
+        } else {
+            base
+        }
+    }
+
+    /// Transitions consuming from a place.
+    pub fn consumers(&self, p: PlaceId) -> Vec<TransitionId> {
+        (0..self.transitions.len())
+            .map(TransitionId)
+            .filter(|t| self.pre[t.0].contains(&p))
+            .collect()
+    }
+
+    /// Transitions producing into a place.
+    pub fn producers(&self, p: PlaceId) -> Vec<TransitionId> {
+        (0..self.transitions.len())
+            .map(TransitionId)
+            .filter(|t| self.post[t.0].contains(&p))
+            .collect()
+    }
+
+    /// A place is a *choice* place when several transitions consume from it.
+    pub fn is_choice_place(&self, p: PlaceId) -> bool {
+        self.consumers(p).len() > 1
+    }
+
+    /// Whether the net is a marked graph (no choice, no merge places).
+    pub fn is_marked_graph(&self) -> bool {
+        (0..self.places.len()).map(PlaceId).all(|p| {
+            self.consumers(p).len() <= 1 && self.producers(p).len() <= 1
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simap_sg::SignalKind;
+
+    fn two_sig() -> Vec<Signal> {
+        vec![Signal::new("a", SignalKind::Input), Signal::new("b", SignalKind::Output)]
+    }
+
+    #[test]
+    fn build_simple_ring() {
+        let mut stg = Stg::new("ring", two_sig());
+        let a = SignalId(0);
+        let b = SignalId(1);
+        let ap = stg.add_transition(Event::rise(a), 1);
+        let bp = stg.add_transition(Event::rise(b), 1);
+        let am = stg.add_transition(Event::fall(a), 1);
+        let bm = stg.add_transition(Event::fall(b), 1);
+        stg.connect(ap, bp);
+        stg.connect(bp, am);
+        stg.connect(am, bm);
+        stg.connect(bm, ap);
+        stg.mark_between(bm, ap).unwrap();
+        assert_eq!(stg.transitions().len(), 4);
+        assert_eq!(stg.places().len(), 4);
+        assert_eq!(stg.initial_marking().iter().sum::<u8>(), 1);
+        assert!(stg.is_marked_graph());
+    }
+
+    #[test]
+    fn transitions_are_shared() {
+        let mut stg = Stg::new("t", two_sig());
+        let t1 = stg.add_transition(Event::rise(SignalId(0)), 1);
+        let t2 = stg.add_transition(Event::rise(SignalId(0)), 1);
+        assert_eq!(t1, t2);
+        let t3 = stg.add_transition(Event::rise(SignalId(0)), 2);
+        assert_ne!(t1, t3);
+        assert_eq!(stg.transition_label(t3), "a+/2");
+    }
+
+    #[test]
+    fn explicit_places_and_choice() {
+        let mut stg = Stg::new("choice", two_sig());
+        let p = stg.add_place("p0", 1);
+        let t1 = stg.add_transition(Event::rise(SignalId(0)), 1);
+        let t2 = stg.add_transition(Event::rise(SignalId(1)), 1);
+        stg.add_arc_pt(p, t1);
+        stg.add_arc_pt(p, t2);
+        assert!(stg.is_choice_place(p));
+        assert!(!stg.is_marked_graph());
+        assert_eq!(stg.place_by_name("p0"), Some(p));
+    }
+
+    #[test]
+    fn mark_between_unknown_fails() {
+        let mut stg = Stg::new("x", two_sig());
+        let t1 = stg.add_transition(Event::rise(SignalId(0)), 1);
+        let t2 = stg.add_transition(Event::fall(SignalId(0)), 1);
+        assert!(stg.mark_between(t1, t2).is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Token-game reachability: elaborates an [`Stg`] into a
+//! [`simap_sg::StateGraph`], inferring initial signal values from
+//! consistency.
+
+use crate::petri::{Stg, TransitionId};
+use simap_sg::{check_consistency, StateGraph, StateGraphBuilder, StateId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Limits for reachability exploration.
+#[derive(Debug, Clone)]
+pub struct ReachConfig {
+    /// Maximum number of reachable markings explored.
+    pub max_states: usize,
+    /// Maximum tokens allowed in a place (boundedness guard).
+    pub max_tokens: u8,
+}
+
+impl Default for ReachConfig {
+    fn default() -> Self {
+        ReachConfig { max_states: 500_000, max_tokens: 7 }
+    }
+}
+
+/// Errors during elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReachError {
+    /// A place exceeded the token bound: the net looks unbounded.
+    Unbounded {
+        /// Name of the offending place.
+        place: String,
+    },
+    /// The exploration limit was hit.
+    TooManyStates {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The STG is not consistent: some signal does not alternate.
+    Inconsistent {
+        /// Description of the first offending arc.
+        detail: String,
+    },
+    /// The underlying state-graph builder failed (e.g. > 64 signals).
+    Build(String),
+}
+
+impl fmt::Display for ReachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReachError::Unbounded { place } => write!(f, "place `{place}` exceeds token bound"),
+            ReachError::TooManyStates { limit } => write!(f, "more than {limit} reachable markings"),
+            ReachError::Inconsistent { detail } => write!(f, "inconsistent STG: {detail}"),
+            ReachError::Build(msg) => write!(f, "state graph construction failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReachError {}
+
+/// Elaborates the STG into its reachability state graph with default
+/// limits.
+///
+/// # Errors
+/// See [`ReachError`].
+pub fn elaborate(stg: &Stg) -> Result<StateGraph, ReachError> {
+    elaborate_with(stg, &ReachConfig::default())
+}
+
+/// Elaborates the STG with explicit limits.
+///
+/// Signal values are inferred from consistency: the first reachable
+/// marking (in BFS order) that enables a transition of signal `s` fixes
+/// the initial value of `s` to the transition's pre-value; values are then
+/// propagated along the BFS tree and the full labeling is re-checked with
+/// [`simap_sg::check_consistency`].
+///
+/// # Errors
+/// See [`ReachError`].
+pub fn elaborate_with(stg: &Stg, config: &ReachConfig) -> Result<StateGraph, ReachError> {
+    let n_transitions = stg.transitions().len();
+    let initial: Vec<u8> = stg.initial_marking().to_vec();
+
+    let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut markings: Vec<Vec<u8>> = Vec::new();
+    let mut edges: Vec<(usize, TransitionId, usize)> = Vec::new();
+    let mut parent: Vec<Option<(usize, TransitionId)>> = Vec::new();
+
+    index.insert(initial.clone(), 0);
+    markings.push(initial);
+    parent.push(None);
+
+    let mut head = 0;
+    while head < markings.len() {
+        let m = markings[head].clone();
+        for t in 0..n_transitions {
+            let t = TransitionId(t);
+            if !enabled(stg, &m, t) {
+                continue;
+            }
+            let mut next = m.clone();
+            for p in stg.pre(t) {
+                next[p.0] -= 1;
+            }
+            for p in stg.post(t) {
+                next[p.0] += 1;
+                if next[p.0] > config.max_tokens {
+                    return Err(ReachError::Unbounded { place: stg.places()[p.0].name.clone() });
+                }
+            }
+            let dst = match index.get(&next) {
+                Some(&i) => i,
+                None => {
+                    let i = markings.len();
+                    if i >= config.max_states {
+                        return Err(ReachError::TooManyStates { limit: config.max_states });
+                    }
+                    index.insert(next.clone(), i);
+                    markings.push(next);
+                    parent.push(Some((head, t)));
+                    i
+                }
+            };
+            edges.push((head, t, dst));
+        }
+        head += 1;
+    }
+
+    // Infer initial signal values: first BFS marking enabling each signal.
+    let nsignals = stg.signals().len();
+    let mut initial_value = vec![false; nsignals];
+    let mut fixed = vec![false; nsignals];
+    let enabled_signals_of = |m: &Vec<u8>| -> Vec<(usize, bool)> {
+        (0..n_transitions)
+            .map(TransitionId)
+            .filter(|&t| enabled(stg, m, t))
+            .map(|t| {
+                let ev = stg.transitions()[t.0].event;
+                (ev.signal.0, ev.pre_value())
+            })
+            .collect()
+    };
+    for m in &markings {
+        if fixed.iter().all(|&f| f) {
+            break;
+        }
+        for (sig, pre) in enabled_signals_of(m) {
+            if !fixed[sig] {
+                // Propagate back to the initial marking: along the BFS tree
+                // path no transition of `sig` fired (it would have been
+                // enabled at an earlier marking), so the value is unchanged.
+                let mut value = pre;
+                let mut at = index[m];
+                while let Some((p, t)) = parent[at] {
+                    if stg.transitions()[t.0].event.signal.0 == sig {
+                        value = !value; // defensive; cannot happen per the invariant
+                    }
+                    at = p;
+                }
+                initial_value[sig] = value;
+                fixed[sig] = true;
+            }
+        }
+    }
+
+    // Codes along the BFS tree.
+    let mut codes: Vec<u64> = vec![0; markings.len()];
+    let mut init_code = 0u64;
+    for (i, &v) in initial_value.iter().enumerate() {
+        if v {
+            init_code |= 1 << i;
+        }
+    }
+    for i in 0..markings.len() {
+        codes[i] = match parent[i] {
+            None => init_code,
+            Some((p, t)) => codes[p] ^ (1u64 << stg.transitions()[t.0].event.signal.0),
+        };
+    }
+
+    let mut builder = StateGraphBuilder::new(stg.name(), stg.signals().to_vec())
+        .map_err(|e| ReachError::Build(e.to_string()))?;
+    for &code in &codes {
+        builder.add_state(code);
+    }
+    for (src, t, dst) in edges {
+        builder.add_arc(StateId(src), stg.transitions()[t.0].event, StateId(dst));
+    }
+    let sg = builder.build(StateId(0)).map_err(|e| ReachError::Build(e.to_string()))?;
+
+    let violations = check_consistency(&sg);
+    if let Some(v) = violations.first() {
+        return Err(ReachError::Inconsistent { detail: v.to_string() });
+    }
+    Ok(sg)
+}
+
+fn enabled(stg: &Stg, marking: &[u8], t: TransitionId) -> bool {
+    stg.pre(t).iter().all(|p| marking[p.0] > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_g;
+    use simap_sg::check_all;
+
+    const RING: &str = "\
+.model ring
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+
+    #[test]
+    fn ring_elaborates_to_four_states() {
+        let stg = parse_g(RING).unwrap();
+        let sg = elaborate(&stg).unwrap();
+        assert_eq!(sg.state_count(), 4);
+        assert!(check_all(&sg).is_ok());
+        // Initial: a+ enabled => a=0; b not yet enabled... b first enabled
+        // after a+ with pre-value 0, so initial code is 00.
+        assert_eq!(sg.code(sg.initial()), 0);
+    }
+
+    #[test]
+    fn concurrent_fork_join() {
+        let src = "\
+.model fj
+.inputs a
+.outputs b c d
+.graph
+a+ b+ c+
+b+ d+
+c+ d+
+d+ a-
+a- b- c-
+b- d-
+c- d-
+d- a+
+.marking { <d-,a+> }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let sg = elaborate(&stg).unwrap();
+        // Concurrency diamond on both phases: 10 reachable markings.
+        assert_eq!(sg.state_count(), 10);
+        let report = check_all(&sg);
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn initial_values_inferred() {
+        // Start mid-cycle: marking after a+: b+ is enabled first; a starts 1.
+        let src = "\
+.model mid
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <a+,b+> }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let sg = elaborate(&stg).unwrap();
+        let a = sg.signal_by_name("a").unwrap();
+        let b = sg.signal_by_name("b").unwrap();
+        assert!(sg.value(sg.initial(), a));
+        assert!(!sg.value(sg.initial(), b));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // A transition that only produces tokens.
+        let src = "\
+.model unb
+.inputs a
+.graph
+p a+
+a+ p q
+q a-
+a- p
+.marking { p }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let err = elaborate_with(&stg, &ReachConfig { max_states: 10_000, max_tokens: 3 })
+            .unwrap_err();
+        assert!(matches!(err, ReachError::Unbounded { .. } | ReachError::TooManyStates { .. }));
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let stg = parse_g(RING).unwrap();
+        let err = elaborate_with(&stg, &ReachConfig { max_states: 2, max_tokens: 1 }).unwrap_err();
+        assert!(matches!(err, ReachError::TooManyStates { limit: 2 }));
+    }
+
+    #[test]
+    fn inconsistent_stg_rejected() {
+        // a+ twice in a row without a-.
+        let src = "\
+.model bad
+.inputs a
+.graph
+a+ a+/2
+a+/2 a-
+a- a+
+.marking { <a-,a+> }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let err = elaborate(&stg).unwrap_err();
+        assert!(matches!(err, ReachError::Inconsistent { .. }));
+    }
+}

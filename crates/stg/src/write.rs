@@ -1,0 +1,136 @@
+//! Writer for the `.g` textual STG format (inverse of [`crate::parse`]).
+
+use crate::petri::{PlaceId, Stg, TransitionId};
+use simap_sg::SignalKind;
+use std::fmt::Write as _;
+
+/// Serializes an [`Stg`] to `.g` source text. The output round-trips
+/// through [`crate::parse::parse_g`].
+pub fn write_g(stg: &Stg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", stg.name());
+    for (kind, directive) in [
+        (SignalKind::Input, ".inputs"),
+        (SignalKind::Output, ".outputs"),
+        (SignalKind::Internal, ".internal"),
+    ] {
+        let names: Vec<&str> = stg
+            .signals()
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.name.as_str())
+            .collect();
+        if !names.is_empty() {
+            let _ = writeln!(out, "{directive} {}", names.join(" "));
+        }
+    }
+    let _ = writeln!(out, ".graph");
+
+    // Transition -> transition arcs through implicit places; grouped per
+    // source transition.
+    for t in 0..stg.transitions().len() {
+        let t = TransitionId(t);
+        let mut targets: Vec<String> = Vec::new();
+        for &p in stg.post(t) {
+            match stg.places()[p.0].implicit {
+                Some((_, to)) => targets.push(stg.transition_label(to)),
+                None => targets.push(stg.places()[p.0].name.clone()),
+            }
+        }
+        if !targets.is_empty() {
+            let _ = writeln!(out, "{} {}", stg.transition_label(t), targets.join(" "));
+        }
+    }
+    // Explicit place -> transition arcs.
+    for p in 0..stg.places().len() {
+        let pid = PlaceId(p);
+        if stg.places()[p].implicit.is_some() {
+            continue;
+        }
+        let consumers = stg.consumers(pid);
+        if !consumers.is_empty() {
+            let labels: Vec<String> =
+                consumers.iter().map(|&t| stg.transition_label(t)).collect();
+            let _ = writeln!(out, "{} {}", stg.places()[p].name, labels.join(" "));
+        }
+    }
+
+    // Marking.
+    let mut entries: Vec<String> = Vec::new();
+    for (p, &tokens) in stg.initial_marking().iter().enumerate() {
+        if tokens == 0 {
+            continue;
+        }
+        let place = &stg.places()[p];
+        let name = match place.implicit {
+            Some((from, to)) => {
+                format!("<{},{}>", stg.transition_label(from), stg.transition_label(to))
+            }
+            None => place.name.clone(),
+        };
+        if tokens == 1 {
+            entries.push(name);
+        } else {
+            entries.push(format!("{name}={tokens}"));
+        }
+    }
+    let _ = writeln!(out, ".marking {{ {} }}", entries.join(" "));
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_g;
+
+    const RING: &str = "\
+.model ring
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+
+    #[test]
+    fn roundtrip_ring() {
+        let stg = parse_g(RING).unwrap();
+        let text = write_g(&stg);
+        let again = parse_g(&text).unwrap();
+        assert_eq!(again.name(), "ring");
+        assert_eq!(again.transitions().len(), stg.transitions().len());
+        assert_eq!(again.places().len(), stg.places().len());
+        assert_eq!(
+            again.initial_marking().iter().sum::<u8>(),
+            stg.initial_marking().iter().sum::<u8>()
+        );
+    }
+
+    #[test]
+    fn roundtrip_with_explicit_places() {
+        let src = "\
+.model ep
+.inputs a
+.outputs b
+.graph
+p0 a+
+a+ b+
+b+ a-
+a- b-
+b- p0
+.marking { p0 }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let text = write_g(&stg);
+        let again = parse_g(&text).unwrap();
+        assert!(again.place_by_name("p0").is_some());
+        let p0 = again.place_by_name("p0").unwrap();
+        assert_eq!(again.initial_marking()[p0.0], 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: map a benchmark specification onto a 2-input gate library
+//! while preserving speed-independence, then print the resulting netlist.
+//!
+//! Run with: `cargo run --release --example quickstart [benchmark] [limit]`
+
+use simap::core::{build_circuit, run_flow, FlowConfig};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "hazard".to_string());
+    let limit: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(2);
+
+    // 1. Load the specification (a Signal Transition Graph).
+    let stg = simap::stg::benchmark(&name)
+        .ok_or_else(|| format!("unknown benchmark `{name}`; see `simap::stg::benchmark_names()`"))?;
+
+    // 2. Elaborate into a State Graph and sanity-check the §2.1 properties.
+    let sg = simap::stg::elaborate(&stg)?;
+    let report = simap::sg::check_all(&sg);
+    println!(
+        "{name}: {} signals, {} states, speed-independent: {}, CSC: {}",
+        sg.signal_count(),
+        sg.state_count(),
+        report.is_speed_independent(),
+        report.has_csc()
+    );
+
+    // 3. Run the full technology-mapping flow.
+    let flow = run_flow(&sg, &FlowConfig::with_limit(limit))?;
+    match flow.inserted {
+        Some(n) => println!("implementable with {limit}-literal gates after inserting {n} signal(s)"),
+        None => println!("not implementable with {limit}-literal gates (n.i.)"),
+    }
+    for step in &flow.outcome.steps {
+        println!("  inserted {} = {} (targeting {})", step.signal, step.divisor, step.target);
+    }
+
+    // 4. Print the final standard-C netlist and the cost accounting.
+    println!("\nfinal netlist:");
+    print!("{}", build_circuit(&flow.outcome.sg, &flow.outcome.mc).render());
+    println!(
+        "\ncost: SI {} vs non-SI baseline {} (literals/C-elements); verified SI: {:?}",
+        flow.si_cost, flow.non_si_cost, flow.verified
+    );
+    Ok(())
+}

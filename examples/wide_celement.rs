@@ -1,0 +1,46 @@
+//! The paper's motivating workload: wide C-element joins (the `mr0` /
+//! `vbe10b` family). Sweeps the join width `k`, decomposes each
+//! specification into 2-input gates and reports how the insertion count
+//! and cost scale — the "global acknowledgment decomposes 6–7 literal
+//! gates" claim of §4.
+//!
+//! Run with: `cargo run --release --example wide_celement [max_k]`
+
+use simap::core::{decompose, si_cost, DecomposeConfig};
+use simap::stg::{elaborate, patterns};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let max_k: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(6);
+
+    println!(
+        "{:>3} | {:>7} | {:>9} | {:>9} | {:>10} | {:>9}",
+        "k", "states", "max gate", "inserted", "final max", "SI cost"
+    );
+    println!("{}", "-".repeat(62));
+
+    for k in 2..=max_k {
+        let stg = patterns::celement(k);
+        let sg = elaborate(&stg)?;
+        let before = simap::core::synthesize_mc(&sg)?;
+        let t = std::time::Instant::now();
+        let result = decompose(&sg, &DecomposeConfig::with_limit(2))?;
+        let cost = si_cost(&result.mc, 2);
+        println!(
+            "{:>3} | {:>7} | {:>9} | {:>9} | {:>10} | {:>9}  [{:.1?}]",
+            k,
+            sg.state_count(),
+            before.max_complexity(),
+            result.inserted.len(),
+            result.mc.max_complexity(),
+            cost.to_string(),
+            t.elapsed()
+        );
+        assert!(result.implementable, "C-element joins are 2-input implementable");
+    }
+
+    println!("\nEach k-literal cover decomposes into a C-element tree: the inserted");
+    println!("signals are acknowledged globally (by the covers of other signals),");
+    println!("which is exactly what local-acknowledgment methods cannot do (§4).");
+    Ok(())
+}

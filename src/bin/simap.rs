@@ -1,0 +1,135 @@
+//! `simap` — command-line front-end to the speed-independent technology
+//! mapper.
+//!
+//! ```text
+//! simap check <spec.g>                 verify the specification's properties
+//! simap map   <spec.g> [options]      run the full mapping flow
+//! simap bench list                     list the embedded Table 1 circuits
+//!
+//! map options:
+//!   -l, --limit <n>      literal limit (default 2)
+//!       --csc-repair     repair CSC violations by state-signal insertion
+//!       --no-verify      skip the final speed-independence verification
+//!       --verilog <f>    write the mapped netlist as structural Verilog
+//!       --dot <f>        write the final state graph as Graphviz dot
+//!       --bench <name>   use an embedded benchmark instead of a file
+//! ```
+
+use simap::core::{build_circuit, dossier, run_flow, FlowConfig};
+use simap::netlist::to_verilog;
+use simap::sg::DotOptions;
+use std::error::Error;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("map") => map(&args[1..]),
+        Some("bench") => bench(&args[1..]),
+        _ => {
+            eprintln!("usage: simap <check|map|bench> ...   (see --help in the README)");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn load(args: &[String]) -> Result<simap::sg::StateGraph, Box<dyn Error>> {
+    // `--bench <name>` takes precedence; otherwise the first non-flag
+    // argument is a `.g` file path.
+    if let Some(pos) = args.iter().position(|a| a == "--bench") {
+        let name = args.get(pos + 1).ok_or("--bench needs a name")?;
+        let stg = simap::stg::benchmark(name)
+            .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+        return Ok(simap::stg::elaborate(&stg)?);
+    }
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.starts_with('-'))
+        .ok_or("no specification given (pass a .g file or --bench <name>)")?;
+    let text = std::fs::read_to_string(path)?;
+    let stg = simap::stg::parse_g(&text)?;
+    Ok(simap::stg::elaborate(&stg)?)
+}
+
+fn check(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let sg = load(args)?;
+    let report = simap::sg::check_all(&sg);
+    println!(
+        "{}: {} signals, {} states",
+        sg.name(),
+        sg.signal_count(),
+        sg.state_count()
+    );
+    println!("  speed-independent: {}", report.is_speed_independent());
+    println!("  complete state coding: {}", report.has_csc());
+    for v in report.violations.iter().take(10) {
+        println!("  violation: {v}");
+    }
+    Ok(if report.is_ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|p| args.get(p + 1)).map(String::as_str)
+}
+
+fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let sg = load(args)?;
+    let limit: usize = flag_value(args, "--limit")
+        .or_else(|| flag_value(args, "-l"))
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(2);
+    let mut config = FlowConfig::with_limit(limit);
+    config.repair_csc = args.iter().any(|a| a == "--csc-repair");
+    config.verify = !args.iter().any(|a| a == "--no-verify");
+
+    let report = run_flow(&sg, &config)?;
+    print!("{}", dossier(&report));
+
+    let circuit = build_circuit(&report.outcome.sg, &report.outcome.mc);
+    if let Some(path) = flag_value(args, "--verilog") {
+        let module = report.name.clone();
+        std::fs::write(path, to_verilog(&circuit, &report.outcome.sg, &module))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--dot") {
+        std::fs::write(
+            path,
+            simap::sg::to_dot(&report.outcome.sg, &DotOptions { show_codes: true, ..Default::default() }),
+        )?;
+        println!("wrote {path}");
+    }
+    Ok(if report.inserted.is_some() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn bench(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for name in simap::stg::benchmark_names() {
+                let stg = simap::stg::benchmark(name).expect("known");
+                let sg = simap::stg::elaborate(&stg)?;
+                println!(
+                    "{name:15} {:2} signals {:5} states",
+                    sg.signal_count(),
+                    sg.state_count()
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => {
+            eprintln!("usage: simap bench list");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # simap — Speed-Independent circuit technology MAPping
+//!
+//! A production-quality reproduction of *"Technology Mapping of
+//! Speed-Independent Circuits Based on Combinational Decomposition and
+//! Resynthesis"* (Cortadella, Kishinevsky, Kondratyev, Lavagno, Yakovlev —
+//! DATE 1997): multi-level logic synthesis for asynchronous
+//! speed-independent circuits targeting bounded-fanin standard-cell
+//! libraries.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`boolean`] — cube/SOP engine: minimization, algebraic division,
+//!   kernels, factoring ([`simap_boolean`]);
+//! * [`sg`] — state graphs, §2.1 property checks, §2.2 regions
+//!   ([`simap_sg`]);
+//! * [`stg`] — signal transition graphs, the `.g` format, reachability,
+//!   generators and the 32-benchmark suite ([`simap_stg`]);
+//! * [`netlist`] — standard-C circuits, cost model, the non-SI baseline
+//!   and the semi-modularity verifier ([`simap_netlist`]);
+//! * [`core`] — monotonous covers, SIP event insertion, progress analysis
+//!   and the decomposition loop ([`simap_core`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use simap::core::{run_flow, FlowConfig};
+//!
+//! // Load a benchmark STG, elaborate it and map it onto 2-input gates.
+//! let stg = simap::stg::benchmark("hazard").ok_or("unknown benchmark")?;
+//! let sg = simap::stg::elaborate(&stg)?;
+//! let report = run_flow(&sg, &FlowConfig::with_limit(2))?;
+//! assert!(report.inserted.is_some(), "hazard is 2-input implementable");
+//! assert_eq!(report.verified, Some(true), "and provably speed-independent");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use simap_boolean as boolean;
+pub use simap_core as core;
+pub use simap_netlist as netlist;
+pub use simap_sg as sg;
+pub use simap_stg as stg;

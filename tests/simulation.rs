@@ -1,0 +1,60 @@
+//! Monte-Carlo simulation campaigns over decomposed circuits: the
+//! randomized complement to the exhaustive verifier, exercised on the
+//! larger benchmarks where full exploration is the expensive path.
+
+use simap::core::{build_circuit, decompose, DecomposeConfig};
+use simap::netlist::{simulate, SimConfig};
+
+fn decomposed(name: &str) -> (simap::sg::StateGraph, simap::netlist::Circuit) {
+    let stg = simap::stg::benchmark(name).expect("known benchmark");
+    let sg = simap::stg::elaborate(&stg).expect("elaborates");
+    let result = decompose(&sg, &DecomposeConfig::with_limit(2)).expect("CSC holds");
+    assert!(result.implementable, "{name} must be 2-input implementable");
+    let circuit = build_circuit(&result.sg, &result.mc);
+    (result.sg, circuit)
+}
+
+#[test]
+fn decomposed_mr1_survives_long_walks() {
+    let (sg, circuit) = decomposed("mr1");
+    let stats = simulate(&circuit, &sg, &SimConfig { runs: 16, steps: 20_000, seed: 11 })
+        .expect("no hazard on any walk");
+    assert!(stats.transitions >= 100_000);
+}
+
+#[test]
+fn decomposed_vbe10b_survives_long_walks() {
+    let (sg, circuit) = decomposed("vbe10b");
+    let stats = simulate(&circuit, &sg, &SimConfig { runs: 8, steps: 20_000, seed: 23 })
+        .expect("no hazard on any walk");
+    assert!(stats.transitions >= 100_000);
+}
+
+#[test]
+fn simulation_and_verifier_agree_on_mutants() {
+    // For a batch of mutated dff circuits, the randomized campaign and the
+    // exhaustive verifier must reach the same verdict (the composed space
+    // is tiny, so walks cover it).
+    use simap::core::{synthesize_mc, SignalBody};
+    use simap::netlist::{verify_speed_independence, VerifyConfig};
+
+    let stg = simap::stg::benchmark("dff").expect("known");
+    let sg = simap::stg::elaborate(&stg).expect("elaborates");
+    let mc = synthesize_mc(&sg).expect("CSC holds");
+
+    for flip_set in [false, true] {
+        let mut mutant = simap::core::McImpl { signals: mc.signals.clone() };
+        if flip_set {
+            if let SignalBody::StandardC { set, reset } = &mut mutant.signals[0].body {
+                std::mem::swap(set, reset);
+            }
+        }
+        let circuit = build_circuit(&sg, &mutant);
+        let exhaustive = verify_speed_independence(&circuit, &sg, &VerifyConfig::default()).is_ok();
+        let random = simulate(&circuit, &sg, &SimConfig { runs: 64, steps: 5_000, seed: 5 }).is_ok();
+        assert_eq!(
+            exhaustive, random,
+            "verifier and simulator disagree (flip_set = {flip_set})"
+        );
+    }
+}
