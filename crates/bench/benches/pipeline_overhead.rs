@@ -1,0 +1,54 @@
+//! Overhead of the staged `Synthesis` pipeline over the classic one-shot
+//! `run_flow` entry point, on three Table 1 circuits. The pipeline is a
+//! reorganization of the same flow — staged artifacts are moved, not
+//! recomputed — so the two columns must coincide up to noise.
+
+#![allow(deprecated)] // run_flow is the deprecated baseline under test
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simap_bench::benchmark_sg;
+use simap_bench::reexports::{run_flow, FlowConfig, Synthesis};
+
+const CIRCUITS: [&str; 3] = ["hazard", "dff", "chu150"];
+
+fn bench_one_shot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow/one_shot_run_flow");
+    group.sample_size(10);
+    for name in CIRCUITS {
+        let sg = benchmark_sg(name);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_flow(std::hint::black_box(&sg), &FlowConfig::with_limit(2)).expect("flow")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_staged(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow/staged_pipeline");
+    group.sample_size(10);
+    for name in CIRCUITS {
+        let sg = benchmark_sg(name);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                Synthesis::from_state_graph(std::hint::black_box(&sg).clone())
+                    .literal_limit(2)
+                    .elaborate()
+                    .expect("elaborates")
+                    .covers()
+                    .expect("CSC holds")
+                    .decompose()
+                    .expect("decomposes")
+                    .map()
+                    .verify()
+                    .expect("speed-independent")
+                    .into_report()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_shot, bench_staged);
+criterion_main!(benches);

@@ -28,9 +28,7 @@ fn bench_minimize(c: &mut Criterion) {
     let on: Vec<u64> = (0..1024u64).filter(|v| v.count_ones() % 3 == 0).collect();
     let off: Vec<u64> = (0..1024u64).filter(|v| v.count_ones() % 3 == 1).collect();
     let problem = MinimizeProblem::new(10, on, off).expect("disjoint");
-    c.bench_function("minimize/10var", |b| {
-        b.iter(|| std::hint::black_box(&problem).minimize())
-    });
+    c.bench_function("minimize/10var", |b| b.iter(|| std::hint::black_box(&problem).minimize()));
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -46,9 +44,7 @@ fn bench_kernels(c: &mut Criterion) {
         cube(&[0, 7]),
         cube(&[1, 7]),
     ]);
-    c.bench_function("kernels/9cube", |b| {
-        b.iter(|| kernels(std::hint::black_box(&cover)))
-    });
+    c.bench_function("kernels/9cube", |b| b.iter(|| kernels(std::hint::black_box(&cover))));
 }
 
 fn bench_verify(c: &mut Criterion) {
@@ -57,12 +53,8 @@ fn bench_verify(c: &mut Criterion) {
     let circuit = build_circuit(&sg, &mc);
     c.bench_function("si_verify/chu150", |b| {
         b.iter(|| {
-            verify_speed_independence(
-                std::hint::black_box(&circuit),
-                &sg,
-                &VerifyConfig::default(),
-            )
-            .expect("SI")
+            verify_speed_independence(std::hint::black_box(&circuit), &sg, &VerifyConfig::default())
+                .expect("SI")
         })
     });
 }

@@ -3,8 +3,8 @@
 //! the `table1` binary; this bench tracks the runtime of its core loop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use simap_bench::reexports::{run_flow, FlowConfig};
 use simap_bench::benchmark_sg;
+use simap_bench::reexports::Synthesis;
 
 fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_flow");
@@ -13,9 +13,11 @@ fn bench_table1(c: &mut Criterion) {
         let sg = benchmark_sg(name);
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut config = FlowConfig::with_limit(2);
-                config.verify = false;
-                run_flow(std::hint::black_box(&sg), &config).expect("flow")
+                Synthesis::from_state_graph(std::hint::black_box(&sg).clone())
+                    .literal_limit(2)
+                    .verify(false)
+                    .run()
+                    .expect("flow")
             })
         });
     }

@@ -10,18 +10,13 @@
 //!   the split circuit happens to verify speed-independent.
 
 use simap_bench::benchmark_sg;
-use simap_core::{
-    build_decomposed_circuit, decompose, synthesize_mc, AckMode, DecomposeConfig,
-};
+use simap_core::{build_decomposed_circuit, decompose, synthesize_mc, AckMode, DecomposeConfig};
 use simap_netlist::{verify_speed_independence, VerifyConfig};
 use simap_stg::benchmark_names;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    println!(
-        "{:15} | {:>12} | {:>12} | {:>12}",
-        "circuit", "global", "local", "siegel"
-    );
+    println!("{:15} | {:>12} | {:>12} | {:>12}", "circuit", "global", "local", "siegel");
     println!("{}", "-".repeat(62));
     let mut ok = [0usize; 3];
     let mut rows = 0usize;
@@ -42,12 +37,8 @@ fn main() {
         let siegel = synthesize_mc(&sg)
             .map(|mc| {
                 let circuit = build_decomposed_circuit(&sg, &mc, 2);
-                verify_speed_independence(
-                    &circuit,
-                    &sg,
-                    &VerifyConfig { max_states: 1_500_000 },
-                )
-                .is_ok()
+                verify_speed_independence(&circuit, &sg, &VerifyConfig { max_states: 1_500_000 })
+                    .is_ok()
             })
             .unwrap_or(false);
         ok[0] += usize::from(gi);

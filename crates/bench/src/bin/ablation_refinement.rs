@@ -11,8 +11,7 @@ use simap_bench::benchmark_sg;
 use simap_core::{decompose, DecomposeConfig};
 
 fn main() {
-    let names =
-        ["hazard", "mmu", "mr1", "sbuf-send-ctl", "trimos-send", "tsend-bm", "vbe10b"];
+    let names = ["hazard", "mmu", "mr1", "sbuf-send-ctl", "trimos-send", "tsend-bm", "vbe10b"];
     println!("{:15} | {:>22} | {:>22}", "circuit", "with refinement", "algebraic only");
     println!("{}", "-".repeat(66));
     let mut with_ok = 0;

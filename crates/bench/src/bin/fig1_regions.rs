@@ -5,19 +5,16 @@
 //! rejected (the paper's "illegal diamond intersection" case).
 
 use simap_bench::benchmark_sg;
-use simap_core::{compute_insertion, insert_function, synthesize_mc};
 use simap_boolean::{generate_divisors, DivisorConfig};
+use simap_core::{compute_insertion, insert_function, synthesize_mc};
 use simap_sg::{diamonds, regions_of, Event};
 
 fn main() {
     let sg = benchmark_sg("hazard");
     println!("== hazard state graph ({} states) ==", sg.state_count());
     for s in sg.states() {
-        let succ: Vec<String> = sg
-            .succ(s)
-            .iter()
-            .map(|&(e, t)| format!("{}->{}", sg.event_name(e), t.0))
-            .collect();
+        let succ: Vec<String> =
+            sg.succ(s).iter().map(|&(e, t)| format!("{}->{}", sg.event_name(e), t.0)).collect();
         println!("  {:8} {}", sg.state_label(s), succ.join(" "));
     }
 

@@ -3,8 +3,8 @@
 //! of ER(x) are split, with exit events delayed until x fires.
 
 use simap_bench::benchmark_sg;
-use simap_core::{compute_insertion, insert_signal};
 use simap_boolean::{Cover, Cube, Literal};
+use simap_core::{compute_insertion, insert_signal};
 use simap_sg::SignalKind;
 
 fn main() {

@@ -21,8 +21,11 @@ fn main() {
     for s in &result.mc.signals {
         let show = |cover: &simap_boolean::Cover, label: String| {
             let supp: Vec<&str> = cover.support().iter().map(|&v| names[v].as_str()).collect();
-            println!("  {label:18} = {}   support: {{{}}}",
-                cover.display_with(|v| names[v].clone()), supp.join(","));
+            println!(
+                "  {label:18} = {}   support: {{{}}}",
+                cover.display_with(|v| names[v].clone()),
+                supp.join(",")
+            );
         };
         match &s.body {
             SignalBody::Combinational { cover, .. } => {

@@ -2,7 +2,7 @@
 //! before and after decomposition into 2-input gates.
 
 use simap_bench::{benchmark_sg, summarize_flow};
-use simap_core::{build_circuit, run_flow, synthesize_mc, FlowConfig};
+use simap_core::{build_circuit, synthesize_mc, Synthesis};
 
 fn main() {
     let sg = benchmark_sg("hazard");
@@ -10,8 +10,15 @@ fn main() {
     println!("== before decomposition (Fig. 5a) ==");
     print!("{}", build_circuit(&sg, &mc).render());
 
-    let report = run_flow(&sg, &FlowConfig::with_limit(2)).expect("flow");
+    let verified = Synthesis::from_state_graph(sg)
+        .literal_limit(2)
+        .elaborate()
+        .and_then(|e| e.covers())
+        .and_then(|c| c.decompose())
+        .map(|d| d.map())
+        .and_then(|m| m.verify())
+        .expect("flow");
     println!("\n== after decomposition into 2-input gates (Fig. 5b) ==");
-    print!("{}", build_circuit(&report.outcome.sg, &report.outcome.mc).render());
-    println!("\n{}", summarize_flow(&report));
+    print!("{}", verified.circuit().render());
+    println!("\n{}", summarize_flow(verified.report()));
 }

@@ -6,7 +6,7 @@
 //! tool").
 
 use simap_bench::{benchmark_sg, summarize_flow};
-use simap_core::{build_circuit, run_flow, synthesize_mc, FlowConfig};
+use simap_core::{build_circuit, synthesize_mc, Synthesis};
 use simap_netlist::VerifyConfig;
 
 fn main() {
@@ -15,16 +15,22 @@ fn main() {
     println!("== before decomposition (max gate = {} literals) ==", mc.max_complexity());
     print!("{}", build_circuit(&sg, &mc).render());
 
-    let mut config = FlowConfig::with_limit(2);
-    config.verify_config = VerifyConfig { max_states: 3_000_000 };
-    let report = run_flow(&sg, &config).expect("flow");
+    let mapped = Synthesis::from_state_graph(sg)
+        .literal_limit(2)
+        .verify_config(VerifyConfig { max_states: 3_000_000 })
+        .elaborate()
+        .and_then(|e| e.covers())
+        .and_then(|c| c.decompose())
+        .expect("flow")
+        .map();
     println!(
         "\n== after decomposition into 2-literal gates (max gate = {} literals) ==",
-        report.outcome.mc.max_complexity()
+        mapped.mc().max_complexity()
     );
-    print!("{}", build_circuit(&report.outcome.sg, &report.outcome.mc).render());
-    println!("\n{}", summarize_flow(&report));
-    for step in &report.outcome.steps {
+    print!("{}", mapped.circuit().render());
+    let verified = mapped.verify().expect("speed-independent");
+    println!("\n{}", summarize_flow(verified.report()));
+    for step in &verified.report().outcome.steps {
         println!("  step: {} = {} (targeting {})", step.signal, step.divisor, step.target);
     }
 }

@@ -27,7 +27,16 @@ fn main() {
 
     println!(
         "{:15} | {:>6} | {:17} | {:>4} {:>4} {:>4} | {:>9} | {:>8} | {:>8} | {:>8}",
-        "circuit", "states", "gates n=2..7", "i=2", "i=3", "i=4", "siegel-2in", "non-SI", "SI", "verified"
+        "circuit",
+        "states",
+        "gates n=2..7",
+        "i=2",
+        "i=3",
+        "i=4",
+        "siegel-2in",
+        "non-SI",
+        "SI",
+        "verified"
     );
     println!("{}", "-".repeat(110));
 
@@ -85,7 +94,8 @@ fn main() {
         totals_non_si.1,
         totals_si.0,
         totals_si.1,
-        (totals_si.0 + 3 * totals_si.1) as f64 / (totals_non_si.0 + 3 * totals_non_si.1).max(1) as f64,
+        (totals_si.0 + 3 * totals_si.1) as f64
+            / (totals_non_si.0 + 3 * totals_non_si.1).max(1) as f64,
         implemented,
     );
 }

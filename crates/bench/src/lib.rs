@@ -7,9 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use simap_core::{
-    build_decomposed_circuit, run_flow, synthesize_mc, FlowConfig, FlowReport,
-};
+use simap_core::{build_decomposed_circuit, synthesize_mc, FlowReport, Synthesis};
 use simap_netlist::verify_speed_independence;
 use simap_netlist::{Cost, VerifyConfig};
 use simap_sg::StateGraph;
@@ -59,10 +57,12 @@ pub fn table1_row(name: &str, verify: bool) -> Table1Row {
     let sg = benchmark_sg(name);
 
     let flow_at = |limit: usize, verify: bool| -> FlowReport {
-        let mut config = FlowConfig::with_limit(limit);
-        config.verify = verify;
-        config.verify_config = VerifyConfig { max_states: 1_500_000 };
-        run_flow(&sg, &config).unwrap_or_else(|e| panic!("{name}@{limit}: {e}"))
+        Synthesis::from_state_graph(sg.clone())
+            .literal_limit(limit)
+            .verify(verify)
+            .verify_config(VerifyConfig { max_states: 1_500_000 })
+            .run()
+            .unwrap_or_else(|e| panic!("{name}@{limit}: {e}"))
     };
 
     let at2 = flow_at(2, verify);
@@ -146,9 +146,11 @@ pub fn summarize_flow(report: &FlowReport) -> String {
 
 /// Re-exports used by the benches so they only depend on this crate.
 pub mod reexports {
+    #[allow(deprecated)] // the run_flow shim stays benchmarkable against the pipeline
+    pub use simap_core::run_flow;
     pub use simap_core::{
-        build_circuit, decompose, non_si_cost, run_flow, si_cost, synthesize_mc, AckMode,
-        DecomposeConfig, FlowConfig,
+        build_circuit, decompose, non_si_cost, si_cost, synthesize_mc, AckMode, Batch,
+        DecomposeConfig, FlowConfig, Synthesis,
     };
     pub use simap_sg::check_all;
     pub use simap_stg::{all_benchmarks, benchmark, elaborate, patterns};

@@ -401,10 +401,8 @@ mod tests {
     #[test]
     fn cover_roundtrip() {
         let mut bdd = Bdd::new();
-        let cover = Cover::from_cubes([
-            cube(&[(0, true), (1, true)]),
-            cube(&[(2, false), (3, true)]),
-        ]);
+        let cover =
+            Cover::from_cubes([cube(&[(0, true), (1, true)]), cube(&[(2, false), (3, true)])]);
         let r = bdd.from_cover(&cover);
         for code in 0..16u64 {
             assert_eq!(bdd.eval(r, code), cover.eval(code), "code {code:04b}");

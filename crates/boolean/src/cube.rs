@@ -121,7 +121,8 @@ impl Cube {
     #[must_use]
     pub fn with_literal(self, lit: Literal) -> Option<Self> {
         let bit = 1u64 << lit.var;
-        let (pos, neg) = if lit.phase { (self.pos | bit, self.neg) } else { (self.pos, self.neg | bit) };
+        let (pos, neg) =
+            if lit.phase { (self.pos | bit, self.neg) } else { (self.pos, self.neg | bit) };
         Cube::from_masks(pos, neg)
     }
 

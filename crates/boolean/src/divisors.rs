@@ -6,6 +6,7 @@
 //! * AND-decompositions: any subset of the literals of a single cube;
 //! * recursive decomposition of the candidates (sub-kernels,
 //!   AND/OR-decompositions of kernels);
+//!
 //! heuristically pruned to avoid an explosion of candidates.
 
 use crate::cover::Cover;
@@ -27,7 +28,12 @@ pub struct DivisorConfig {
 
 impl Default for DivisorConfig {
     fn default() -> Self {
-        DivisorConfig { max_candidates: 64, max_or_subset: 3, max_and_subset: 3, recursion_depth: 1 }
+        DivisorConfig {
+            max_candidates: 64,
+            max_or_subset: 3,
+            max_and_subset: 3,
+            recursion_depth: 1,
+        }
     }
 }
 
@@ -157,7 +163,13 @@ fn is_trivial(candidate: &Cover, original: &Cover) -> bool {
 fn subsets(n: usize, size: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(size);
-    fn rec(n: usize, size: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        n: usize,
+        size: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == size {
             out.push(current.clone());
             return;
@@ -199,8 +211,14 @@ mod tests {
             Cover::from_cube(cube(&[(0, true), (2, true)])),
             Cover::from_cube(cube(&[(3, true), (4, true), (5, true)])),
             Cover::from_cubes([cube(&[(0, true), (1, true)]), cube(&[(0, true), (2, true)])]),
-            Cover::from_cubes([cube(&[(0, true), (1, true)]), cube(&[(3, true), (4, true), (5, true)])]),
-            Cover::from_cubes([cube(&[(0, true), (2, true)]), cube(&[(3, true), (4, true), (5, true)])]),
+            Cover::from_cubes([
+                cube(&[(0, true), (1, true)]),
+                cube(&[(3, true), (4, true), (5, true)]),
+            ]),
+            Cover::from_cubes([
+                cube(&[(0, true), (2, true)]),
+                cube(&[(3, true), (4, true), (5, true)]),
+            ]),
             // AND-decompositions of def
             Cover::from_cube(cube(&[(3, true), (4, true)])),
             Cover::from_cube(cube(&[(3, true), (5, true)])),

@@ -116,9 +116,8 @@ pub fn good_factor(cover: &Cover) -> Factored {
         if div.quotient.is_zero() {
             continue;
         }
-        let new_cost = k.kernel.literal_count()
-            + div.quotient.literal_count()
-            + div.remainder.literal_count();
+        let new_cost =
+            k.kernel.literal_count() + div.quotient.literal_count() + div.remainder.literal_count();
         let old_cost = cover.literal_count();
         if new_cost < old_cost {
             let saving = old_cost - new_cost;
@@ -260,9 +259,7 @@ mod tests {
         let g = Cover::literal(Literal::pos(0));
         assert_eq!(two_input_decomposition_cost(&g), 1);
         // 6-literal cube: 5 AND2 gates, cost 10.
-        let h = Cover::from_cube(
-            Cube::from_literals((0..6).map(Literal::pos)).unwrap(),
-        );
+        let h = Cover::from_cube(Cube::from_literals((0..6).map(Literal::pos)).unwrap());
         assert_eq!(two_input_decomposition_cost(&h), 10);
     }
 
@@ -274,10 +271,7 @@ mod tests {
 
     #[test]
     fn display() {
-        let f = Cover::from_cubes([
-            cube(&[(0, true), (1, true)]),
-            cube(&[(0, true), (2, false)]),
-        ]);
+        let f = Cover::from_cubes([cube(&[(0, true), (1, true)]), cube(&[(0, true), (2, false)])]);
         let t = good_factor(&f);
         let names = ["a", "b", "c"];
         let s = t.display_with(&|v| names[v].to_string());

@@ -55,8 +55,11 @@ fn kernel_rec(cover: &Cover, min_index: usize, cokernel_so_far: &Cube, out: &mut
         }
         // Make cube-free by stripping the largest common cube.
         let common = quotient.common_cube();
-        let cube_free =
-            if common.is_top() { quotient.clone() } else { divide_by_cube(&quotient, &common).quotient };
+        let cube_free = if common.is_top() {
+            quotient.clone()
+        } else {
+            divide_by_cube(&quotient, &common).quotient
+        };
         // Skip if the common cube contains a literal with smaller index:
         // this kernel was (or will be) produced from that branch.
         let full_co = lit_cube
@@ -91,9 +94,7 @@ fn dedupe(kernels: &mut Vec<Kernel>) {
 pub fn level0_kernels(cover: &Cover) -> Vec<Kernel> {
     kernels(cover)
         .into_iter()
-        .filter(|k| {
-            kernels(&k.kernel).iter().all(|inner| inner.kernel == k.kernel)
-        })
+        .filter(|k| kernels(&k.kernel).iter().all(|inner| inner.kernel == k.kernel))
         .collect()
 }
 

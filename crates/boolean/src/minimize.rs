@@ -205,7 +205,9 @@ impl MinimizeProblem {
                 .on
                 .iter()
                 .copied()
-                .filter(|&m| c.eval(m) && !cubes.iter().enumerate().any(|(j, d)| j != i && d.eval(m)))
+                .filter(|&m| {
+                    c.eval(m) && !cubes.iter().enumerate().any(|(j, d)| j != i && d.eval(m))
+                })
                 .collect();
             if exclusive.is_empty() {
                 // Redundant cube; keep as-is (irredundant pass will drop it).

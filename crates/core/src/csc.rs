@@ -115,10 +115,8 @@ pub fn repair_csc(
         let mut best: Option<(usize, StateGraph)> = None;
         let name = format!("csc{}", inserted.len());
         for block in candidate_blocks(&sg) {
-            let separated = conflicts
-                .iter()
-                .filter(|c| block.contains(c.a) != block.contains(c.b))
-                .count();
+            let separated =
+                conflicts.iter().filter(|c| block.contains(c.a) != block.contains(c.b)).count();
             if separated == 0 {
                 continue;
             }
@@ -127,9 +125,10 @@ pub fn repair_csc(
                 continue;
             };
             let report = simap_sg::check_all(&candidate);
-            let serious = report.violations.iter().any(|v| {
-                !matches!(v, PropertyViolation::CscConflict { .. })
-            });
+            let serious = report
+                .violations
+                .iter()
+                .any(|v| !matches!(v, PropertyViolation::CscConflict { .. }));
             if serious {
                 continue;
             }
@@ -147,9 +146,7 @@ pub fn repair_csc(
                 sg = candidate;
                 inserted.push(name);
             }
-            None => {
-                return Err(CscRepairError::NoLegalInsertion { remaining: conflicts.len() })
-            }
+            None => return Err(CscRepairError::NoLegalInsertion { remaining: conflicts.len() }),
         }
     }
 }
@@ -170,10 +167,8 @@ fn candidate_blocks(sg: &StateGraph) -> Vec<StateSet> {
     }
     let mut blocks = Vec::new();
     for &e1 in &events {
-        let start: Vec<StateId> = regions_of(sg, e1)
-            .into_iter()
-            .flat_map(|r| r.sr.iter().collect::<Vec<_>>())
-            .collect();
+        let start: Vec<StateId> =
+            regions_of(sg, e1).into_iter().flat_map(|r| r.sr.iter().collect::<Vec<_>>()).collect();
         for &e2 in &events {
             if e1 == e2 {
                 continue;
@@ -195,10 +190,8 @@ fn candidate_blocks(sg: &StateGraph) -> Vec<StateSet> {
                     }
                 }
             }
-            if !block.is_empty() && block.count() < n {
-                if !blocks.contains(&block) {
-                    blocks.push(block);
-                }
+            if !block.is_empty() && block.count() < n && !blocks.contains(&block) {
+                blocks.push(block);
             }
         }
     }
@@ -256,7 +249,9 @@ mod tests {
     fn repaired_spec_flows_to_gates() {
         let sg = conflicted();
         let (fixed, _) = repair_csc(&sg, &CscRepairConfig::default()).expect("repairable");
-        let report = crate::flow::run_flow(&fixed, &crate::flow::FlowConfig::with_limit(2))
+        let report = crate::pipeline::Synthesis::from_state_graph(fixed)
+            .literal_limit(2)
+            .run()
             .expect("flow succeeds");
         assert!(report.inserted.is_some());
         assert_eq!(report.verified, Some(true));

@@ -17,6 +17,7 @@
 
 use crate::insertion::{compute_insertion, insert_signal, Insertion};
 use crate::mc::{synthesize_mc, synthesize_signal, McError, McImpl, SignalBody, SignalImpl};
+use crate::observer::{FlowObserver, NullObserver};
 use crate::progress::estimate_progress;
 use simap_boolean::{generate_divisors, Cover, DivisorConfig};
 use simap_sg::{check_all, SignalId, SignalKind, StateGraph};
@@ -126,6 +127,20 @@ pub fn excess(mc: &McImpl, limit: usize) -> usize {
 /// cannot be decomposed to the limit is reported via
 /// `DecomposeResult::implementable == false` (the paper's "n.i.").
 pub fn decompose(sg: &StateGraph, config: &DecomposeConfig) -> Result<DecomposeResult, McError> {
+    decompose_with(sg, config, &mut NullObserver)
+}
+
+/// Like [`decompose`], but fires
+/// [`FlowObserver::on_decompose_step`] for every committed insertion —
+/// the hook behind [`crate::pipeline::Synthesis::observer`].
+///
+/// # Errors
+/// See [`decompose`].
+pub fn decompose_with(
+    sg: &StateGraph,
+    config: &DecomposeConfig,
+    observer: &mut dyn FlowObserver,
+) -> Result<DecomposeResult, McError> {
     let mut sg = sg.clone();
     let mut mc = synthesize_mc(&sg)?;
     let mut inserted: Vec<String> = Vec::new();
@@ -190,8 +205,7 @@ pub fn decompose(sg: &StateGraph, config: &DecomposeConfig) -> Result<DecomposeR
             let mut best: Option<(usize, usize, StateGraph, McImpl, Cover)> = None;
             for (_, f, ins) in ranked.into_iter().take(config.max_candidates_tried) {
                 let name = format!("x{}", inserted.len());
-                let Ok(candidate_sg) = insert_signal(&sg, &ins, &name, SignalKind::Internal)
-                else {
+                let Ok(candidate_sg) = insert_signal(&sg, &ins, &name, SignalKind::Internal) else {
                     continue;
                 };
                 if !check_all(&candidate_sg).is_ok() {
@@ -232,12 +246,14 @@ pub fn decompose(sg: &StateGraph, config: &DecomposeConfig) -> Result<DecomposeR
                 let excess_after = excess(&merged, config.literal_limit);
                 if excess_after < excess_now {
                     let name = format!("x{}", inserted.len());
-                    steps.push(DecomposeStep {
+                    let step = DecomposeStep {
                         signal: name.clone(),
                         divisor: format!("{}", f.display_with(|v| sg.signals()[v].name.clone())),
                         target: sg.event_name(*target_event),
                         excess: (excess_now, excess_after),
-                    });
+                    };
+                    observer.on_decompose_step(&step);
+                    steps.push(step);
                     sg = candidate_sg;
                     mc = merged;
                     inserted.push(name);
@@ -291,9 +307,8 @@ fn resynthesize_affected(
         if affected.contains(&signal) {
             signals.push(synthesize_signal(candidate_sg, signal)?);
         } else {
-            let previous = mc
-                .signal_impl(signal)
-                .expect("unaffected signal existed before the insertion");
+            let previous =
+                mc.signal_impl(signal).expect("unaffected signal existed before the insertion");
             signals.push(previous.clone());
         }
     }
@@ -376,7 +391,7 @@ fn locally_acknowledged(mc: &McImpl, target: SignalId, x: SignalId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simap_sg::{Event, Signal, StateGraphBuilder, StateId};
+    use simap_sg::{Event, Signal, StateGraphBuilder};
 
     /// k-input C element spec as a state graph (inputs a0..ak-1, output c).
     fn celement_sg(k: usize) -> StateGraph {

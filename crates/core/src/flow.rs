@@ -1,11 +1,10 @@
 //! End-to-end flow: specification → monotonous covers → decomposition →
 //! standard-C netlist → cost accounting → speed-independence verification.
 
-use crate::decompose::{decompose, DecomposeConfig, DecomposeResult};
+use crate::decompose::{DecomposeConfig, DecomposeResult};
 use crate::mc::{McImpl, SignalBody};
 use simap_netlist::{
-    sop_gate, tech_decomp_literals, verify_speed_independence, Circuit, Cost, Gate, GateFunc,
-    NetId, VerifyConfig, VerifyError,
+    sop_gate, tech_decomp_literals, Circuit, Cost, Gate, GateFunc, NetId, VerifyConfig,
 };
 use simap_sg::{SignalKind, StateGraph};
 
@@ -62,8 +61,7 @@ pub fn build_circuit_with_or_limit(
                 let mut side_net = |covers: &[crate::mc::RegionCover], side: &str| -> NetId {
                     let mut cover_nets = Vec::new();
                     for (j, rc) in covers.iter().enumerate() {
-                        let net =
-                            circuit.add_net(format!("{sig_name}_{side}{j}"), None);
+                        let net = circuit.add_net(format!("{sig_name}_{side}{j}"), None);
                         let gate = sop_gate(
                             format!("{sig_name}_{side}{j}_gate"),
                             &rc.cover,
@@ -246,10 +244,10 @@ pub fn build_decomposed_circuit(sg: &StateGraph, mc: &McImpl, fanin_limit: usize
 
     let mut counter = 0usize;
     let emit = |cover: &simap_boolean::Cover,
-                    out: NetId,
-                    name: &str,
-                    circuit: &mut Circuit,
-                    counter: &mut usize| {
+                out: NetId,
+                name: &str,
+                circuit: &mut Circuit,
+                counter: &mut usize| {
         let tree = simap_boolean::good_factor(cover);
         let (net, phase) = realize(&tree, circuit, &signal_nets, fanin_limit, name, counter);
         // Tie the realized net to the requested output with a buffer or
@@ -277,9 +275,9 @@ pub fn build_decomposed_circuit(sg: &StateGraph, mc: &McImpl, fanin_limit: usize
             }
             SignalBody::StandardC { set, reset } => {
                 let side = |covers: &[crate::mc::RegionCover],
-                                label: &str,
-                                circuit: &mut Circuit,
-                                counter: &mut usize|
+                            label: &str,
+                            circuit: &mut Circuit,
+                            counter: &mut usize|
                  -> NetId {
                     let nets: Vec<NetId> = covers
                         .iter()
@@ -439,65 +437,51 @@ impl FlowConfig {
 
 /// Runs the full mapping flow on a specification.
 ///
+/// Deprecated compatibility shim over [`crate::pipeline::Synthesis`]: the
+/// pipeline exposes the same flow as typed stages, a unified
+/// [`crate::Error`] and progress observers. One historical wart is kept
+/// intentionally: when `repair_csc` is on and the repair *fails*, this
+/// shim falls back to the unrepaired graph (so the error reported is the
+/// plain CSC conflict, as before). The pipeline instead surfaces
+/// [`crate::Error::CscRepairFailed`] with the original conflict list.
+///
 /// # Errors
 /// Returns [`crate::mc::McError`] when the specification violates CSC
 /// (and `repair_csc` is off or the repair fails).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `simap_core::pipeline::Synthesis` (e.g. \
+            `Synthesis::from_state_graph(sg.clone()).flow_config(config).run()`)"
+)]
 pub fn run_flow(sg: &StateGraph, config: &FlowConfig) -> Result<FlowReport, crate::mc::McError> {
-    let repaired;
-    let sg = if config.repair_csc && !crate::csc::csc_conflicts(sg).is_empty() {
-        match crate::csc::repair_csc(sg, &crate::csc::CscRepairConfig::default()) {
-            Ok((fixed, _)) => {
-                repaired = fixed;
-                &repaired
-            }
-            Err(_) => sg, // fall through: synthesize_mc reports the conflict
-        }
-    } else {
-        sg
+    use crate::pipeline::Synthesis;
+    let run = |repair: bool| {
+        Synthesis::from_state_graph(sg.clone()).flow_config(config).repair_csc(repair).run()
     };
-    let initial_mc = crate::mc::synthesize_mc(sg)?;
-    let initial_histogram = initial_mc.gate_histogram();
-    let non_si = non_si_cost(&initial_mc, config.decompose.literal_limit.max(2));
-
-    let outcome = decompose(sg, &config.decompose)?;
-    let si = si_cost(&outcome.mc, config.decompose.literal_limit.max(2));
-
-    let verified = if config.verify && outcome.implementable {
-        let circuit = build_circuit(&outcome.sg, &outcome.mc);
-        match verify_speed_independence(&circuit, &outcome.sg, &config.verify_config) {
-            Ok(_) => Some(true),
-            Err(VerifyError::TooManyStates { .. }) => None,
-            Err(_) => Some(false),
-        }
-    } else {
-        None
+    let outcome = match run(config.repair_csc) {
+        Err(crate::Error::CscRepairFailed { .. }) => run(false),
+        other => other,
     };
-
-    Ok(FlowReport {
-        name: sg.name().to_string(),
-        initial_histogram,
-        inserted: outcome.implementable.then_some(outcome.inserted.len()),
-        inserted_names: outcome.inserted.clone(),
-        si_cost: si,
-        non_si_cost: non_si,
-        verified,
-        outcome,
-    })
+    match outcome {
+        Ok(report) => Ok(report),
+        Err(crate::Error::CscViolation { signal, code, .. }) => {
+            Err(crate::mc::McError::CscConflict { signal, code })
+        }
+        Err(e) => unreachable!("state-graph sources only fail on CSC: {e}"),
+    }
 }
 
 /// Internal signals of a state graph (the inserted ones plus any the spec
 /// already had).
 pub fn internal_signal_names(sg: &StateGraph) -> Vec<String> {
-    sg.signals()
-        .iter()
-        .filter(|s| s.kind == SignalKind::Internal)
-        .map(|s| s.name.clone())
-        .collect()
+    sg.signals().iter().filter(|s| s.kind == SignalKind::Internal).map(|s| s.name.clone()).collect()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // `run_flow` stays covered until the shim is removed
 mod tests {
     use super::*;
+    use simap_netlist::{verify_speed_independence, VerifyConfig};
     use simap_sg::{check_all, Event, Signal, SignalId, StateGraphBuilder};
 
     fn handshake_sg() -> StateGraph {
@@ -579,11 +563,8 @@ mod tests {
     #[test]
     fn non_si_baseline_costs_initial_impl() {
         let sg = celement_sg(6);
-        let report = run_flow(
-            &sg,
-            &FlowConfig { verify: false, ..FlowConfig::with_limit(2) },
-        )
-        .unwrap();
+        let report =
+            run_flow(&sg, &FlowConfig { verify: false, ..FlowConfig::with_limit(2) }).unwrap();
         // Initial implementation: set = 6-lit AND, reset = 6-lit AND.
         // tech_decomp at 2: 10 + 10 literals + 1 C.
         assert_eq!(report.non_si_cost, Cost { literals: 20, c_elements: 1 });

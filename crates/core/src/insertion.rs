@@ -56,7 +56,9 @@ pub enum InsertionError {
 impl fmt::Display for InsertionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InsertionError::ConstantFunction => write!(f, "divisor is constant on reachable states"),
+            InsertionError::ConstantFunction => {
+                write!(f, "divisor is constant on reachable states")
+            }
             InsertionError::RegionEscapes { rising } => {
                 write!(f, "ER(x{}) escapes its block", if *rising { "+" } else { "-" })
             }
@@ -178,9 +180,7 @@ fn grow_region(
                     // The undelayable event crosses out of the block: no
                     // legal region.
                     return Err(if is_input {
-                        InsertionError::DelaysInput {
-                            input: sg.signals()[b.signal.0].name.clone(),
-                        }
+                        InsertionError::DelaysInput { input: sg.signals()[b.signal.0].name.clone() }
                     } else {
                         InsertionError::RegionEscapes { rising }
                     });
@@ -557,8 +557,7 @@ mod tests {
                 let x = new_sg.signal_by_name("x").unwrap();
                 // x+ must precede c+ in A' (x triggers c).
                 let some_x_before_c = new_sg.states().any(|s| {
-                    new_sg.enabled(s, Event::rise(x))
-                        && !new_sg.enabled(s, Event::rise(c))
+                    new_sg.enabled(s, Event::rise(x)) && !new_sg.enabled(s, Event::rise(c))
                 });
                 assert!(some_x_before_c);
             }

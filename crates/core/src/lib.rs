@@ -5,7 +5,7 @@
 //! resynthesis (Cortadella, Kishinevsky, Kondratyev, Lavagno, Yakovlev —
 //! DATE 1997).
 //!
-//! The pipeline:
+//! The algorithmic layers:
 //! 1. [`mc`] — monotonous-cover synthesis for the standard-C architecture;
 //! 2. [`insertion`] — speed-independence-preserving event insertion
 //!    (I-partitions, well-formed SIP excitation regions, the Fig. 3
@@ -14,33 +14,78 @@
 //! 4. [`mod@decompose`] — the main loop: pick the most complex cover, divide
 //!    it (kernels / OR / AND decompositions), insert the best divisor's
 //!    signal, resynthesize every cover from scratch;
-//! 5. [`flow`] — netlist construction, §4 cost accounting and
-//!    speed-independence verification.
+//! 5. [`flow`] — netlist construction and §4 cost accounting.
+//!
+//! They are driven through the staged [`pipeline`] API: a [`Synthesis`]
+//! builder producing typed stage artifacts (elaborated state graph,
+//! covers, decomposition outcome, mapped netlist, verdict), a unified
+//! [`Error`] and per-step [`FlowObserver`] progress hooks.
 //!
 //! ```
-//! use simap_core::{run_flow, FlowConfig};
-//! let stg = simap_stg::benchmark("hazard").ok_or("unknown benchmark")?;
-//! let sg = simap_stg::elaborate(&stg)?;
-//! let report = run_flow(&sg, &FlowConfig::with_limit(2))?;
+//! use simap_core::pipeline::Synthesis;
+//!
+//! let report = Synthesis::from_benchmark("hazard").literal_limit(2).run()?;
 //! assert!(report.inserted.is_some()); // implementable with 2-input gates
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! assert_eq!(report.verified, Some(true)); // and provably speed-independent
+//! # Ok::<(), simap_core::Error>(())
 //! ```
+//!
+//! Stepping through the stages instead of running one-shot:
+//!
+//! ```
+//! use simap_core::pipeline::Synthesis;
+//!
+//! let covers = Synthesis::from_benchmark("hazard").elaborate()?.covers()?;
+//! assert!(covers.mc().max_complexity() > 2); // why insertion is needed
+//! let verified = covers.decompose()?.map().verify()?;
+//! assert_eq!(verified.verdict(), Some(true));
+//! # Ok::<(), simap_core::Error>(())
+//! ```
+//!
+//! ## Deprecation policy
+//!
+//! Flow-level free functions superseded by the pipeline (today:
+//! [`flow::run_flow`]) remain available as `#[deprecated]` shims with
+//! unchanged behavior for at least one minor release before removal.
+//! Algorithm primitives ([`mc::synthesize_mc`], [`csc::repair_csc`],
+//! [`insertion::compute_insertion`], [`flow::build_circuit`], …) are the
+//! stable substrate the pipeline itself is built on and are **not**
+//! deprecated.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csc;
 pub mod decompose;
+pub mod error;
 pub mod flow;
 pub mod insertion;
 pub mod mc;
+pub mod observer;
+pub mod pipeline;
 pub mod progress;
 pub mod report;
 
 pub use csc::{csc_conflicts, repair_csc, CscConflict, CscRepairConfig, CscRepairError};
-pub use decompose::{decompose, excess, AckMode, DecomposeConfig, DecomposeResult, DecomposeStep};
-pub use flow::{build_circuit, build_circuit_with_or_limit, build_decomposed_circuit, non_si_cost, run_flow, si_cost, FlowConfig, FlowReport};
-pub use insertion::{compute_insertion, compute_insertion_from_block, insert_function, insert_signal, Insertion, InsertionError};
-pub use mc::{synthesize_mc, synthesize_signal, validate_mc, McError, McImpl, RegionCover, SignalBody, SignalImpl};
-pub use report::{dossier, to_csv, to_markdown, BatchRow};
+pub use decompose::{
+    decompose, decompose_with, excess, AckMode, DecomposeConfig, DecomposeResult, DecomposeStep,
+};
+pub use error::{Error, Stage};
+#[allow(deprecated)] // the shim stays reachable from its historical path
+pub use flow::run_flow;
+pub use flow::{
+    build_circuit, build_circuit_with_or_limit, build_decomposed_circuit, non_si_cost, si_cost,
+    FlowConfig, FlowReport,
+};
+pub use insertion::{
+    compute_insertion, compute_insertion_from_block, insert_function, insert_signal, Insertion,
+    InsertionError,
+};
+pub use mc::{
+    synthesize_mc, synthesize_signal, validate_mc, McError, McImpl, RegionCover, SignalBody,
+    SignalImpl,
+};
+pub use observer::{FlowObserver, NullObserver, RecordingObserver, StderrObserver};
+pub use pipeline::{Batch, Covers, Decomposed, Elaborated, Mapped, Synthesis, Verified};
 pub use progress::{estimate_progress, replaces_trigger, ProgressEstimate};
+pub use report::{dossier, to_csv, to_markdown, BatchRow};

@@ -66,12 +66,9 @@ impl SignalImpl {
     pub fn max_complexity(&self) -> usize {
         match &self.body {
             SignalBody::Combinational { complexity, .. } => *complexity,
-            SignalBody::StandardC { set, reset } => set
-                .iter()
-                .chain(reset.iter())
-                .map(|c| c.complexity)
-                .max()
-                .unwrap_or(0),
+            SignalBody::StandardC { set, reset } => {
+                set.iter().chain(reset.iter()).map(|c| c.complexity).max().unwrap_or(0)
+            }
         }
     }
 }
@@ -220,8 +217,7 @@ pub fn synthesize_signal(sg: &StateGraph, signal: SignalId) -> Result<SignalImpl
     let off_proj: Vec<u64> = off.iter().map(|c| c & mask).collect();
     let combinational = MinimizeProblem::new(nvars, on_proj, off_proj).ok().map(|problem| {
         let cover = problem.minimize();
-        let complexity =
-            cover.literal_count().min(problem.minimize_complement().literal_count());
+        let complexity = cover.literal_count().min(problem.minimize_complement().literal_count());
         SignalBody::Combinational { cover, complexity }
     });
 
@@ -300,11 +296,12 @@ fn region_covers(
                     // group's ER. If it belongs to another region of the
                     // same event, merge the groups; otherwise it is a CSC
                     // conflict.
-                    if let Some(other) =
-                        (0..groups.len()).find(|&gj| gj != gi && groups[gj].iter().any(|&rj| {
-                            regions[rj].er.contains(s) || regions[rj].qr.contains(s)
-                        }))
-                    {
+                    if let Some(other) = (0..groups.len()).find(|&gj| {
+                        gj != gi
+                            && groups[gj]
+                                .iter()
+                                .any(|&rj| regions[rj].er.contains(s) || regions[rj].qr.contains(s))
+                    }) {
                         let merged = groups.remove(other.max(gi));
                         let keep = other.min(gi);
                         groups[keep].extend(merged);
@@ -321,12 +318,7 @@ fn region_covers(
     for group in &groups {
         let cover = synthesize_group_cover(sg, &regions, group, nvars, name)?;
         let complexity = cover_complexity(sg, &regions, group, &cover, nvars);
-        covers.push(RegionCover {
-            event,
-            region_indices: group.clone(),
-            cover,
-            complexity,
-        });
+        covers.push(RegionCover { event, region_indices: group.clone(), cover, complexity });
     }
     Ok(covers)
 }
@@ -387,13 +379,10 @@ fn synthesize_group_cover(
     let mut extra_off: HashSet<u64> = HashSet::new();
     for _ in 0..16 {
         let on: Vec<u64> = on_codes.iter().copied().collect();
-        let off: Vec<u64> =
-            off_codes.iter().chain(extra_off.iter()).copied().collect();
+        let off: Vec<u64> = off_codes.iter().chain(extra_off.iter()).copied().collect();
         let problem = match MinimizeProblem::new(nvars, on, off) {
             Ok(p) => p,
-            Err(e) => {
-                return Err(McError::CscConflict { signal: name.to_string(), code: e.code })
-            }
+            Err(e) => return Err(McError::CscConflict { signal: name.to_string(), code: e.code }),
         };
         let cover = problem.minimize();
         // Monotonicity check: no rising edge of the cover into the QR.
@@ -474,9 +463,7 @@ pub fn validate_mc(sg: &StateGraph, mc: &McImpl) -> Vec<String> {
                 }
             }
             SignalBody::StandardC { set, reset } => {
-                for (event, covers) in
-                    [(Event::rise(signal), set), (Event::fall(signal), reset)]
-                {
+                for (event, covers) in [(Event::rise(signal), set), (Event::fall(signal), reset)] {
                     let regions = regions_of(sg, event);
                     check_region_covers(sg, &regions, covers, &mut complaints);
                 }

@@ -1,0 +1,129 @@
+//! Progress observation for the synthesis pipeline.
+//!
+//! A [`FlowObserver`] receives a callback at every stage boundary, every
+//! committed decomposition step, every CSC-repair insertion and the final
+//! verification verdict. It replaces ad-hoc printing inside the flow: the
+//! library stays silent by default ([`NullObserver`]), the CLI's
+//! `--verbose` attaches a [`StderrObserver`], and future progress UIs or
+//! batch schedulers can attach their own implementation through
+//! [`crate::pipeline::Synthesis::observer`].
+
+use crate::csc::CscConflict;
+use crate::decompose::DecomposeStep;
+use crate::error::Stage;
+
+/// Callbacks fired as a synthesis run progresses. All methods have empty
+/// default bodies: implement only what you need.
+pub trait FlowObserver {
+    /// A stage is starting for the named specification.
+    fn on_stage_start(&mut self, stage: Stage, spec: &str) {
+        let _ = (stage, spec);
+    }
+
+    /// A stage finished successfully.
+    fn on_stage_end(&mut self, stage: Stage) {
+        let _ = stage;
+    }
+
+    /// The elaborated specification has CSC conflicts (fired before any
+    /// repair attempt; an empty run never fires this).
+    fn on_csc_conflicts(&mut self, conflicts: &[CscConflict]) {
+        let _ = conflicts;
+    }
+
+    /// CSC repair inserted a state signal.
+    fn on_csc_repair(&mut self, signal: &str) {
+        let _ = signal;
+    }
+
+    /// The decomposition loop committed one insertion.
+    fn on_decompose_step(&mut self, step: &DecomposeStep) {
+        let _ = step;
+    }
+
+    /// The final verification verdict (`None` = skipped or inconclusive).
+    fn on_verdict(&mut self, verified: Option<bool>) {
+        let _ = verified;
+    }
+}
+
+/// The default observer: ignores everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl FlowObserver for NullObserver {}
+
+/// An observer that narrates the flow to standard error, one line per
+/// event — what the CLI prints under `--verbose`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrObserver;
+
+impl FlowObserver for StderrObserver {
+    fn on_stage_start(&mut self, stage: Stage, spec: &str) {
+        eprintln!("[{stage}] {spec}");
+    }
+
+    fn on_csc_conflicts(&mut self, conflicts: &[CscConflict]) {
+        eprintln!("  {} CSC conflict(s)", conflicts.len());
+    }
+
+    fn on_csc_repair(&mut self, signal: &str) {
+        eprintln!("  inserted CSC state signal {signal}");
+    }
+
+    fn on_decompose_step(&mut self, step: &DecomposeStep) {
+        eprintln!(
+            "  inserted {} = {} targeting {} (excess {} -> {})",
+            step.signal, step.divisor, step.target, step.excess.0, step.excess.1
+        );
+    }
+
+    fn on_verdict(&mut self, verified: Option<bool>) {
+        eprintln!(
+            "  speed-independent: {}",
+            match verified {
+                Some(true) => "verified",
+                Some(false) => "REFUTED",
+                None => "unchecked",
+            }
+        );
+    }
+}
+
+/// An observer that records every event; useful in tests and as a model
+/// for UI integrations.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingObserver {
+    /// Stages started, in order.
+    pub stages: Vec<Stage>,
+    /// Signals inserted by the decomposition loop, in commit order.
+    pub steps: Vec<DecomposeStep>,
+    /// Signals inserted by CSC repair.
+    pub csc_insertions: Vec<String>,
+    /// Conflict counts reported before repair.
+    pub conflict_counts: Vec<usize>,
+    /// The final verdict, when the flow got that far.
+    pub verdict: Option<Option<bool>>,
+}
+
+impl FlowObserver for RecordingObserver {
+    fn on_stage_start(&mut self, stage: Stage, _spec: &str) {
+        self.stages.push(stage);
+    }
+
+    fn on_csc_conflicts(&mut self, conflicts: &[CscConflict]) {
+        self.conflict_counts.push(conflicts.len());
+    }
+
+    fn on_csc_repair(&mut self, signal: &str) {
+        self.csc_insertions.push(signal.to_string());
+    }
+
+    fn on_decompose_step(&mut self, step: &DecomposeStep) {
+        self.steps.push(step.clone());
+    }
+
+    fn on_verdict(&mut self, verified: Option<bool>) {
+        self.verdict = Some(verified);
+    }
+}

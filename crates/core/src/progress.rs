@@ -27,8 +27,7 @@ impl ProgressEstimate {
     /// Net score: positive is good. The paper's "best global decomposition
     /// progress".
     pub fn score(&self) -> i64 {
-        self.target_before as i64 - self.target_after as i64
-            - self.acknowledgment_penalty as i64
+        self.target_before as i64 - self.target_after as i64 - self.acknowledgment_penalty as i64
     }
 
     /// Whether the divisor makes progress on the target cover at all.
@@ -86,7 +85,12 @@ pub fn estimate_progress(
         penalty += if property_3_2_holds(sg, e, ins) { 1 } else { 2 };
     }
 
-    ProgressEstimate { target_after, target_before, acknowledgment_penalty: penalty, newly_triggered }
+    ProgressEstimate {
+        target_after,
+        target_before,
+        acknowledgment_penalty: penalty,
+        newly_triggered,
+    }
 }
 
 /// Property 3.2's filter conditions for event `b*` newly triggered by the

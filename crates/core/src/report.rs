@@ -125,7 +125,7 @@ pub fn dossier(report: &FlowReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::{run_flow, FlowConfig};
+    use crate::pipeline::Synthesis;
     use simap_sg::{Event, Signal, SignalId, SignalKind, StateGraphBuilder};
 
     fn handshake_report() -> FlowReport {
@@ -140,7 +140,7 @@ mod tests {
         bd.add_arc(s[2], Event::fall(SignalId(0)), s[3]);
         bd.add_arc(s[3], Event::fall(SignalId(1)), s[0]);
         let sg = bd.build(s[0]).unwrap();
-        run_flow(&sg, &FlowConfig::with_limit(2)).unwrap()
+        Synthesis::from_state_graph(sg).literal_limit(2).run().unwrap()
     }
 
     #[test]

@@ -144,8 +144,7 @@ impl Circuit {
         for _ in 0..self.gates.len().min(64) {
             let mut changed = false;
             for g in &self.gates {
-                let input_depth =
-                    g.fanin.iter().map(|f| depth[f.0]).max().unwrap_or(0);
+                let input_depth = g.fanin.iter().map(|f| depth[f.0]).max().unwrap_or(0);
                 let candidate = input_depth + 1;
                 if candidate > depth[g.output.0] && candidate <= self.gates.len() {
                     depth[g.output.0] = candidate;
@@ -174,11 +173,8 @@ impl Circuit {
                 GateFunc::Sop(cover) => {
                     let names: Vec<String> =
                         g.fanin.iter().map(|n| self.nets[n.0].name.clone()).collect();
-                    let _ = writeln!(
-                        out,
-                        "{out_name} = {}",
-                        cover.display_with(|v| names[v].clone())
-                    );
+                    let _ =
+                        writeln!(out, "{out_name} = {}", cover.display_with(|v| names[v].clone()));
                 }
                 GateFunc::CElement => {
                     let _ = writeln!(
@@ -216,10 +212,8 @@ pub fn remap_cover(cover: &Cover, support: &[usize]) -> Cover {
     use simap_boolean::{Cube, Literal};
     let pos_of = |v: usize| support.iter().position(|&s| s == v).expect("var in support");
     Cover::from_cubes(cover.cubes().iter().map(|c| {
-        Cube::from_literals(
-            c.literals().map(|l| Literal::new(pos_of(l.var), l.phase)),
-        )
-        .expect("remapped cube stays consistent")
+        Cube::from_literals(c.literals().map(|l| Literal::new(pos_of(l.var), l.phase)))
+            .expect("remapped cube stays consistent")
     }))
 }
 
@@ -234,9 +228,8 @@ mod tests {
         let a = c.add_net("a", Some(SignalId(0)));
         let b = c.add_net("b", Some(SignalId(1)));
         let y = c.add_net("y", Some(SignalId(2)));
-        let cover = Cover::from_cube(
-            Cube::from_literals([Literal::pos(0), Literal::neg(1)]).unwrap(),
-        );
+        let cover =
+            Cover::from_cube(Cube::from_literals([Literal::pos(0), Literal::neg(1)]).unwrap());
         c.add_gate(Gate {
             name: "g0".into(),
             func: GateFunc::Sop(cover),
@@ -288,9 +281,8 @@ mod tests {
         let n9 = c.add_net("x9", None);
         let out = c.add_net("out", None);
         // Cover over global vars 5 and 9.
-        let cover = Cover::from_cube(
-            Cube::from_literals([Literal::pos(5), Literal::neg(9)]).unwrap(),
-        );
+        let cover =
+            Cover::from_cube(Cube::from_literals([Literal::pos(5), Literal::neg(9)]).unwrap());
         let nets = [n5, n9];
         let g = sop_gate("g", &cover, |v| nets[if v == 5 { 0 } else { 1 }], out);
         assert_eq!(g.fanin, vec![n5, n9]);

@@ -25,15 +25,18 @@ impl std::fmt::Display for Cost {
     }
 }
 
-impl Cost {
-    /// Combines two costs.
-    pub fn add(self, other: Cost) -> Cost {
+impl std::ops::Add for Cost {
+    type Output = Cost;
+
+    fn add(self, other: Cost) -> Cost {
         Cost {
             literals: self.literals + other.literals,
             c_elements: self.c_elements + other.c_elements,
         }
     }
+}
 
+impl Cost {
     /// Approximate area with a C element counted as a 3-input gate (§4).
     pub fn area(self) -> usize {
         self.literals + 3 * self.c_elements
@@ -91,8 +94,7 @@ pub fn tech_decomp_cost<'a>(
     c_elements: usize,
     fanin_limit: usize,
 ) -> Cost {
-    let literals =
-        covers.into_iter().map(|c| tech_decomp_literals(c, fanin_limit)).sum::<usize>();
+    let literals = covers.into_iter().map(|c| tech_decomp_literals(c, fanin_limit)).sum::<usize>();
     Cost { literals, c_elements }
 }
 

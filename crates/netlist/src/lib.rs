@@ -26,18 +26,18 @@
 
 pub mod circuit;
 pub mod composition;
-pub mod library;
-pub mod sim;
-pub mod verilog;
 pub mod decomp;
 pub mod gate;
+pub mod library;
+pub mod sim;
 pub mod verify;
+pub mod verilog;
 
 pub use circuit::{remap_cover, sop_gate, Circuit, CircuitError, Net};
+pub use composition::{Composition, Move, NetValues};
 pub use decomp::{tech_decomp_cost, tech_decomp_literals, Cost};
 pub use gate::{Gate, GateFunc, NetId};
-pub use composition::{Composition, Move, NetValues};
 pub use library::{classify, CellShape, Library};
 pub use sim::{simulate, SimConfig, SimStats};
-pub use verilog::to_verilog;
 pub use verify::{verify_speed_independence, VerifyConfig, VerifyError, VerifyStats};
+pub use verilog::to_verilog;

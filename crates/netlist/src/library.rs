@@ -157,7 +157,6 @@ impl Library {
 mod tests {
     use super::*;
     use crate::circuit::Circuit;
-    use crate::gate::NetId;
     use simap_boolean::{Cube, Literal};
 
     fn cover(cubes: &[&[(usize, bool)]]) -> Cover {
@@ -170,14 +169,8 @@ mod tests {
     fn classification() {
         assert_eq!(classify(&Cover::zero()), CellShape::Constant { value: false });
         assert_eq!(classify(&Cover::one()), CellShape::Constant { value: true });
-        assert_eq!(
-            classify(&cover(&[&[(0, true)]])),
-            CellShape::Buffer { inverting: false }
-        );
-        assert_eq!(
-            classify(&cover(&[&[(0, false)]])),
-            CellShape::Buffer { inverting: true }
-        );
+        assert_eq!(classify(&cover(&[&[(0, true)]])), CellShape::Buffer { inverting: false });
+        assert_eq!(classify(&cover(&[&[(0, false)]])), CellShape::Buffer { inverting: true });
         assert_eq!(classify(&cover(&[&[(0, true), (1, false)]])), CellShape::And { inputs: 2 });
         assert_eq!(
             classify(&cover(&[&[(0, true)], &[(1, true)], &[(2, false)]])),

@@ -228,9 +228,7 @@ mod tests {
 
     fn build_mc(_sg: &StateGraph) -> MiniMc {
         MiniMc {
-            set: Cover::from_cube(
-                Cube::from_literals([Literal::pos(0), Literal::pos(1)]).unwrap(),
-            ),
+            set: Cover::from_cube(Cube::from_literals([Literal::pos(0), Literal::pos(1)]).unwrap()),
             reset: Cover::from_cube(
                 Cube::from_literals([Literal::neg(0), Literal::neg(1)]).unwrap(),
             ),

@@ -194,10 +194,7 @@ mod tests {
         let cover = Cover::from_cube(Cube::from_literals([Literal::neg(0)]).unwrap());
         c.add_gate(sop_gate("inv", &cover, |_| a, b)).unwrap();
         let err = verify_speed_independence(&c, &sg, &VerifyConfig::default()).unwrap_err();
-        assert!(matches!(
-            err,
-            VerifyError::UnexpectedOutput { .. } | VerifyError::UnstableInit
-        ));
+        assert!(matches!(err, VerifyError::UnexpectedOutput { .. } | VerifyError::UnstableInit));
     }
 
     #[test]
@@ -270,12 +267,10 @@ mod tests {
         let nset = c.add_net("set", None);
         let nreset = c.add_net("reset", None);
         let nc = c.add_net("c", Some(cc));
-        let set_cover = Cover::from_cube(
-            Cube::from_literals([Literal::pos(0), Literal::pos(1)]).unwrap(),
-        );
-        let reset_cover = Cover::from_cube(
-            Cube::from_literals([Literal::neg(0), Literal::neg(1)]).unwrap(),
-        );
+        let set_cover =
+            Cover::from_cube(Cube::from_literals([Literal::pos(0), Literal::pos(1)]).unwrap());
+        let reset_cover =
+            Cover::from_cube(Cube::from_literals([Literal::neg(0), Literal::neg(1)]).unwrap());
         let nets = [na, nb];
         c.add_gate(sop_gate("set", &set_cover, |v| nets[v], nset)).unwrap();
         c.add_gate(sop_gate("reset", &reset_cover, |v| nets[v], nreset)).unwrap();

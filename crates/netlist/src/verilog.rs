@@ -135,7 +135,7 @@ pub fn to_verilog(circuit: &Circuit, sg: &StateGraph, module: &str) -> String {
 mod tests {
     use super::*;
     use crate::circuit::sop_gate;
-    use crate::gate::{Gate, NetId};
+    use crate::gate::Gate;
     use simap_boolean::{Cover, Cube, Literal};
     use simap_sg::{Event, Signal, SignalId, StateGraphBuilder};
 

@@ -1,0 +1,299 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no network registry, so this workspace ships
+//! a dependency-free shim exposing the subset of the proptest 1.x API that
+//! `tests/properties.rs` uses: the [`Strategy`] trait with `prop_map`,
+//! integer-range strategies, [`collection::vec`], the [`proptest!`] macro
+//! (including the `#![proptest_config(..)]` inner attribute),
+//! [`prop_assert!`]/[`prop_assert_eq!`] and [`ProptestConfig`].
+//!
+//! Differences from the real crate, by design:
+//! * inputs are drawn from a deterministic per-test SplitMix64 stream
+//!   (seeded from the test name), so runs are reproducible but not
+//!   externally seedable;
+//! * there is **no shrinking** — a failing case panics with the assert
+//!   message and the case index, nothing more;
+//! * `prop_assert*` panic instead of returning `TestCaseError`.
+//!
+//! Swapping the real crate back in is a one-line change in the workspace
+//! `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Deterministic test-case random number generator (SplitMix64).
+pub mod test_runner {
+    /// The per-test RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG seeded from a test name and a case index, so every case
+        /// of every test draws from its own reproducible stream.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[lo, hi)`; `hi` must exceed `lo`.
+        pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo < hi, "empty range {lo}..{hi}");
+            lo + self.next_u64() % (hi - lo)
+        }
+    }
+}
+
+/// Value-generation strategies (a generate-only subset: no shrinking).
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for producing random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes generated values with `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range(self.start as u64, self.end as u64) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, usize);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A half-open range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.in_range(self.size.lo as u64, self.size.hi as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element`-generated values with a length drawn from
+    /// `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Asserts a condition inside a property (panics on failure in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tok:tt)*) => { assert!($($tok)*) };
+}
+
+/// Asserts equality inside a property (panics on failure in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tok:tt)*) => { assert_eq!($($tok)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure in the shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tok:tt)*) => { assert_ne!($($tok)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` that generates and checks `cases` inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    u64::from(case),
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                let run = || $body;
+                run();
+            }
+        }
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    (($cfg:expr)) => {};
+}
+
+/// The customary glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, t in 0u8..3) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(t < 3);
+        }
+
+        /// Vec lengths respect fixed and ranged sizes.
+        #[test]
+        fn vec_sizes(fixed in collection::vec(0u8..2, 5), ranged in collection::vec(0u8..2, 1..4)) {
+            prop_assert_eq!(fixed.len(), 5);
+            prop_assert!((1..4).contains(&ranged.len()));
+        }
+
+        /// prop_map applies its function.
+        #[test]
+        fn mapping(doubled in (0usize..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert_ne!(doubled, 19);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// The inner config attribute is honoured (smoke test).
+        #[test]
+        fn configured(x in 0usize..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0u8..7, 4);
+        let a = s.generate(&mut TestRng::for_case("t", 0));
+        let b = s.generate(&mut TestRng::for_case("t", 0));
+        assert_eq!(a, b);
+    }
+}

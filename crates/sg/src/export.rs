@@ -24,11 +24,7 @@ pub fn to_dot(sg: &StateGraph, options: &DotOptions) -> String {
     let qr_of = |s: StateId| options.highlight.iter().find(|r| r.qr.contains(s));
 
     for s in sg.states() {
-        let label = if options.show_codes {
-            sg.state_label(s)
-        } else {
-            format!("{}", s.0)
-        };
+        let label = if options.show_codes { sg.state_label(s) } else { format!("{}", s.0) };
         let mut attrs = format!("label=\"{label}\"");
         if let Some(r) = er_of(s) {
             let _ = write!(
@@ -37,11 +33,7 @@ pub fn to_dot(sg: &StateGraph, options: &DotOptions) -> String {
                 sg.event_name(r.event)
             );
         } else if let Some(r) = qr_of(s) {
-            let _ = write!(
-                attrs,
-                ", color=blue, tooltip=\"QR({})\"",
-                sg.event_name(r.event)
-            );
+            let _ = write!(attrs, ", color=blue, tooltip=\"QR({})\"", sg.event_name(r.event));
         }
         if s == sg.initial() {
             attrs.push_str(", peripheries=2");

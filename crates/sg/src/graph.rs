@@ -124,7 +124,14 @@ impl StateGraphBuilder {
             list.sort();
             list.dedup();
         }
-        Ok(StateGraph { signals: self.signals, codes: self.codes, succ, pred, initial, name: self.name })
+        Ok(StateGraph {
+            signals: self.signals,
+            codes: self.codes,
+            succ,
+            pred,
+            initial,
+            name: self.name,
+        })
     }
 }
 
@@ -265,8 +272,10 @@ impl StateGraph {
     /// most-significant-signal first.
     pub fn state_label(&self, s: StateId) -> String {
         let code = self.code(s);
-        let bits: String =
-            (0..self.signal_count()).rev().map(|i| if code >> i & 1 == 1 { '1' } else { '0' }).collect();
+        let bits: String = (0..self.signal_count())
+            .rev()
+            .map(|i| if code >> i & 1 == 1 { '1' } else { '0' })
+            .collect();
         format!("{}({})", s.0, bits)
     }
 }
@@ -331,10 +340,7 @@ mod tests {
         assert!(matches!(
             StateGraphBuilder::new(
                 "dup",
-                vec![
-                    Signal::new("x", SignalKind::Input),
-                    Signal::new("x", SignalKind::Output)
-                ]
+                vec![Signal::new("x", SignalKind::Input), Signal::new("x", SignalKind::Output)]
             ),
             Err(BuildSgError::DuplicateSignal(_))
         ));

@@ -173,7 +173,11 @@ pub fn check_commutativity(sg: &StateGraph) -> Vec<PropertyViolation> {
                 let ba = sg.fire(sb, a);
                 if let (Some(t1), Some(t2)) = (ab, ba) {
                     if t1 != t2 {
-                        out.push(PropertyViolation::NonCommutative { state: s, first: a, second: b });
+                        out.push(PropertyViolation::NonCommutative {
+                            state: s,
+                            first: a,
+                            second: b,
+                        });
                     }
                 }
             }
@@ -321,7 +325,11 @@ mod tests {
         // Diamond where ab and ba diverge.
         let mut b = StateGraphBuilder::new(
             "nc",
-            vec![sig("a", SignalKind::Input), sig("b", SignalKind::Input), sig("c", SignalKind::Input)],
+            vec![
+                sig("a", SignalKind::Input),
+                sig("b", SignalKind::Input),
+                sig("c", SignalKind::Input),
+            ],
         )
         .unwrap();
         let s0 = b.add_state(0b000);

@@ -133,11 +133,8 @@ pub fn connected_components(sg: &StateGraph, set: &StateSet) -> Vec<StateSet> {
         visited.insert(seed);
         comp.insert(seed);
         while let Some(s) = stack.pop() {
-            let neighbours = sg
-                .succ(s)
-                .iter()
-                .map(|&(_, t)| t)
-                .chain(sg.pred(s).iter().map(|&(_, t)| t));
+            let neighbours =
+                sg.succ(s).iter().map(|&(_, t)| t).chain(sg.pred(s).iter().map(|&(_, t)| t));
             for t in neighbours {
                 if set.contains(t) && !visited.contains(t) {
                     visited.insert(t);
@@ -216,7 +213,7 @@ mod tests {
         let sc = bd.add_state(0b0101); // a c
         let sbc = bd.add_state(0b0111); // a b c
         let sd = bd.add_state(0b1111); // all
-        // falling phase (sequential: a- b- c- d-)
+                                       // falling phase (sequential: a- b- c- d-)
         let f1 = bd.add_state(0b1110);
         let f2 = bd.add_state(0b1100);
         let f3 = bd.add_state(0b1000);

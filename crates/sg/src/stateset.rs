@@ -64,13 +64,15 @@ impl StateSet {
     /// Iterates over members in increasing id order.
     pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
         self.bits.iter().enumerate().flat_map(|(w, &word)| {
-            (0..64).filter_map(move |b| {
-                if word >> b & 1 == 1 {
-                    Some(StateId(w * 64 + b))
-                } else {
-                    None
-                }
-            })
+            (0..64).filter_map(
+                move |b| {
+                    if word >> b & 1 == 1 {
+                        Some(StateId(w * 64 + b))
+                    } else {
+                        None
+                    }
+                },
+            )
         })
     }
 

@@ -62,9 +62,7 @@ pub fn analyze(stg: &Stg, config: &ReachConfig) -> Result<StgAnalysis, ReachErro
             for p in stg.post(t) {
                 next[p.0] += 1;
                 if next[p.0] > config.max_tokens {
-                    return Err(ReachError::Unbounded {
-                        place: stg.places()[p.0].name.clone(),
-                    });
+                    return Err(ReachError::Unbounded { place: stg.places()[p.0].name.clone() });
                 }
             }
             if seen.insert(next.clone()) {
@@ -79,14 +77,11 @@ pub fn analyze(stg: &Stg, config: &ReachConfig) -> Result<StgAnalysis, ReachErro
     let dead_transitions: Vec<TransitionId> =
         (0..n_transitions).map(TransitionId).filter(|t| !fired[t.0]).collect();
 
-    let choice_places: Vec<PlaceId> = (0..stg.places().len())
-        .map(PlaceId)
-        .filter(|&p| stg.is_choice_place(p))
-        .collect();
+    let choice_places: Vec<PlaceId> =
+        (0..stg.places().len()).map(PlaceId).filter(|&p| stg.is_choice_place(p)).collect();
 
-    let free_choice = choice_places.iter().all(|&p| {
-        stg.consumers(p).iter().all(|&t| stg.pre(t) == [p])
-    });
+    let free_choice =
+        choice_places.iter().all(|&p| stg.consumers(p).iter().all(|&t| stg.pre(t) == [p]));
 
     let input_choice_only = choice_places.iter().all(|&p| {
         stg.consumers(p).iter().all(|&t| {
@@ -219,11 +214,7 @@ a- p
             let a = analyze(&b.stg, &ReachConfig::default())
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(a.safe, "{} must be safe", b.name);
-            assert!(
-                a.dead_transitions.is_empty(),
-                "{} has dead transitions",
-                b.name
-            );
+            assert!(a.dead_transitions.is_empty(), "{} has dead transitions", b.name);
             assert!(a.input_choice_only, "{} must resolve choice by inputs", b.name);
         }
     }

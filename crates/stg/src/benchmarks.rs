@@ -226,7 +226,9 @@ pub fn benchmark_names() -> &'static [&'static str] {
 pub fn benchmark(name: &str) -> Option<Stg> {
     let from_g = |src: &str| parse_g(src).expect("embedded benchmark must parse");
     let stg = match name {
-        "alloc-outbound" => renamed(parallel("t", &[choice(2), sequencer(2, None)]), "alloc-outbound"),
+        "alloc-outbound" => {
+            renamed(parallel("t", &[choice(2), sequencer(2, None)]), "alloc-outbound")
+        }
         "chu133" => from_g(CHU133_G),
         "chu150" => from_g(CHU150_G),
         "converta" => from_g(CONVERTA_G),
@@ -251,10 +253,10 @@ pub fn benchmark(name: &str) -> Option<Stg> {
         "rcv-setup" => renamed(choice(2), "rcv-setup"),
         "rdft" => renamed(sequencer(5, None), "rdft"),
         "sbuf-ram-write" => renamed(fork_join(2, 2), "sbuf-ram-write"),
-        "sbuf-send-ctl" => renamed(parallel("t", &[celement(3), sequencer(2, None)]), "sbuf-send-ctl"),
-        "sbuf-send-pkt2" => {
-            renamed(parallel("t", &[choice(2), fork_join(2, 1)]), "sbuf-send-pkt2")
+        "sbuf-send-ctl" => {
+            renamed(parallel("t", &[celement(3), sequencer(2, None)]), "sbuf-send-ctl")
         }
+        "sbuf-send-pkt2" => renamed(parallel("t", &[choice(2), fork_join(2, 1)]), "sbuf-send-pkt2"),
         "seqmix" => renamed(parallel("t", &[sequencer(3, None), choice(2)]), "seqmix"),
         "seq4" => renamed(
             sequencer(
@@ -287,10 +289,9 @@ pub fn benchmark(name: &str) -> Option<Stg> {
         ),
         "vbe6a" => renamed(parallel("t", &[sequencer(3, None), sequencer(3, None)]), "vbe6a"),
         "vbe10b" => renamed(parallel("t", &[celement(7), sequencer(2, None)]), "vbe10b"),
-        "wrdatab" => renamed(
-            parallel("t", &[celement(4), fork_join(2, 2), sequencer(2, None)]),
-            "wrdatab",
-        ),
+        "wrdatab" => {
+            renamed(parallel("t", &[celement(4), fork_join(2, 2), sequencer(2, None)]), "wrdatab")
+        }
         _ => return None,
     };
     Some(stg)

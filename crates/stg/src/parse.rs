@@ -183,8 +183,7 @@ fn parse_marking(stg: &mut Stg, text: &str, lineno: usize) -> Result<(), ParseSt
     for entry in inner.split_whitespace() {
         let (place_txt, tokens) = match entry.split_once('=') {
             Some((p, k)) => {
-                let k: u8 =
-                    k.parse().map_err(|_| err(lineno, format!("bad token count `{k}`")))?;
+                let k: u8 = k.parse().map_err(|_| err(lineno, format!("bad token count `{k}`")))?;
                 (p, k)
             }
             None => (entry, 1),

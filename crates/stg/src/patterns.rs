@@ -15,9 +15,7 @@ use simap_sg::{Event, Signal, SignalId, SignalKind};
 pub fn sequencer(k: usize, kinds: Option<Vec<SignalKind>>) -> Stg {
     assert!(k >= 2, "sequencer needs at least two signals");
     let kinds = kinds.unwrap_or_else(|| {
-        (0..k)
-            .map(|i| if i % 2 == 0 { SignalKind::Input } else { SignalKind::Output })
-            .collect()
+        (0..k).map(|i| if i % 2 == 0 { SignalKind::Input } else { SignalKind::Output }).collect()
     });
     let signals: Vec<Signal> =
         kinds.iter().enumerate().map(|(i, &kind)| Signal::new(format!("s{i}"), kind)).collect();
@@ -201,7 +199,8 @@ pub fn parallel(name: &str, parts: &[Stg]) -> Stg {
             .transitions()
             .iter()
             .map(|t| {
-                let ev = Event { signal: SignalId(t.event.signal.0 + base), rising: t.event.rising };
+                let ev =
+                    Event { signal: SignalId(t.event.signal.0 + base), rising: t.event.rising };
                 stg.add_transition(ev, t.instance)
             })
             .collect();
@@ -237,11 +236,8 @@ impl Stg {
     /// Internal helper for [`renamed`]: copies structure from `other` into
     /// an empty net with the same signals.
     fn merged_from(mut self, other: Stg) -> Stg {
-        let tmap: Vec<TransitionId> = other
-            .transitions()
-            .iter()
-            .map(|t| self.add_transition(t.event, t.instance))
-            .collect();
+        let tmap: Vec<TransitionId> =
+            other.transitions().iter().map(|t| self.add_transition(t.event, t.instance)).collect();
         for (pi, place) in other.places().iter().enumerate() {
             let pid = match place.implicit {
                 Some((from, to)) => self.connect(tmap[from.0], tmap[to.0]),
@@ -324,9 +320,8 @@ mod tests {
     fn pipeline_state_counts_grow() {
         // The composed handshakes give strictly growing (Fibonacci-like)
         // state counts.
-        let counts: Vec<usize> = (1..=5)
-            .map(|n| elaborate(&pipeline(n)).unwrap().state_count())
-            .collect();
+        let counts: Vec<usize> =
+            (1..=5).map(|n| elaborate(&pipeline(n)).unwrap().state_count()).collect();
         assert_eq!(counts[0], 4);
         for w in counts.windows(2) {
             assert!(w[1] > w[0], "{counts:?}");

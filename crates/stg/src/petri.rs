@@ -194,10 +194,7 @@ impl Stg {
 
     /// The implicit place between two transitions, if present.
     pub fn implicit_place(&self, from: TransitionId, to: TransitionId) -> Option<PlaceId> {
-        self.places
-            .iter()
-            .position(|p| p.implicit == Some((from, to)))
-            .map(PlaceId)
+        self.places.iter().position(|p| p.implicit == Some((from, to))).map(PlaceId)
     }
 
     /// Sets the token count of a place.
@@ -258,9 +255,9 @@ impl Stg {
 
     /// Whether the net is a marked graph (no choice, no merge places).
     pub fn is_marked_graph(&self) -> bool {
-        (0..self.places.len()).map(PlaceId).all(|p| {
-            self.consumers(p).len() <= 1 && self.producers(p).len() <= 1
-        })
+        (0..self.places.len())
+            .map(PlaceId)
+            .all(|p| self.consumers(p).len() <= 1 && self.producers(p).len() <= 1)
     }
 }
 

@@ -48,7 +48,9 @@ impl fmt::Display for ReachError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReachError::Unbounded { place } => write!(f, "place `{place}` exceeds token bound"),
-            ReachError::TooManyStates { limit } => write!(f, "more than {limit} reachable markings"),
+            ReachError::TooManyStates { limit } => {
+                write!(f, "more than {limit} reachable markings")
+            }
             ReachError::Inconsistent { detail } => write!(f, "inconsistent STG: {detail}"),
             ReachError::Build(msg) => write!(f, "state graph construction failed: {msg}"),
         }
@@ -292,8 +294,8 @@ a- p
 .end
 ";
         let stg = parse_g(src).unwrap();
-        let err = elaborate_with(&stg, &ReachConfig { max_states: 10_000, max_tokens: 3 })
-            .unwrap_err();
+        let err =
+            elaborate_with(&stg, &ReachConfig { max_states: 10_000, max_tokens: 3 }).unwrap_err();
         assert!(matches!(err, ReachError::Unbounded { .. } | ReachError::TooManyStates { .. }));
     }
 

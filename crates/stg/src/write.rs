@@ -14,12 +14,8 @@ pub fn write_g(stg: &Stg) -> String {
         (SignalKind::Output, ".outputs"),
         (SignalKind::Internal, ".internal"),
     ] {
-        let names: Vec<&str> = stg
-            .signals()
-            .iter()
-            .filter(|s| s.kind == kind)
-            .map(|s| s.name.as_str())
-            .collect();
+        let names: Vec<&str> =
+            stg.signals().iter().filter(|s| s.kind == kind).map(|s| s.name.as_str()).collect();
         if !names.is_empty() {
             let _ = writeln!(out, "{directive} {}", names.join(" "));
         }
@@ -49,8 +45,7 @@ pub fn write_g(stg: &Stg) -> String {
         }
         let consumers = stg.consumers(pid);
         if !consumers.is_empty() {
-            let labels: Vec<String> =
-                consumers.iter().map(|&t| stg.transition_label(t)).collect();
+            let labels: Vec<String> = consumers.iter().map(|&t| stg.transition_label(t)).collect();
             let _ = writeln!(out, "{} {}", stg.places()[p].name, labels.join(" "));
         }
     }

@@ -3,10 +3,14 @@
 //! verified — the "new signal can be added either in order to satisfy the
 //! CSC condition, or to break up a complex gate" of §2.3.
 //!
+//! Without repair the pipeline rejects the specification with
+//! [`simap::Error::CscViolation`] carrying the full conflict list; with
+//! `.repair_csc(true)` the state signal is inserted automatically.
+//!
 //! Run with: `cargo run --release --example csc_repair`
 
-use simap::core::{csc_conflicts, run_flow, FlowConfig};
 use simap::sg::{Event, Signal, SignalId, SignalKind, StateGraphBuilder};
+use simap::Synthesis;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -25,27 +29,34 @@ fn main() -> Result<(), Box<dyn Error>> {
     bd.add_arc(s3, Event::fall(SignalId(0)), s0);
     let sg = bd.build(s0)?;
 
-    println!("conflicts before repair: {:?}", csc_conflicts(&sg));
-
     // Without repair the flow reports the CSC violation...
-    let strict = run_flow(&sg, &FlowConfig::with_limit(2));
-    println!("strict flow: {}", match &strict {
-        Ok(_) => "unexpectedly succeeded".to_string(),
-        Err(e) => format!("rejected: {e}"),
-    });
+    match Synthesis::from_state_graph(sg.clone()).literal_limit(2).run() {
+        Ok(_) => println!("strict flow: unexpectedly succeeded"),
+        Err(e) => {
+            println!("strict flow rejected: {e}");
+            println!("conflicting state pairs: {:?}", e.csc_conflicts());
+        }
+    }
 
     // ...with repair enabled a state signal is inserted automatically.
-    let mut config = FlowConfig::with_limit(2);
-    config.repair_csc = true;
-    let report = run_flow(&sg, &config)?;
+    let verified = Synthesis::from_state_graph(sg)
+        .literal_limit(2)
+        .repair_csc(true)
+        .elaborate()?
+        .covers()?
+        .decompose()?
+        .map()
+        .verify()?;
+    let report = verified.report();
     println!(
-        "repaired flow: inserted-for-decomposition={:?}, SI cost {}, verified {:?}",
-        report.inserted, report.si_cost, report.verified
+        "repaired flow: csc signal(s) {:?}, inserted-for-decomposition={:?}, SI cost {}, \
+         verified {:?}",
+        verified.csc_repaired(),
+        report.inserted,
+        report.si_cost,
+        report.verified
     );
     println!("\nfinal netlist:");
-    print!(
-        "{}",
-        simap::core::build_circuit(&report.outcome.sg, &report.outcome.mc).render()
-    );
+    print!("{}", verified.circuit().render());
     Ok(())
 }

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example custom_stg [spec.g]`
 
-use simap::core::{run_flow, FlowConfig};
 use simap::sg::{regions_of, Event};
+use simap::Synthesis;
 use std::error::Error;
 
 /// A two-stage asynchronous pipeline controller, written in the same `.g`
@@ -34,14 +34,19 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
 
     let stg = simap::stg::parse_g(&source)?;
-    println!("parsed `{}`: {} transitions, {} places", stg.name(), stg.transitions().len(), stg.places().len());
+    println!(
+        "parsed `{}`: {} transitions, {} places",
+        stg.name(),
+        stg.transitions().len(),
+        stg.places().len()
+    );
 
     // Round-trip sanity: the writer emits the same dialect.
     let roundtrip = simap::stg::parse_g(&simap::stg::write_g(&stg))?;
     assert_eq!(roundtrip.transitions().len(), stg.transitions().len());
 
-    let sg = simap::stg::elaborate(&stg)?;
-    let report = simap::sg::check_all(&sg);
+    let elaborated = Synthesis::from_stg(stg).literal_limit(2).elaborate()?;
+    let report = elaborated.properties();
     if !report.is_ok() {
         for v in &report.violations {
             eprintln!("property violation: {v}");
@@ -50,29 +55,26 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // Inspect the §2.2 regions of every implementable signal.
+    let sg = elaborated.state_graph();
     for signal in sg.implementable_signals() {
         for event in [Event::rise(signal), Event::fall(signal)] {
-            for region in regions_of(&sg, event) {
+            for region in regions_of(sg, event) {
                 println!(
                     "ER{}({}): {} excitation states, {} quiescent states, triggers {:?}",
                     region.index,
                     sg.event_name(event),
                     region.er.count(),
                     region.qr.count(),
-                    region
-                        .trigger_events(&sg)
-                        .iter()
-                        .map(|&e| sg.event_name(e))
-                        .collect::<Vec<_>>()
+                    region.trigger_events(sg).iter().map(|&e| sg.event_name(e)).collect::<Vec<_>>()
                 );
             }
         }
     }
 
-    let flow = run_flow(&sg, &FlowConfig::with_limit(2))?;
+    let report = elaborated.covers()?.decompose()?.map().verify()?.into_report();
     println!(
         "\n2-input mapping: inserted {:?}, SI cost {}, verified {:?}",
-        flow.inserted, flow.si_cost, flow.verified
+        report.inserted, report.si_cost, report.verified
     );
     Ok(())
 }

@@ -7,33 +7,33 @@
 
 use simap::netlist::Library;
 use simap::sg::{regions_of, DotOptions, Event};
+use simap::Synthesis;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "hazard".to_string());
-    let stg = simap::stg::benchmark(&name).ok_or("unknown benchmark")?;
-    let sg = simap::stg::elaborate(&stg)?;
+    let elaborated = Synthesis::from_benchmark(&name).literal_limit(2).elaborate()?;
+    let sg = elaborated.state_graph();
 
     let signal = match args.next() {
         Some(s) => sg.signal_by_name(&s).ok_or("unknown signal")?,
         None => *sg.implementable_signals().last().ok_or("no outputs")?,
     };
 
-    let mut highlight = regions_of(&sg, Event::rise(signal));
-    highlight.extend(regions_of(&sg, Event::fall(signal)));
-    let dot = simap::sg::to_dot(&sg, &DotOptions { highlight, show_codes: true });
+    let mut highlight = regions_of(sg, Event::rise(signal));
+    highlight.extend(regions_of(sg, Event::fall(signal)));
+    let dot = simap::sg::to_dot(sg, &DotOptions { highlight, show_codes: true });
     println!("{dot}");
 
     // Map and report cell usage against the 2-input library.
-    let flow = simap::core::run_flow(&sg, &simap::core::FlowConfig::with_limit(2))?;
-    let circuit = simap::core::build_circuit(&flow.outcome.sg, &flow.outcome.mc);
+    let mapped = elaborated.covers()?.decompose()?.map();
     let library = Library::two_input();
     eprintln!("# cell report for `{name}` against the {} library:", library.name);
-    for (shape, count) in library.cell_report(&circuit) {
+    for (shape, count) in library.cell_report(mapped.circuit()) {
         eprintln!("#   {count:3} x {shape}");
     }
-    let misfits = library.misfits(&circuit);
+    let misfits = library.misfits(mapped.circuit());
     eprintln!("# gates not fitting the library: {}", misfits.len());
     Ok(())
 }

@@ -2,18 +2,21 @@
 //! guided walkthrough: regions, divisor legality, signal insertion,
 //! resynthesis and final verification.
 //!
+//! Steps 1–4 use the algorithm primitives directly (that is what they are
+//! for); step 5 runs the same flow through the staged [`Synthesis`]
+//! pipeline.
+//!
 //! Run with: `cargo run --release --example hazard_walkthrough`
 
 use simap::boolean::{generate_divisors, DivisorConfig};
-use simap::core::{
-    build_circuit, compute_insertion, insert_function, run_flow, synthesize_mc, FlowConfig,
-};
+use simap::core::{build_circuit, compute_insertion, insert_function, synthesize_mc};
 use simap::sg::Event;
+use simap::Synthesis;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let stg = simap::stg::benchmark("hazard").ok_or("benchmark suite must contain hazard")?;
-    let sg = simap::stg::elaborate(&stg)?;
+    let elaborated = Synthesis::from_benchmark("hazard").literal_limit(2).elaborate()?;
+    let sg = elaborated.state_graph().clone();
 
     println!("step 1 — the specification (Fig. 1a):");
     for s in sg.states() {
@@ -63,12 +66,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\nstep 5 — the full flow (Fig. 5): before/after netlists");
     println!("before:");
     print!("{}", build_circuit(&sg, &mc).render());
-    let flow = run_flow(&sg, &FlowConfig::with_limit(2))?;
-    println!("after ({} insertion(s)):", flow.inserted.unwrap_or(0));
-    print!("{}", build_circuit(&flow.outcome.sg, &flow.outcome.mc).render());
-    println!(
-        "\nverified speed-independent: {}",
-        matches!(flow.verified, Some(true))
-    );
+    let verified = elaborated.covers()?.decompose()?.map().verify()?;
+    println!("after ({} insertion(s)):", verified.report().inserted.unwrap_or(0));
+    print!("{}", verified.circuit().render());
+    println!("\nverified speed-independent: {}", matches!(verified.verdict(), Some(true)));
     Ok(())
 }

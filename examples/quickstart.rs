@@ -1,9 +1,14 @@
 //! Quickstart: map a benchmark specification onto a 2-input gate library
 //! while preserving speed-independence, then print the resulting netlist.
 //!
+//! The staged [`Synthesis`] pipeline is the single entry point: configure
+//! it, then either `.run()` for the classic one-shot report or step
+//! through the typed stages to inspect intermediate artifacts (as done
+//! here to reuse the mapped netlist without rebuilding it).
+//!
 //! Run with: `cargo run --release --example quickstart [benchmark] [limit]`
 
-use simap::core::{build_circuit, run_flow, FlowConfig};
+use simap::Synthesis;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -11,37 +16,39 @@ fn main() -> Result<(), Box<dyn Error>> {
     let name = args.next().unwrap_or_else(|| "hazard".to_string());
     let limit: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(2);
 
-    // 1. Load the specification (a Signal Transition Graph).
-    let stg = simap::stg::benchmark(&name)
-        .ok_or_else(|| format!("unknown benchmark `{name}`; see `simap::stg::benchmark_names()`"))?;
-
-    // 2. Elaborate into a State Graph and sanity-check the §2.1 properties.
-    let sg = simap::stg::elaborate(&stg)?;
-    let report = simap::sg::check_all(&sg);
+    // 1. Elaborate the specification (STG → state graph) and sanity-check
+    //    the §2.1 properties.
+    let elaborated = Synthesis::from_benchmark(&name).literal_limit(limit).elaborate()?;
+    let properties = elaborated.properties();
     println!(
         "{name}: {} signals, {} states, speed-independent: {}, CSC: {}",
-        sg.signal_count(),
-        sg.state_count(),
-        report.is_speed_independent(),
-        report.has_csc()
+        elaborated.state_graph().signal_count(),
+        elaborated.state_graph().state_count(),
+        properties.is_speed_independent(),
+        properties.has_csc()
     );
 
-    // 3. Run the full technology-mapping flow.
-    let flow = run_flow(&sg, &FlowConfig::with_limit(limit))?;
-    match flow.inserted {
-        Some(n) => println!("implementable with {limit}-literal gates after inserting {n} signal(s)"),
-        None => println!("not implementable with {limit}-literal gates (n.i.)"),
+    // 2. Synthesize monotonous covers and run the decomposition loop.
+    let decomposed = elaborated.covers()?.decompose()?;
+    match decomposed.implementable() {
+        true => println!(
+            "implementable with {limit}-literal gates after inserting {} signal(s)",
+            decomposed.inserted().len()
+        ),
+        false => println!("not implementable with {limit}-literal gates (n.i.)"),
     }
-    for step in &flow.outcome.steps {
+    for step in decomposed.steps() {
         println!("  inserted {} = {} (targeting {})", step.signal, step.divisor, step.target);
     }
 
-    // 4. Print the final standard-C netlist and the cost accounting.
+    // 3. Map onto the standard-C architecture and verify the result.
+    let verified = decomposed.map().verify()?;
     println!("\nfinal netlist:");
-    print!("{}", build_circuit(&flow.outcome.sg, &flow.outcome.mc).render());
+    print!("{}", verified.circuit().render());
+    let report = verified.report();
     println!(
         "\ncost: SI {} vs non-SI baseline {} (literals/C-elements); verified SI: {:?}",
-        flow.si_cost, flow.non_si_cost, flow.verified
+        report.si_cost, report.non_si_cost, report.verified
     );
     Ok(())
 }

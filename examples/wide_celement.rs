@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example wide_celement [max_k]`
 
-use simap::core::{decompose, si_cost, DecomposeConfig};
-use simap::stg::{elaborate, patterns};
+use simap::stg::patterns;
+use simap::Synthesis;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -20,23 +20,27 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("{}", "-".repeat(62));
 
     for k in 2..=max_k {
-        let stg = patterns::celement(k);
-        let sg = elaborate(&stg)?;
-        let before = simap::core::synthesize_mc(&sg)?;
+        let covers =
+            Synthesis::from_stg(patterns::celement(k)).literal_limit(2).elaborate()?.covers()?;
+        let states = covers.state_graph().state_count();
+        let initial_max = covers.mc().max_complexity();
         let t = std::time::Instant::now();
-        let result = decompose(&sg, &DecomposeConfig::with_limit(2))?;
-        let cost = si_cost(&result.mc, 2);
+        let decomposed = covers.decompose()?;
+        let final_max = decomposed.mc().max_complexity();
+        let inserted = decomposed.inserted().len();
+        let implementable = decomposed.implementable();
+        let mapped = decomposed.map();
         println!(
             "{:>3} | {:>7} | {:>9} | {:>9} | {:>10} | {:>9}  [{:.1?}]",
             k,
-            sg.state_count(),
-            before.max_complexity(),
-            result.inserted.len(),
-            result.mc.max_complexity(),
-            cost.to_string(),
+            states,
+            initial_max,
+            inserted,
+            final_max,
+            mapped.si_cost().to_string(),
             t.elapsed()
         );
-        assert!(result.implementable, "C-element joins are 2-input implementable");
+        assert!(implementable, "C-element joins are 2-input implementable");
     }
 
     println!("\nEach k-literal cover decomposes into a C-element tree: the inserted");

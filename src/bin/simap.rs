@@ -10,14 +10,17 @@
 //!   -l, --limit <n>      literal limit (default 2)
 //!       --csc-repair     repair CSC violations by state-signal insertion
 //!       --no-verify      skip the final speed-independence verification
+//!       --or-limit <n>   split second-level OR gates to <= n inputs
+//!   -v, --verbose        narrate stages and insertions to stderr
 //!       --verilog <f>    write the mapped netlist as structural Verilog
 //!       --dot <f>        write the final state graph as Graphviz dot
 //!       --bench <name>   use an embedded benchmark instead of a file
 //! ```
 
-use simap::core::{build_circuit, dossier, run_flow, FlowConfig};
+use simap::core::dossier;
 use simap::netlist::to_verilog;
 use simap::sg::DotOptions;
+use simap::{StderrObserver, Synthesis};
 use std::error::Error;
 use std::process::ExitCode;
 
@@ -44,33 +47,36 @@ fn run() -> Result<ExitCode, Box<dyn Error>> {
     }
 }
 
-fn load(args: &[String]) -> Result<simap::sg::StateGraph, Box<dyn Error>> {
-    // `--bench <name>` takes precedence; otherwise the first non-flag
-    // argument is a `.g` file path.
-    if let Some(pos) = args.iter().position(|a| a == "--bench") {
-        let name = args.get(pos + 1).ok_or("--bench needs a name")?;
-        let stg = simap::stg::benchmark(name)
-            .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
-        return Ok(simap::stg::elaborate(&stg)?);
+/// Flags that consume the following argument as their value.
+const VALUED_FLAGS: [&str; 6] = ["--limit", "-l", "--or-limit", "--verilog", "--dot", "--bench"];
+
+/// Builds a [`Synthesis`] from the CLI's source arguments: `--bench
+/// <name>` takes precedence; otherwise the first non-flag argument that
+/// is not the value of a valued flag is a `.g` file path.
+fn synthesis(args: &[String]) -> Result<Synthesis, Box<dyn Error>> {
+    if args.iter().any(|a| a == "--bench") {
+        let name = flag_value(args, "--bench").ok_or("--bench needs a name")?;
+        return Ok(Synthesis::from_benchmark(name));
     }
-    let path = args
-        .iter()
-        .find(|a| !a.starts_with("--") && !a.starts_with('-'))
-        .ok_or("no specification given (pass a .g file or --bench <name>)")?;
-    let text = std::fs::read_to_string(path)?;
-    let stg = simap::stg::parse_g(&text)?;
-    Ok(simap::stg::elaborate(&stg)?)
+    let mut iter = args.iter();
+    let path = loop {
+        let Some(arg) = iter.next() else {
+            return Err("no specification given (pass a .g file or --bench <name>)".into());
+        };
+        if VALUED_FLAGS.contains(&arg.as_str()) {
+            iter.next(); // skip the flag's value
+        } else if !arg.starts_with('-') {
+            break arg;
+        }
+    };
+    Ok(Synthesis::from_g_source(std::fs::read_to_string(path)?))
 }
 
 fn check(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
-    let sg = load(args)?;
-    let report = simap::sg::check_all(&sg);
-    println!(
-        "{}: {} signals, {} states",
-        sg.name(),
-        sg.signal_count(),
-        sg.state_count()
-    );
+    let elaborated = synthesis(args)?.elaborate()?;
+    let sg = elaborated.state_graph();
+    let report = elaborated.properties();
+    println!("{}: {} signals, {} states", sg.name(), sg.signal_count(), sg.state_count());
     println!("  speed-independent: {}", report.is_speed_independent());
     println!("  complete state coding: {}", report.has_csc());
     for v in report.violations.iter().take(10) {
@@ -84,29 +90,43 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
-    let sg = load(args)?;
     let limit: usize = flag_value(args, "--limit")
         .or_else(|| flag_value(args, "-l"))
         .map(str::parse)
         .transpose()?
         .unwrap_or(2);
-    let mut config = FlowConfig::with_limit(limit);
-    config.repair_csc = args.iter().any(|a| a == "--csc-repair");
-    config.verify = !args.iter().any(|a| a == "--no-verify");
 
-    let report = run_flow(&sg, &config)?;
-    print!("{}", dossier(&report));
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let mut synthesis =
+        synthesis(args)?.literal_limit(limit).repair_csc(args.iter().any(|a| a == "--csc-repair"));
+    if let Some(n) = flag_value(args, "--or-limit") {
+        synthesis = synthesis.or_limit(n.parse()?);
+    }
+    if args.iter().any(|a| a == "--verbose" || a == "-v") {
+        synthesis = synthesis.observer(StderrObserver);
+    }
 
-    let circuit = build_circuit(&report.outcome.sg, &report.outcome.mc);
+    // Drive the stages explicitly so the mapped netlist is available for
+    // the exporters without rebuilding it. Refutation is reported in the
+    // dossier (`verified: Some(false)`), not raised as an error, so the
+    // netlist exports below still run — matching the historical CLI.
+    let mapped = synthesis.elaborate()?.covers()?.decompose()?.map();
+    let verified = if verify { mapped.verify_compat() } else { mapped.skip_verify() };
+    let report = verified.report();
+    print!("{}", dossier(report));
+
     if let Some(path) = flag_value(args, "--verilog") {
         let module = report.name.clone();
-        std::fs::write(path, to_verilog(&circuit, &report.outcome.sg, &module))?;
+        std::fs::write(path, to_verilog(verified.circuit(), &report.outcome.sg, &module))?;
         println!("wrote {path}");
     }
     if let Some(path) = flag_value(args, "--dot") {
         std::fs::write(
             path,
-            simap::sg::to_dot(&report.outcome.sg, &DotOptions { show_codes: true, ..Default::default() }),
+            simap::sg::to_dot(
+                &report.outcome.sg,
+                &DotOptions { show_codes: true, ..Default::default() },
+            ),
         )?;
         println!("wrote {path}");
     }
@@ -117,13 +137,9 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     match args.first().map(String::as_str) {
         Some("list") => {
             for name in simap::stg::benchmark_names() {
-                let stg = simap::stg::benchmark(name).expect("known");
-                let sg = simap::stg::elaborate(&stg)?;
-                println!(
-                    "{name:15} {:2} signals {:5} states",
-                    sg.signal_count(),
-                    sg.state_count()
-                );
+                let sg = Synthesis::from_benchmark(*name).elaborate()?;
+                let sg = sg.state_graph();
+                println!("{name:15} {:2} signals {:5} states", sg.signal_count(), sg.state_count());
             }
             Ok(ExitCode::SUCCESS)
         }

@@ -7,6 +7,56 @@
 //! speed-independent circuits targeting bounded-fanin standard-cell
 //! libraries.
 //!
+//! ## Quickstart
+//!
+//! The whole flow — STG → state graph → monotonous covers →
+//! decomposition/resynthesis → standard-C netlist → speed-independence
+//! verification — hangs off one entry point, the [`Synthesis`] builder:
+//!
+//! ```
+//! use simap::Synthesis;
+//!
+//! let report = simap::Synthesis::from_benchmark("hazard")
+//!     .literal_limit(2) // map onto gates of at most 2 literals
+//!     .run()?;
+//! assert!(report.inserted.is_some(), "hazard is 2-input implementable");
+//! assert_eq!(report.verified, Some(true), "and provably speed-independent");
+//! # Ok::<(), simap::Error>(())
+//! ```
+//!
+//! Every intermediate artifact is a typed stage value that can be
+//! inspected, cached or fanned out:
+//!
+//! ```
+//! use simap::Synthesis;
+//!
+//! let elaborated = Synthesis::from_benchmark("hazard").elaborate()?;
+//! assert!(elaborated.properties().is_ok()); // §2.1 checks
+//!
+//! let covers = elaborated.covers()?; // §2.2 monotonous covers
+//! assert!(covers.mc().max_complexity() > 2, "needs decomposition");
+//!
+//! let decomposed = covers.decompose()?; // §3 insertion loop
+//! let mapped = decomposed.map(); // standard-C netlist + §4 costs
+//! let verified = mapped.verify()?; // semi-modularity check
+//! assert_eq!(verified.verdict(), Some(true));
+//! # Ok::<(), simap::Error>(())
+//! ```
+//!
+//! Failures of any stage surface as the unified [`Error`] enum with the
+//! stage and the offending signals attached, [`FlowObserver`] hooks
+//! stream per-step progress, and [`Batch`] drives whole benchmark suites:
+//!
+//! ```
+//! use simap::Batch;
+//!
+//! let rows = Batch::over_benchmarks(["half", "hazard"]).limits([2]).run()?;
+//! println!("{}", simap::core::to_markdown(&[2], &rows));
+//! # Ok::<(), simap::Error>(())
+//! ```
+//!
+//! ## Crates
+//!
 //! This facade re-exports the workspace crates:
 //!
 //! * [`boolean`] — cube/SOP engine: minimization, algebraic division,
@@ -17,22 +67,17 @@
 //!   generators and the 32-benchmark suite ([`simap_stg`]);
 //! * [`netlist`] — standard-C circuits, cost model, the non-SI baseline
 //!   and the semi-modularity verifier ([`simap_netlist`]);
-//! * [`core`] — monotonous covers, SIP event insertion, progress analysis
-//!   and the decomposition loop ([`simap_core`]).
+//! * [`core`] — monotonous covers, SIP event insertion, progress analysis,
+//!   the decomposition loop and the [`pipeline`] ([`simap_core`]).
 //!
-//! ## Quickstart
+//! ## Deprecation policy
 //!
-//! ```
-//! use simap::core::{run_flow, FlowConfig};
-//!
-//! // Load a benchmark STG, elaborate it and map it onto 2-input gates.
-//! let stg = simap::stg::benchmark("hazard").ok_or("unknown benchmark")?;
-//! let sg = simap::stg::elaborate(&stg)?;
-//! let report = run_flow(&sg, &FlowConfig::with_limit(2))?;
-//! assert!(report.inserted.is_some(), "hazard is 2-input implementable");
-//! assert_eq!(report.verified, Some(true), "and provably speed-independent");
-//! # Ok::<(), Box<dyn std::error::Error>>(())
-//! ```
+//! Flow-level free functions superseded by [`Synthesis`] (today:
+//! `simap::core::run_flow`) remain available as `#[deprecated]` shims
+//! with unchanged behavior for at least one minor release before
+//! removal. Algorithm primitives (`synthesize_mc`, `repair_csc`,
+//! `compute_insertion`, `build_circuit`, …) are the stable substrate the
+//! pipeline is built on and are not deprecated.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,3 +87,9 @@ pub use simap_core as core;
 pub use simap_netlist as netlist;
 pub use simap_sg as sg;
 pub use simap_stg as stg;
+
+pub use simap_core::pipeline;
+pub use simap_core::{
+    Batch, Covers, Decomposed, Elaborated, Error, FlowObserver, Mapped, Stage, Synthesis, Verified,
+};
+pub use simap_core::{NullObserver, RecordingObserver, StderrObserver};

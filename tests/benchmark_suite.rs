@@ -58,9 +58,10 @@ fn shared_output_specs_merge_regions() {
     let stg = simap::stg::benchmark("pe-rcv-ifc").expect("known");
     let sg = elaborate(&stg).expect("elaborates");
     let mc = synthesize_mc(&sg).expect("CSC holds");
-    assert!(mc.signals.iter().any(|s| {
-        s.covers().iter().any(|c| c.region_indices.len() > 1)
-    }) || !mc.signals.is_empty());
+    assert!(
+        mc.signals.iter().any(|s| { s.covers().iter().any(|c| c.region_indices.len() > 1) })
+            || !mc.signals.is_empty()
+    );
 }
 
 #[test]

@@ -2,24 +2,33 @@
 //! relies on: Verilog export of a mapped benchmark, dot export, and the
 //! markdown/CSV batch emitters over real flow results.
 
-use simap::core::{
-    build_circuit, run_flow, to_csv, to_markdown, BatchRow, FlowConfig,
-};
+use simap::core::{to_csv, to_markdown, FlowReport};
 use simap::netlist::to_verilog;
 use simap::sg::DotOptions;
+use simap::{Batch, Synthesis, Verified};
 
-fn flow(name: &str, limit: usize) -> (simap::sg::StateGraph, simap::core::FlowReport) {
-    let stg = simap::stg::benchmark(name).expect("known");
-    let sg = simap::stg::elaborate(&stg).expect("elaborates");
-    let report = run_flow(&sg, &FlowConfig::with_limit(limit)).expect("flow");
-    (sg, report)
+fn verified(name: &str, limit: usize) -> Verified {
+    Synthesis::from_benchmark(name)
+        .literal_limit(limit)
+        .elaborate()
+        .expect("elaborates")
+        .covers()
+        .expect("CSC holds")
+        .decompose()
+        .expect("decomposes")
+        .map()
+        .verify()
+        .expect("verifies")
+}
+
+fn flow(name: &str, limit: usize) -> FlowReport {
+    verified(name, limit).into_report()
 }
 
 #[test]
 fn verilog_of_mapped_benchmark_is_structurally_sound() {
-    let (_, report) = flow("hazard", 2);
-    let circuit = build_circuit(&report.outcome.sg, &report.outcome.mc);
-    let v = to_verilog(&circuit, &report.outcome.sg, "hazard");
+    let verified = verified("hazard", 2);
+    let v = to_verilog(verified.circuit(), &verified.report().outcome.sg, "hazard");
     // Ports: inputs a, b; outputs x, y. Inserted x0 must be a wire.
     assert!(v.contains("input a"));
     assert!(v.contains("input b"));
@@ -35,7 +44,7 @@ fn verilog_of_mapped_benchmark_is_structurally_sound() {
 
 #[test]
 fn dot_of_final_graph_contains_inserted_signal() {
-    let (_, report) = flow("hazard", 2);
+    let report = flow("hazard", 2);
     let dot = simap::sg::to_dot(
         &report.outcome.sg,
         &DotOptions { show_codes: true, ..Default::default() },
@@ -44,13 +53,8 @@ fn dot_of_final_graph_contains_inserted_signal() {
 }
 
 #[test]
-fn emitters_cover_ni_and_success() {
-    let (sg2, r2) = flow("half", 2);
-    let rows = vec![BatchRow {
-        name: "half".into(),
-        states: sg2.state_count(),
-        reports: vec![r2],
-    }];
+fn emitters_cover_batch_rows() {
+    let rows = Batch::over_benchmarks(["half"]).limits([2]).run().expect("batch");
     let md = to_markdown(&[2], &rows);
     assert!(md.contains("| half |"));
     let csv = to_csv(&[2], &rows);

@@ -2,8 +2,9 @@
 //! Complete State Coding are repaired by state-signal insertion and then
 //! flow through the full mapper.
 
-use simap::core::{csc_conflicts, repair_csc, run_flow, CscRepairConfig, FlowConfig};
-use simap::sg::{check_all, Event, Signal, SignalId, SignalKind, StateGraphBuilder, StateGraph};
+use simap::core::{csc_conflicts, repair_csc, CscRepairConfig};
+use simap::sg::{check_all, Event, Signal, SignalId, SignalKind, StateGraph, StateGraphBuilder};
+use simap::Synthesis;
 
 /// a+ ; b+ ; b- ; a- over two outputs: the textbook CSC conflict.
 fn conflicted() -> StateGraph {
@@ -32,9 +33,25 @@ fn repaired_spec_maps_and_verifies() {
     assert!(csc_conflicts(&fixed).is_empty());
     assert!(check_all(&fixed).is_ok());
 
-    let report = run_flow(&fixed, &FlowConfig::with_limit(2)).expect("flow succeeds");
+    let report = Synthesis::from_state_graph(fixed).literal_limit(2).run().expect("flow succeeds");
     assert!(report.inserted.is_some());
     assert_eq!(report.verified, Some(true));
+
+    // The pipeline performs the same repair inline.
+    let verified = Synthesis::from_state_graph(sg)
+        .literal_limit(2)
+        .repair_csc(true)
+        .elaborate()
+        .expect("repairable")
+        .covers()
+        .expect("CSC holds after repair")
+        .decompose()
+        .expect("decomposes")
+        .map()
+        .verify()
+        .expect("verifies");
+    assert!(!verified.csc_repaired().is_empty());
+    assert_eq!(verified.verdict(), Some(true));
 }
 
 #[test]
@@ -91,7 +108,7 @@ fn longer_conflict_chain_repairs() {
             assert!(csc_conflicts(&fixed).is_empty());
             assert!(check_all(&fixed).is_ok());
             assert!(!inserted.is_empty());
-            let report = run_flow(&fixed, &FlowConfig::with_limit(3)).expect("flow");
+            let report = Synthesis::from_state_graph(fixed).literal_limit(3).run().expect("flow");
             assert!(report.inserted.is_some());
         }
         Err(e) => panic!("expected repair to succeed: {e}"),

@@ -104,8 +104,7 @@ fn unacknowledged_decomposition_is_refuted() {
     let a = |i: usize| sg.signal_by_name(&format!("a{i}")).expect("input");
 
     let mut circuit = simap::netlist::Circuit::new();
-    let na: Vec<_> =
-        (0..3).map(|i| circuit.add_net(format!("a{i}"), Some(a(i)))).collect();
+    let na: Vec<_> = (0..3).map(|i| circuit.add_net(format!("a{i}"), Some(a(i)))).collect();
     let nc = circuit.add_net("c", Some(c));
     let mid = circuit.add_net("mid", None);
     let nset = circuit.add_net("set", None);
@@ -138,10 +137,7 @@ fn unacknowledged_decomposition_is_refuted() {
         .expect("fresh");
 
     let verdict = verify(&circuit, &sg);
-    assert!(
-        verdict.is_err(),
-        "naive two-level split without SG insertion must exhibit a hazard"
-    );
+    assert!(verdict.is_err(), "naive two-level split without SG insertion must exhibit a hazard");
 }
 
 /// The *correct* decomposition of the same circuit — produced by the
@@ -174,12 +170,8 @@ fn missing_state_holding_is_refuted() {
     for s in &mc.signals {
         if let SignalBody::StandardC { set, .. } = &s.body {
             // Drive the signal directly from its set cover: no hold state.
-            let gate = simap::netlist::sop_gate(
-                "q_wrong",
-                &set[0].cover,
-                |v| nets[v],
-                nets[s.signal.0],
-            );
+            let gate =
+                simap::netlist::sop_gate("q_wrong", &set[0].cover, |v| nets[v], nets[s.signal.0]);
             circuit.add_gate(gate).expect("fresh");
         }
     }

@@ -51,10 +51,8 @@ fn simulation_and_verifier_agree_on_mutants() {
         }
         let circuit = build_circuit(&sg, &mutant);
         let exhaustive = verify_speed_independence(&circuit, &sg, &VerifyConfig::default()).is_ok();
-        let random = simulate(&circuit, &sg, &SimConfig { runs: 64, steps: 5_000, seed: 5 }).is_ok();
-        assert_eq!(
-            exhaustive, random,
-            "verifier and simulator disagree (flip_set = {flip_set})"
-        );
+        let random =
+            simulate(&circuit, &sg, &SimConfig { runs: 64, steps: 5_000, seed: 5 }).is_ok();
+        assert_eq!(exhaustive, random, "verifier and simulator disagree (flip_set = {flip_set})");
     }
 }
