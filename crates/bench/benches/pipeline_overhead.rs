@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use simap_bench::benchmark_sg;
-use simap_bench::reexports::{run_flow, FlowConfig, Synthesis};
+use simap_bench::reexports::{run_flow, Config, FlowConfig, Synthesis};
 
 const CIRCUITS: [&str; 3] = ["hazard", "dff", "chu150"];
 
@@ -28,12 +28,13 @@ fn bench_one_shot(c: &mut Criterion) {
 fn bench_staged(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow/staged_pipeline");
     group.sample_size(10);
+    let config = Config::default();
     for name in CIRCUITS {
         let sg = benchmark_sg(name);
         group.bench_function(name, |b| {
             b.iter(|| {
                 Synthesis::from_state_graph(std::hint::black_box(&sg).clone())
-                    .literal_limit(2)
+                    .config(&config)
                     .elaborate()
                     .expect("elaborates")
                     .covers()

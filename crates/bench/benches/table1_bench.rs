@@ -4,18 +4,18 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use simap_bench::benchmark_sg;
-use simap_bench::reexports::Synthesis;
+use simap_bench::reexports::{Config, Synthesis};
 
 fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_flow");
     group.sample_size(10);
+    let config = Config::builder().verify(false).build().expect("valid config");
     for name in ["hazard", "dff", "chu150", "nowick", "rdft", "vbe5b"] {
         let sg = benchmark_sg(name);
         group.bench_function(name, |b| {
             b.iter(|| {
                 Synthesis::from_state_graph(std::hint::black_box(&sg).clone())
-                    .literal_limit(2)
-                    .verify(false)
+                    .config(&config)
                     .run()
                     .expect("flow")
             })

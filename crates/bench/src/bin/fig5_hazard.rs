@@ -2,7 +2,7 @@
 //! before and after decomposition into 2-input gates.
 
 use simap_bench::{benchmark_sg, summarize_flow};
-use simap_core::{build_circuit, synthesize_mc, Synthesis};
+use simap_core::{build_circuit, synthesize_mc, Config, Synthesis};
 
 fn main() {
     let sg = benchmark_sg("hazard");
@@ -11,7 +11,7 @@ fn main() {
     print!("{}", build_circuit(&sg, &mc).render());
 
     let verified = Synthesis::from_state_graph(sg)
-        .literal_limit(2)
+        .config(&Config::default())
         .elaborate()
         .and_then(|e| e.covers())
         .and_then(|c| c.decompose())

@@ -6,8 +6,7 @@
 //! tool").
 
 use simap_bench::{benchmark_sg, summarize_flow};
-use simap_core::{build_circuit, synthesize_mc, Synthesis};
-use simap_netlist::VerifyConfig;
+use simap_core::{build_circuit, synthesize_mc, Config, Synthesis};
 
 fn main() {
     let sg = benchmark_sg("vbe10b");
@@ -15,9 +14,13 @@ fn main() {
     println!("== before decomposition (max gate = {} literals) ==", mc.max_complexity());
     print!("{}", build_circuit(&sg, &mc).render());
 
-    let mapped = Synthesis::from_state_graph(sg)
+    let config = Config::builder()
         .literal_limit(2)
-        .verify_config(VerifyConfig { max_states: 3_000_000 })
+        .verify_max_states(3_000_000)
+        .build()
+        .expect("valid config");
+    let mapped = Synthesis::from_state_graph(sg)
+        .config(&config)
         .elaborate()
         .and_then(|e| e.covers())
         .and_then(|c| c.decompose())

@@ -8,6 +8,7 @@
 //! `--quick` limits the run to the circuits whose state graphs have at
 //! most 1500 states.
 
+use simap_bench::reexports::Engine;
 use simap_bench::{batch_rows, benchmark_sg, format_histogram, format_inserted, table1_row};
 use simap_stg::benchmark_names;
 
@@ -18,6 +19,7 @@ fn main() {
     let csv = args.iter().any(|a| a == "--csv");
     let markdown = args.iter().any(|a| a == "--markdown");
     let explicit: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let engine = Engine::default();
 
     let names: Vec<&str> = if explicit.is_empty() {
         benchmark_names().to_vec()
@@ -52,7 +54,7 @@ fn main() {
             continue;
         }
         let t = std::time::Instant::now();
-        let row = table1_row(name, verify);
+        let row = table1_row(&engine, name, verify);
         println!(
             "{:15} | {:>6} | {:17} | {:>4} {:>4} {:>4} | {:>9} | {:>8} | {:>8} | {:>8}  [{:.1?}]",
             row.name,

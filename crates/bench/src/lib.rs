@@ -7,7 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use simap_core::{build_decomposed_circuit, synthesize_mc, FlowReport, Synthesis};
+use simap_core::{build_decomposed_circuit, synthesize_mc, Engine, FlowReport};
 use simap_netlist::verify_speed_independence;
 use simap_netlist::{Cost, VerifyConfig};
 use simap_sg::StateGraph;
@@ -52,15 +52,24 @@ pub fn benchmark_sg(name: &str) -> StateGraph {
 }
 
 /// Computes one Table 1 row (this is the expensive full flow: three
-/// literal limits plus the local-ack baseline).
-pub fn table1_row(name: &str, verify: bool) -> Table1Row {
-    let sg = benchmark_sg(name);
+/// literal limits plus the local-ack baseline). The engine's elaboration
+/// cache makes the three limits share one reachability pass.
+pub fn table1_row(engine: &Engine, name: &str, verify: bool) -> Table1Row {
+    let elaborated = engine.benchmark(name).elaborate().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let sg = elaborated.state_graph_arc();
 
     let flow_at = |limit: usize, verify: bool| -> FlowReport {
-        Synthesis::from_state_graph(sg.clone())
+        let config = engine
+            .config()
+            .to_builder()
             .literal_limit(limit)
             .verify(verify)
-            .verify_config(VerifyConfig { max_states: 1_500_000 })
+            .verify_max_states(1_500_000)
+            .build()
+            .expect("valid table1 config");
+        engine
+            .with_config(config)
+            .benchmark(name)
             .run()
             .unwrap_or_else(|e| panic!("{name}@{limit}: {e}"))
     };
@@ -149,8 +158,8 @@ pub mod reexports {
     #[allow(deprecated)] // the run_flow shim stays benchmarkable against the pipeline
     pub use simap_core::run_flow;
     pub use simap_core::{
-        build_circuit, decompose, non_si_cost, si_cost, synthesize_mc, AckMode, Batch,
-        DecomposeConfig, FlowConfig, Synthesis,
+        build_circuit, decompose, non_si_cost, si_cost, synthesize_mc, AckMode, Batch, Config,
+        DecomposeConfig, Engine, FlowConfig, Synthesis,
     };
     pub use simap_sg::check_all;
     pub use simap_stg::{all_benchmarks, benchmark, elaborate, patterns};
@@ -169,8 +178,13 @@ mod tests {
 
     #[test]
     fn small_row_computes() {
-        let row = table1_row("half", true);
+        let engine = Engine::default();
+        let row = table1_row(&engine, "half", true);
         assert!(row.inserted[0].is_some());
         assert_eq!(row.verified, Some(true));
+        // One elaboration serves all three literal limits.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert!(stats.hits >= 3, "limits 2/3/4 reuse the elaboration: {stats:?}");
     }
 }

@@ -1,0 +1,313 @@
+//! The unified run configuration: one validated, builder-style struct
+//! absorbing every knob of the synthesis flow.
+//!
+//! Before this module, tuning a run meant reaching into four places —
+//! [`FlowConfig`] (decomposition + verification), [`CscRepairConfig`],
+//! [`VerifyConfig`] and loose builder setters like `or_limit` — and
+//! invalid values were clamped or ignored mid-flow. A [`Config`] is built
+//! once through [`ConfigBuilder`], validated at [`ConfigBuilder::build`],
+//! and then shared immutably by [`crate::Engine`], [`crate::Synthesis`]
+//! and [`crate::Batch`]:
+//!
+//! ```
+//! use simap_core::Config;
+//!
+//! let config = Config::builder().literal_limit(3).verify(false).build()?;
+//! assert_eq!(config.literal_limit(), 3);
+//! assert!(Config::builder().literal_limit(1).build().is_err()); // < 2
+//! # Ok::<(), simap_core::Error>(())
+//! ```
+
+use crate::csc::CscRepairConfig;
+use crate::decompose::{AckMode, DecomposeConfig};
+use crate::error::Error;
+use crate::flow::FlowConfig;
+use simap_netlist::VerifyConfig;
+use simap_stg::ReachConfig;
+
+/// A validated, immutable configuration of the whole synthesis flow.
+///
+/// Construct through [`Config::builder`] (or [`Config::default`] for the
+/// paper's 2-input setting). Every value is checked once at build time;
+/// the flow itself never clamps or re-validates.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub(crate) flow: FlowConfig,
+    pub(crate) or_limit: Option<usize>,
+    pub(crate) csc_repair: CscRepairConfig,
+    pub(crate) reach: ReachConfig,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            flow: FlowConfig::with_limit(2),
+            or_limit: None,
+            csc_repair: CscRepairConfig::default(),
+            reach: ReachConfig::default(),
+        }
+    }
+}
+
+impl Config {
+    /// Starts a builder from the default (2-input, verifying) setting.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder { config: Config::default() }
+    }
+
+    /// Re-opens this configuration as a builder (e.g. to derive a
+    /// per-limit variant); [`ConfigBuilder::build`] re-validates.
+    pub fn to_builder(&self) -> ConfigBuilder {
+        ConfigBuilder { config: self.clone() }
+    }
+
+    /// Adopts a classic [`FlowConfig`] wholesale (compatibility seam for
+    /// code migrating from the PR 1 per-stage setters). The remaining
+    /// knobs (OR-tree limit, CSC-repair budget, reachability limits) keep
+    /// their defaults. Not validated: the historical entry points accepted
+    /// any [`FlowConfig`].
+    pub fn from_flow_config(flow: &FlowConfig) -> Self {
+        Config { flow: flow.clone(), ..Config::default() }
+    }
+
+    /// Gate complexity target: every cover must fit this many literals.
+    pub fn literal_limit(&self) -> usize {
+        self.flow.decompose.literal_limit
+    }
+
+    /// Fanin bound of the second-level OR trees (`None` = natural fanin).
+    pub fn or_limit(&self) -> Option<usize> {
+        self.or_limit
+    }
+
+    /// Whether the final netlist is verified for speed-independence.
+    pub fn verify(&self) -> bool {
+        self.flow.verify
+    }
+
+    /// Whether CSC violations are repaired by state-signal insertion.
+    pub fn repair_csc(&self) -> bool {
+        self.flow.repair_csc
+    }
+
+    /// Acknowledgment policy of the decomposition loop.
+    pub fn ack_mode(&self) -> AckMode {
+        self.flow.decompose.ack_mode
+    }
+
+    /// Hard cap on signals inserted by the decomposition loop.
+    pub fn max_insertions(&self) -> usize {
+        self.flow.decompose.max_insertions
+    }
+
+    /// The decomposition-loop configuration.
+    pub fn decompose_config(&self) -> &DecomposeConfig {
+        &self.flow.decompose
+    }
+
+    /// The speed-independence verifier's limits.
+    pub fn verify_config(&self) -> &VerifyConfig {
+        &self.flow.verify_config
+    }
+
+    /// The CSC-repair insertion budget.
+    pub fn csc_repair_config(&self) -> &CscRepairConfig {
+        &self.csc_repair
+    }
+
+    /// The STG reachability limits.
+    pub fn reach_config(&self) -> &ReachConfig {
+        &self.reach
+    }
+}
+
+/// Builder for [`Config`]; see the [module docs](self) for an example.
+///
+/// Setters record values without checking; [`ConfigBuilder::build`]
+/// validates everything at once and reports the first problem as
+/// [`Error::InvalidConfig`].
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    config: Config,
+}
+
+impl ConfigBuilder {
+    /// Gate complexity target: every cover must fit `limit` literals
+    /// (default 2; must be at least 2).
+    pub fn literal_limit(mut self, limit: usize) -> Self {
+        self.config.flow.decompose.literal_limit = limit;
+        self
+    }
+
+    /// Splits second-level OR gates into balanced trees of at most
+    /// `limit` inputs (default: natural fanin; must be at least 2).
+    pub fn or_limit(mut self, limit: usize) -> Self {
+        self.config.or_limit = Some(limit);
+        self
+    }
+
+    /// Repairs Complete State Coding violations by state-signal insertion
+    /// before cover synthesis (default off: a CSC violation is then an
+    /// error, as in the paper's setting).
+    pub fn repair_csc(mut self, on: bool) -> Self {
+        self.config.flow.repair_csc = on;
+        self
+    }
+
+    /// The insertion budget of the CSC repair.
+    pub fn csc_repair_config(mut self, config: CscRepairConfig) -> Self {
+        self.config.csc_repair = config;
+        self
+    }
+
+    /// Acknowledgment policy of the decomposition loop (default:
+    /// [`AckMode::Global`], the paper's method).
+    pub fn ack_mode(mut self, mode: AckMode) -> Self {
+        self.config.flow.decompose.ack_mode = mode;
+        self
+    }
+
+    /// Hard cap on signals inserted by the decomposition loop.
+    pub fn max_insertions(mut self, n: usize) -> Self {
+        self.config.flow.decompose.max_insertions = n;
+        self
+    }
+
+    /// Whether the flow verifies the final netlist (default on).
+    pub fn verify(mut self, on: bool) -> Self {
+        self.config.flow.verify = on;
+        self
+    }
+
+    /// State cap for the speed-independence verifier.
+    pub fn verify_config(mut self, config: VerifyConfig) -> Self {
+        self.config.flow.verify_config = config;
+        self
+    }
+
+    /// State cap of the verifier (shorthand for [`Self::verify_config`]).
+    pub fn verify_max_states(mut self, n: usize) -> Self {
+        self.config.flow.verify_config.max_states = n;
+        self
+    }
+
+    /// Adopts the full decomposition-loop configuration (divisor tuning,
+    /// candidate counts, ablation switches).
+    pub fn decompose_config(mut self, config: DecomposeConfig) -> Self {
+        self.config.flow.decompose = config;
+        self
+    }
+
+    /// STG reachability limits (state cap, token bound).
+    pub fn reach_config(mut self, config: ReachConfig) -> Self {
+        self.config.reach = config;
+        self
+    }
+
+    /// State cap of reachability (shorthand for [`Self::reach_config`]).
+    pub fn reach_max_states(mut self, n: usize) -> Self {
+        self.config.reach.max_states = n;
+        self
+    }
+
+    /// Validates and freezes the configuration.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] naming the first offending knob: literal
+    /// limit below 2, OR-tree limit below 2, zero candidate budget, or a
+    /// zero state cap in reachability / verification.
+    pub fn build(self) -> Result<Config, Error> {
+        let c = &self.config;
+        let fail = |what: &str| Err(Error::InvalidConfig { message: what.to_string() });
+        if c.flow.decompose.literal_limit < 2 {
+            return fail("literal_limit must be at least 2 (a 1-literal gate is a wire)");
+        }
+        if c.or_limit.is_some_and(|l| l < 2) {
+            return fail("or_limit must be at least 2");
+        }
+        if c.flow.decompose.max_candidates_tried == 0 {
+            return fail("max_candidates_tried must be at least 1");
+        }
+        if c.flow.verify_config.max_states == 0 {
+            return fail("verify max_states must be at least 1");
+        }
+        if c.reach.max_states == 0 {
+            return fail("reachability max_states must be at least 1");
+        }
+        if c.reach.max_tokens == 0 {
+            return fail("reachability max_tokens must be at least 1");
+        }
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Stage;
+
+    #[test]
+    fn default_is_buildable_and_two_input() {
+        let config = Config::builder().build().unwrap();
+        assert_eq!(config.literal_limit(), 2);
+        assert!(config.verify());
+        assert!(!config.repair_csc());
+        assert_eq!(config.or_limit(), None);
+    }
+
+    #[test]
+    fn setters_round_trip() {
+        let config = Config::builder()
+            .literal_limit(4)
+            .or_limit(3)
+            .repair_csc(true)
+            .verify(false)
+            .ack_mode(AckMode::Local)
+            .max_insertions(5)
+            .verify_max_states(1234)
+            .reach_max_states(5678)
+            .build()
+            .unwrap();
+        assert_eq!(config.literal_limit(), 4);
+        assert_eq!(config.or_limit(), Some(3));
+        assert!(config.repair_csc());
+        assert!(!config.verify());
+        assert_eq!(config.ack_mode(), AckMode::Local);
+        assert_eq!(config.max_insertions(), 5);
+        assert_eq!(config.verify_config().max_states, 1234);
+        assert_eq!(config.reach_config().max_states, 5678);
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected_at_build() {
+        for builder in [
+            Config::builder().literal_limit(1),
+            Config::builder().literal_limit(0),
+            Config::builder().or_limit(1),
+            Config::builder().verify_max_states(0),
+            Config::builder().reach_max_states(0),
+        ] {
+            let err = builder.build().unwrap_err();
+            assert!(matches!(err, Error::InvalidConfig { .. }), "{err}");
+            assert_eq!(err.stage(), Stage::Configure);
+        }
+    }
+
+    #[test]
+    fn to_builder_re_validates() {
+        let config = Config::builder().literal_limit(3).build().unwrap();
+        let derived = config.to_builder().literal_limit(2).build().unwrap();
+        assert_eq!(derived.literal_limit(), 2);
+        assert_eq!(config.literal_limit(), 3, "the original is untouched");
+        assert!(config.to_builder().literal_limit(1).build().is_err());
+    }
+
+    #[test]
+    fn from_flow_config_preserves_flow_knobs() {
+        let mut flow = FlowConfig::with_limit(3);
+        flow.repair_csc = true;
+        let config = Config::from_flow_config(&flow);
+        assert_eq!(config.literal_limit(), 3);
+        assert!(config.repair_csc());
+    }
+}

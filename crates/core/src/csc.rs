@@ -250,7 +250,7 @@ mod tests {
         let sg = conflicted();
         let (fixed, _) = repair_csc(&sg, &CscRepairConfig::default()).expect("repairable");
         let report = crate::pipeline::Synthesis::from_state_graph(fixed)
-            .literal_limit(2)
+            .config(&crate::Config::builder().literal_limit(2).build().unwrap())
             .run()
             .expect("flow succeeds");
         assert!(report.inserted.is_some());

@@ -20,6 +20,8 @@ use std::fmt;
 /// The pipeline stage an error belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
+    /// Validating the run configuration (before any flow work).
+    Configure,
     /// Resolving the specification source (benchmark name, `.g` text, STG).
     Load,
     /// Token-game reachability: STG → state graph, plus CSC repair.
@@ -37,6 +39,7 @@ pub enum Stage {
 impl fmt::Display for Stage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Stage::Configure => "configure",
             Stage::Load => "load",
             Stage::Elaborate => "elaborate",
             Stage::Covers => "covers",
@@ -51,6 +54,11 @@ impl fmt::Display for Stage {
 /// `simap::Error`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
+    /// A [`crate::Config`] value failed validation at build time.
+    InvalidConfig {
+        /// What was wrong with the configuration.
+        message: String,
+    },
     /// The requested benchmark is not in the embedded Table 1 suite.
     UnknownBenchmark {
         /// The name that failed to resolve.
@@ -96,6 +104,7 @@ impl Error {
     /// The pipeline stage this error belongs to.
     pub fn stage(&self) -> Stage {
         match self {
+            Error::InvalidConfig { .. } => Stage::Configure,
             Error::UnknownBenchmark { .. } | Error::Parse(_) | Error::Stg(_) => Stage::Load,
             Error::Elaborate(_) | Error::CscRepairFailed { .. } => Stage::Elaborate,
             Error::CscViolation { .. } => Stage::Covers,
@@ -119,6 +128,9 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] ", self.stage())?;
         match self {
+            Error::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
             Error::UnknownBenchmark { name } => {
                 write!(f, "unknown benchmark `{name}` (see simap::stg::benchmark_names())")
             }
@@ -145,7 +157,9 @@ impl fmt::Display for Error {
 impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            Error::UnknownBenchmark { .. } | Error::CscViolation { .. } => None,
+            Error::InvalidConfig { .. }
+            | Error::UnknownBenchmark { .. }
+            | Error::CscViolation { .. } => None,
             Error::Parse(e) => Some(e),
             Error::Stg(e) => Some(e),
             Error::Elaborate(e) => Some(e),

@@ -456,7 +456,9 @@ impl FlowConfig {
 pub fn run_flow(sg: &StateGraph, config: &FlowConfig) -> Result<FlowReport, crate::mc::McError> {
     use crate::pipeline::Synthesis;
     let run = |repair: bool| {
-        Synthesis::from_state_graph(sg.clone()).flow_config(config).repair_csc(repair).run()
+        let mut full = crate::config::Config::from_flow_config(config);
+        full.flow.repair_csc = repair;
+        Synthesis::from_state_graph(sg.clone()).config(&full).run()
     };
     let outcome = match run(config.repair_csc) {
         Err(crate::Error::CscRepairFailed { .. }) => run(false),

@@ -16,21 +16,43 @@
 //!    signal, resynthesize every cover from scratch;
 //! 5. [`flow`] — netlist construction and §4 cost accounting.
 //!
-//! They are driven through the staged [`pipeline`] API: a [`Synthesis`]
-//! builder producing typed stage artifacts (elaborated state graph,
-//! covers, decomposition outcome, mapped netlist, verdict), a unified
-//! [`Error`] and per-step [`FlowObserver`] progress hooks.
+//! ## Execution layer
+//!
+//! Runs are described by one validated [`Config`] and executed through an
+//! [`Engine`] — a cheaply-cloneable, thread-safe handle owning the shared
+//! immutable inputs (benchmark registry, gate library) and a memoized
+//! elaboration cache, so repeated syntheses of the same specification
+//! skip STG→state-graph reachability:
 //!
 //! ```
-//! use simap_core::pipeline::Synthesis;
+//! use simap_core::{Config, Engine};
 //!
-//! let report = Synthesis::from_benchmark("hazard").literal_limit(2).run()?;
+//! let engine = Engine::new(Config::builder().literal_limit(2).build()?);
+//! let report = engine.synthesize("hazard")?;
 //! assert!(report.inserted.is_some()); // implementable with 2-input gates
 //! assert_eq!(report.verified, Some(true)); // and provably speed-independent
+//!
+//! let again = engine.synthesize("hazard")?; // elaboration answered from cache
+//! assert_eq!(report.inserted, again.inserted);
+//! assert_eq!(engine.cache_stats().hits, 1);
 //! # Ok::<(), simap_core::Error>(())
 //! ```
 //!
-//! Stepping through the stages instead of running one-shot:
+//! [`Batch`] drives many specifications through one configuration —
+//! sequentially or on a worker pool with deterministic, order-preserving
+//! results:
+//!
+//! ```
+//! use simap_core::{Config, Engine};
+//!
+//! let engine = Engine::new(Config::builder().verify(false).build()?);
+//! let rows = engine.batch(["half", "hazard"]).limits([2]).jobs(2).run()?;
+//! assert_eq!(rows.len(), 2);
+//! # Ok::<(), simap_core::Error>(())
+//! ```
+//!
+//! Stepping through the typed stages instead of running one-shot — every
+//! stage artifact is `Send + 'static` and can be moved across threads:
 //!
 //! ```
 //! use simap_core::pipeline::Synthesis;
@@ -44,10 +66,13 @@
 //!
 //! ## Deprecation policy
 //!
-//! Flow-level free functions superseded by the pipeline (today:
-//! [`flow::run_flow`]) remain available as `#[deprecated]` shims with
-//! unchanged behavior for at least one minor release before removal.
-//! Algorithm primitives ([`mc::synthesize_mc`], [`csc::repair_csc`],
+//! Configuration spread across per-stage setters
+//! (`Synthesis::literal_limit`, `Batch::verify`, …) was superseded in 0.3
+//! by [`Config`]/[`Engine`]; the setters remain available as
+//! `#[deprecated]` shims with unchanged behavior for at least one minor
+//! release before removal, as does the flow-level free function
+//! [`flow::run_flow`] (deprecated in 0.2). Algorithm primitives
+//! ([`mc::synthesize_mc`], [`csc::repair_csc`],
 //! [`insertion::compute_insertion`], [`flow::build_circuit`], …) are the
 //! stable substrate the pipeline itself is built on and are **not**
 //! deprecated.
@@ -55,8 +80,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod csc;
 pub mod decompose;
+pub mod engine;
 pub mod error;
 pub mod flow;
 pub mod insertion;
@@ -66,10 +93,12 @@ pub mod pipeline;
 pub mod progress;
 pub mod report;
 
+pub use config::{Config, ConfigBuilder};
 pub use csc::{csc_conflicts, repair_csc, CscConflict, CscRepairConfig, CscRepairError};
 pub use decompose::{
     decompose, decompose_with, excess, AckMode, DecomposeConfig, DecomposeResult, DecomposeStep,
 };
+pub use engine::{CacheStats, Engine};
 pub use error::{Error, Stage};
 #[allow(deprecated)] // the shim stays reachable from its historical path
 pub use flow::run_flow;
@@ -88,4 +117,4 @@ pub use mc::{
 pub use observer::{FlowObserver, NullObserver, RecordingObserver, StderrObserver};
 pub use pipeline::{Batch, Covers, Decomposed, Elaborated, Mapped, Synthesis, Verified};
 pub use progress::{estimate_progress, replaces_trigger, ProgressEstimate};
-pub use report::{dossier, to_csv, to_markdown, BatchRow};
+pub use report::{dossier, report_json, to_csv, to_json, to_markdown, BatchRow};

@@ -14,21 +14,31 @@
 //! Every intermediate artifact is a first-class value with accessors — the
 //! elaborated state graph, the monotonous-cover implementation, the step
 //! trace, the standard-C [`Circuit`], the §4 costs — so callers can
-//! inspect, cache or fan out at any stage. The one-shot [`Synthesis::run`]
-//! reproduces the classic [`FlowReport`] end to end, and
-//! [`Batch::over_benchmarks`] drives many specifications through the same
-//! configuration.
+//! inspect, cache or fan out at any stage. All stage artifacts are
+//! `Send + 'static`, so they can be moved freely across worker threads.
+//!
+//! Runs are configured with one validated [`Config`] (see
+//! [`Synthesis::config`]); the per-knob setters from the 0.2 API remain as
+//! deprecated shims. The one-shot [`Synthesis::run`] reproduces the
+//! classic [`FlowReport`] end to end, and [`Batch`] drives many
+//! specifications through the same configuration — sequentially or on a
+//! worker pool ([`Batch::jobs`]) with deterministic, order-preserving
+//! results. Construct syntheses through an [`Engine`]
+//! ([`Engine::benchmark`], [`Engine::batch`], …) to share benchmark
+//! construction and memoize elaboration across runs.
 //!
 //! ```
 //! use simap_core::pipeline::Synthesis;
-//! let report = Synthesis::from_benchmark("hazard").literal_limit(2).run()?;
+//! let report = Synthesis::from_benchmark("hazard").run()?;
 //! assert!(report.inserted.is_some());
 //! assert_eq!(report.verified, Some(true));
 //! # Ok::<(), simap_core::Error>(())
 //! ```
 
+use crate::config::Config;
 use crate::csc::{csc_conflicts, repair_csc, CscRepairConfig};
 use crate::decompose::{decompose_with, AckMode, DecomposeResult, DecomposeStep};
+use crate::engine::{CachedElaboration, Engine, SourceKey};
 use crate::error::{Error, Stage};
 use crate::flow::{build_circuit_with_or_limit, non_si_cost, si_cost, FlowConfig, FlowReport};
 use crate::mc::{synthesize_mc, McImpl};
@@ -36,7 +46,9 @@ use crate::observer::{FlowObserver, NullObserver};
 use crate::report::BatchRow;
 use simap_netlist::{verify_speed_independence, Circuit, Cost, VerifyConfig, VerifyError};
 use simap_sg::StateGraph;
-use simap_stg::{benchmark, benchmark_names, elaborate, parse_g, Stg};
+use simap_stg::{benchmark, elaborate_with, parse_g, write_g, Stg};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Where a synthesis run gets its specification from.
 enum Source {
@@ -50,28 +62,10 @@ enum Source {
     StateGraph(Box<StateGraph>),
 }
 
-/// All knobs of a run, shared by [`Synthesis`] and [`Batch`].
-#[derive(Debug, Clone)]
-struct Options {
-    flow: FlowConfig,
-    or_limit: Option<usize>,
-    csc_repair: CscRepairConfig,
-}
-
-impl Default for Options {
-    fn default() -> Self {
-        Options {
-            flow: FlowConfig::with_limit(2),
-            or_limit: None,
-            csc_repair: CscRepairConfig::default(),
-        }
-    }
-}
-
 /// Pipeline state threaded through the typed stages.
 struct Ctx {
-    opts: Options,
-    observer: Box<dyn FlowObserver>,
+    config: Config,
+    observer: Box<dyn FlowObserver + Send>,
 }
 
 impl Ctx {
@@ -84,12 +78,13 @@ impl Ctx {
     }
 }
 
-/// The synthesis builder: configure a specification source and the flow
-/// options, then either step through the typed stages (starting with
+/// The synthesis builder: configure a specification source and a
+/// [`Config`], then either step through the typed stages (starting with
 /// [`Synthesis::elaborate`]) or run the whole flow with
 /// [`Synthesis::run`].
 pub struct Synthesis {
     source: Source,
+    engine: Option<Engine>,
     ctx: Ctx,
 }
 
@@ -143,7 +138,8 @@ impl Synthesis {
     fn new(source: Source) -> Self {
         Synthesis {
             source,
-            ctx: Ctx { opts: Options::default(), observer: Box::new(NullObserver) },
+            engine: None,
+            ctx: Ctx { config: Config::default(), observer: Box::new(NullObserver) },
         }
     }
 
@@ -171,102 +167,231 @@ impl Synthesis {
         Synthesis::new(Source::StateGraph(Box::new(sg)))
     }
 
+    /// Adopts a validated [`Config`] wholesale — the canonical way to
+    /// configure a run. Build one with [`Config::builder`].
+    pub fn config(mut self, config: &Config) -> Self {
+        self.ctx.config = config.clone();
+        self
+    }
+
+    /// Wires this synthesis to an [`Engine`] so elaboration consults the
+    /// engine's memoization cache. Constructed for you by
+    /// [`Engine::benchmark`] and friends.
+    pub(crate) fn engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
     /// Gate complexity target: every cover must fit `limit` literals
     /// (default 2).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().literal_limit(n)` with \
+                                          `Synthesis::config`"
+    )]
     pub fn literal_limit(mut self, limit: usize) -> Self {
-        self.ctx.opts.flow.decompose.literal_limit = limit;
+        self.ctx.config.flow.decompose.literal_limit = limit;
         self
     }
 
     /// Splits second-level OR gates into balanced trees of at most
     /// `limit` inputs (default: natural fanin; the split is free with
     /// respect to speed-independence).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().or_limit(n)` with \
+                                          `Synthesis::config`"
+    )]
     pub fn or_limit(mut self, limit: usize) -> Self {
-        self.ctx.opts.or_limit = Some(limit);
+        self.ctx.config.or_limit = Some(limit);
         self
     }
 
     /// Repairs Complete State Coding violations by state-signal insertion
     /// before cover synthesis (default off: a CSC violation is then an
     /// error, as in the paper's setting).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().repair_csc(on)` with \
+                                          `Synthesis::config`"
+    )]
     pub fn repair_csc(mut self, on: bool) -> Self {
-        self.ctx.opts.flow.repair_csc = on;
+        self.ctx.config.flow.repair_csc = on;
         self
     }
 
     /// The insertion budget of the CSC repair.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().csc_repair_config(c)` with \
+                                          `Synthesis::config`"
+    )]
     pub fn csc_repair_config(mut self, config: CscRepairConfig) -> Self {
-        self.ctx.opts.csc_repair = config;
+        self.ctx.config.csc_repair = config;
         self
     }
 
     /// Acknowledgment policy of the decomposition loop (default:
     /// [`AckMode::Global`], the paper's method).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().ack_mode(m)` with \
+                                          `Synthesis::config`"
+    )]
     pub fn ack_mode(mut self, mode: AckMode) -> Self {
-        self.ctx.opts.flow.decompose.ack_mode = mode;
+        self.ctx.config.flow.decompose.ack_mode = mode;
         self
     }
 
     /// Hard cap on signals inserted by the decomposition loop.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().max_insertions(n)` with \
+                                          `Synthesis::config`"
+    )]
     pub fn max_insertions(mut self, n: usize) -> Self {
-        self.ctx.opts.flow.decompose.max_insertions = n;
+        self.ctx.config.flow.decompose.max_insertions = n;
         self
     }
 
     /// Whether [`Synthesis::run`] verifies the final netlist (default on;
     /// the staged [`Mapped::verify`] is unaffected).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().verify(on)` with \
+                                          `Synthesis::config`"
+    )]
     pub fn verify(mut self, on: bool) -> Self {
-        self.ctx.opts.flow.verify = on;
+        self.ctx.config.flow.verify = on;
         self
     }
 
     /// State cap for the speed-independence verifier.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().verify_config(c)` with \
+                                          `Synthesis::config`"
+    )]
     pub fn verify_config(mut self, config: VerifyConfig) -> Self {
-        self.ctx.opts.flow.verify_config = config;
+        self.ctx.config.flow.verify_config = config;
         self
     }
 
     /// Adopts a classic [`FlowConfig`] wholesale (compatibility seam for
     /// code migrating from [`crate::flow::run_flow`]).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::from_flow_config` with \
+                                          `Synthesis::config`"
+    )]
     pub fn flow_config(mut self, config: &FlowConfig) -> Self {
-        self.ctx.opts.flow = config.clone();
+        self.ctx.config.flow = config.clone();
         self
     }
 
     /// Attaches a progress observer receiving a callback per stage,
-    /// decomposition step, CSC insertion and verdict.
-    pub fn observer(mut self, observer: impl FlowObserver + 'static) -> Self {
+    /// decomposition step, CSC insertion and verdict. The observer must be
+    /// `Send` so stage artifacts can cross threads.
+    pub fn observer(mut self, observer: impl FlowObserver + Send + 'static) -> Self {
         self.ctx.observer = Box::new(observer);
         self
     }
 
+    /// The cache identity of this synthesis' source, when it has one
+    /// (state-graph sources are already elaborated and never cached).
+    fn source_key(&self) -> Option<SourceKey> {
+        match &self.source {
+            Source::Benchmark(name) => Some(SourceKey::Benchmark(name.clone())),
+            Source::Text(text) => Some(SourceKey::Text(text.clone())),
+            Source::Stg(stg) => Some(SourceKey::Text(write_g(stg))),
+            Source::StateGraph(_) => None,
+        }
+    }
+
     /// Resolves the source and elaborates it into a state graph,
-    /// repairing CSC first when [`Synthesis::repair_csc`] is on.
+    /// repairing CSC first when [`Config::repair_csc`] is on.
+    ///
+    /// When the synthesis is wired to an [`Engine`], the elaboration is
+    /// answered from the engine's cache if an identical (source,
+    /// elaboration-relevant configuration) pair was elaborated before —
+    /// the observer callbacks (stages, CSC conflicts, CSC repairs) are
+    /// replayed exactly as the cold run emitted them, but reachability
+    /// and repair themselves are skipped.
     ///
     /// # Errors
     /// [`Error::UnknownBenchmark`], [`Error::Parse`], [`Error::Elaborate`]
     /// on load/reachability problems; [`Error::CscRepairFailed`] (with the
     /// original conflict list) when repair was requested but impossible.
     pub fn elaborate(mut self) -> Result<Elaborated, Error> {
+        // Engine fast path: a memoized elaboration skips reachability.
+        // The observer sees the exact event stream a cold run of the same
+        // source kind would emit (benchmark/text sources fire Load, STG
+        // sources do not; conflicts and repairs replay from the cache);
+        // only the work inside the stages is skipped. The key is built
+        // once — canonicalizing an STG source is O(spec size) — and
+        // reused for the store on a miss.
+        let key = match &self.engine {
+            Some(engine) => {
+                self.source_key().map(|source| engine.elab_key(source, &self.ctx.config))
+            }
+            None => None,
+        };
+        if let (Some(engine), Some(key)) = (&self.engine, &key) {
+            if let Some(cached) = engine.lookup(key) {
+                match &self.source {
+                    Source::Benchmark(name) => {
+                        let name = name.clone();
+                        self.ctx.start(Stage::Load, &name);
+                        self.ctx.end(Stage::Load);
+                        self.ctx.start(Stage::Elaborate, &name);
+                    }
+                    Source::Text(_) => {
+                        self.ctx.start(Stage::Load, "<g-source>");
+                        self.ctx.end(Stage::Load);
+                        self.ctx.start(Stage::Elaborate, cached.sg.name());
+                    }
+                    Source::Stg(stg) => {
+                        let name = stg.name().to_string();
+                        self.ctx.start(Stage::Elaborate, &name);
+                    }
+                    Source::StateGraph(_) => unreachable!("state graphs have no cache key"),
+                }
+                if !cached.conflicts.is_empty() {
+                    self.ctx.observer.on_csc_conflicts(&cached.conflicts);
+                    for signal in &cached.repaired {
+                        self.ctx.observer.on_csc_repair(signal);
+                    }
+                }
+                self.ctx.end(Stage::Elaborate);
+                return Ok(Elaborated { ctx: self.ctx, sg: cached.sg, repaired: cached.repaired });
+            }
+        }
+
+        let reach = self.ctx.config.reach.clone();
         let sg = match self.source {
             Source::Benchmark(ref name) => {
                 self.ctx.start(Stage::Load, name);
-                let stg = benchmark(name)
-                    .ok_or_else(|| Error::UnknownBenchmark { name: name.clone() })?;
+                // Resolve through the engine's registry when available so
+                // the STG itself is built at most once per engine family.
+                let stg = match &self.engine {
+                    Some(engine) => engine.registry().get(name),
+                    None => benchmark(name).map(Arc::new),
+                }
+                .ok_or_else(|| Error::UnknownBenchmark { name: name.clone() })?;
                 self.ctx.end(Stage::Load);
                 self.ctx.start(Stage::Elaborate, name);
-                elaborate(&stg)?
+                elaborate_with(&stg, &reach)?
             }
             Source::Text(ref text) => {
                 self.ctx.start(Stage::Load, "<g-source>");
                 let stg = parse_g(text)?;
                 self.ctx.end(Stage::Load);
                 self.ctx.start(Stage::Elaborate, stg.name());
-                elaborate(&stg)?
+                elaborate_with(&stg, &reach)?
             }
             Source::Stg(ref stg) => {
                 self.ctx.start(Stage::Elaborate, stg.name());
-                elaborate(stg)?
+                elaborate_with(stg, &reach)?
             }
             Source::StateGraph(sg) => {
                 self.ctx.start(Stage::Elaborate, sg.name());
@@ -275,34 +400,39 @@ impl Synthesis {
         };
 
         let mut repaired = Vec::new();
-        let sg = {
-            let conflicts = csc_conflicts(&sg);
-            if conflicts.is_empty() {
-                sg
-            } else {
-                self.ctx.observer.on_csc_conflicts(&conflicts);
-                if self.ctx.opts.flow.repair_csc {
-                    match repair_csc(&sg, &self.ctx.opts.csc_repair) {
-                        Ok((fixed, inserted)) => {
-                            for signal in &inserted {
-                                self.ctx.observer.on_csc_repair(signal);
-                            }
-                            repaired = inserted;
-                            fixed
+        let conflicts = csc_conflicts(&sg);
+        let sg = if conflicts.is_empty() {
+            sg
+        } else {
+            self.ctx.observer.on_csc_conflicts(&conflicts);
+            if self.ctx.config.flow.repair_csc {
+                match repair_csc(&sg, &self.ctx.config.csc_repair) {
+                    Ok((fixed, inserted)) => {
+                        for signal in &inserted {
+                            self.ctx.observer.on_csc_repair(signal);
                         }
-                        Err(error) => {
-                            return Err(Error::CscRepairFailed { error, conflicts });
-                        }
+                        repaired = inserted;
+                        fixed
                     }
-                } else {
-                    // Repair not requested: the violation surfaces as
-                    // `Error::CscViolation` when covers are synthesized,
-                    // but the elaborated graph itself is still usable.
-                    sg
+                    Err(error) => {
+                        return Err(Error::CscRepairFailed { error, conflicts });
+                    }
                 }
+            } else {
+                // Repair not requested: the violation surfaces as
+                // `Error::CscViolation` when covers are synthesized,
+                // but the elaborated graph itself is still usable.
+                sg
             }
         };
         self.ctx.end(Stage::Elaborate);
+        let sg = Arc::new(sg);
+        if let (Some(engine), Some(key)) = (&self.engine, key) {
+            engine.store(
+                key,
+                CachedElaboration { sg: sg.clone(), repaired: repaired.clone(), conflicts },
+            );
+        }
         Ok(Elaborated { ctx: self.ctx, sg, repaired })
     }
 
@@ -317,7 +447,7 @@ impl Synthesis {
     /// Everything [`Synthesis::elaborate`] and [`Elaborated::covers`] can
     /// raise.
     pub fn run(self) -> Result<FlowReport, Error> {
-        let verify = self.ctx.opts.flow.verify;
+        let verify = self.ctx.config.flow.verify;
         let mapped = self.elaborate()?.covers()?.decompose()?.map();
         let verified = if verify { mapped.verify_compat() } else { mapped.skip_verify() };
         Ok(verified.into_report())
@@ -325,10 +455,10 @@ impl Synthesis {
 }
 
 /// Stage artifact: the elaborated (and possibly CSC-repaired) state
-/// graph.
+/// graph. The graph is behind an [`Arc`]: cache hits and clones share it.
 pub struct Elaborated {
     ctx: Ctx,
-    sg: StateGraph,
+    sg: Arc<StateGraph>,
     repaired: Vec<String>,
 }
 
@@ -336,6 +466,11 @@ impl Elaborated {
     /// The elaborated state graph.
     pub fn state_graph(&self) -> &StateGraph {
         &self.sg
+    }
+
+    /// A shared handle to the elaborated state graph (cheap to clone).
+    pub fn state_graph_arc(&self) -> Arc<StateGraph> {
+        self.sg.clone()
     }
 
     /// Names of the state signals inserted by CSC repair (empty when the
@@ -367,7 +502,7 @@ impl Elaborated {
             }
         };
         let initial_histogram = mc.gate_histogram();
-        let limit = self.ctx.opts.flow.decompose.literal_limit.max(2);
+        let limit = self.ctx.config.flow.decompose.literal_limit.max(2);
         let non_si = non_si_cost(&mc, limit);
         self.ctx.end(Stage::Covers);
         Ok(Covers {
@@ -384,7 +519,7 @@ impl Elaborated {
 /// Stage artifact: the initial monotonous-cover implementation.
 pub struct Covers {
     ctx: Ctx,
-    sg: StateGraph,
+    sg: Arc<StateGraph>,
     repaired: Vec<String>,
     mc: McImpl,
     initial_histogram: Vec<usize>,
@@ -422,10 +557,12 @@ impl Covers {
     pub fn decompose(mut self) -> Result<Decomposed, Error> {
         self.ctx.start(Stage::Decompose, self.sg.name());
         let outcome =
-            decompose_with(&self.sg, &self.ctx.opts.flow.decompose, self.ctx.observer.as_mut())
-                .map_err(|crate::mc::McError::CscConflict { signal, code }| {
-                    Error::CscViolation { signal, code, conflicts: csc_conflicts(&self.sg) }
-                })?;
+            decompose_with(&self.sg, &self.ctx.config.flow.decompose, self.ctx.observer.as_mut())
+                .map_err(|crate::mc::McError::CscConflict { signal, code }| Error::CscViolation {
+                signal,
+                code,
+                conflicts: csc_conflicts(&self.sg),
+            })?;
         self.ctx.end(Stage::Decompose);
         Ok(Decomposed {
             ctx: self.ctx,
@@ -474,12 +611,15 @@ impl Decomposed {
     }
 
     /// Builds the standard-C netlist (honoring the configured
-    /// [`Synthesis::or_limit`]) and computes the §4 costs.
+    /// [`Config::or_limit`]) and computes the §4 costs.
     pub fn map(mut self) -> Mapped {
         self.ctx.start(Stage::Map, self.outcome.sg.name());
-        let circuit =
-            build_circuit_with_or_limit(&self.outcome.sg, &self.outcome.mc, self.ctx.opts.or_limit);
-        let limit = self.ctx.opts.flow.decompose.literal_limit.max(2);
+        let circuit = build_circuit_with_or_limit(
+            &self.outcome.sg,
+            &self.outcome.mc,
+            self.ctx.config.or_limit,
+        );
+        let limit = self.ctx.config.flow.decompose.literal_limit.max(2);
         let si = si_cost(&self.outcome.mc, limit);
         self.ctx.end(Stage::Map);
         Mapped {
@@ -541,7 +681,7 @@ impl Mapped {
         match verify_speed_independence(
             &self.circuit,
             &self.outcome.sg,
-            &self.ctx.opts.flow.verify_config,
+            &self.ctx.config.flow.verify_config,
         ) {
             Ok(_) => Ok(Some(true)),
             Err(VerifyError::TooManyStates { .. }) => Ok(None),
@@ -645,107 +785,235 @@ impl Verified {
 }
 
 /// Drives many specifications through one pipeline configuration,
-/// yielding the [`BatchRow`]s the report emitters consume — the seam
-/// where sharding and parallel execution will land.
+/// yielding the [`BatchRow`]s the report emitters consume.
+///
+/// A batch runs on an [`Engine`]: each benchmark's STG is built once and
+/// each (specification, elaboration configuration) pair is elaborated
+/// once, whatever the number of literal limits or repeated runs. With
+/// [`Batch::jobs`] the specifications are distributed over a pool of
+/// `std::thread` workers; the resulting rows are **byte-identical** to a
+/// sequential run, in the same order (the first error in input order is
+/// reported, as sequentially).
 pub struct Batch {
+    engine: Engine,
     names: Vec<String>,
     limits: Vec<usize>,
-    opts: Options,
+    jobs: usize,
 }
 
 impl Batch {
-    /// A batch over the given benchmark names.
+    /// A batch over the given benchmark names, on a fresh default
+    /// [`Engine`]. Use [`Engine::batch`] to share an existing engine's
+    /// caches and configuration.
     pub fn over_benchmarks<I, S>(names: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Batch {
-            names: names.into_iter().map(Into::into).collect(),
-            limits: vec![2],
-            opts: Options::default(),
-        }
+        Batch::on_engine(Engine::default(), names)
     }
 
     /// A batch over the whole embedded 32-circuit Table 1 suite.
     pub fn over_all_benchmarks() -> Self {
-        Batch::over_benchmarks(benchmark_names().iter().copied())
+        let engine = Engine::default();
+        let names: Vec<&str> = engine.registry().names().to_vec();
+        Batch::on_engine(engine, names)
+    }
+
+    pub(crate) fn on_engine<I, S>(engine: Engine, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Batch {
+            engine,
+            names: names.into_iter().map(Into::into).collect(),
+            limits: vec![2],
+            jobs: 1,
+        }
     }
 
     /// Literal limits to run each specification at (default `[2]`); the
-    /// resulting [`BatchRow::reports`] align with this slice.
+    /// resulting [`BatchRow::reports`] align with this slice. An empty
+    /// slice or a limit below 2 surfaces as [`Error::InvalidConfig`] from
+    /// [`Batch::run`].
     pub fn limits(mut self, limits: impl Into<Vec<usize>>) -> Self {
         self.limits = limits.into();
-        assert!(!self.limits.is_empty(), "a batch needs at least one literal limit");
+        self
+    }
+
+    /// Number of worker threads (default 1 = sequential). The results are
+    /// identical to a sequential run whatever the value.
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = n.max(1);
+        self
+    }
+
+    /// Replaces the batch's configuration (the engine's caches are kept).
+    pub fn config(mut self, config: &Config) -> Self {
+        self.engine = self.engine.with_config(config.clone());
+        self
+    }
+
+    fn map_config(mut self, f: impl FnOnce(&mut Config)) -> Self {
+        let mut config = self.engine.config().clone();
+        f(&mut config);
+        self.engine = self.engine.with_config(config);
         self
     }
 
     /// Whether each run verifies its final netlist (default on).
-    pub fn verify(mut self, on: bool) -> Self {
-        self.opts.flow.verify = on;
-        self
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().verify(on)` with \
+                                          `Batch::config`"
+    )]
+    pub fn verify(self, on: bool) -> Self {
+        self.map_config(|c| c.flow.verify = on)
     }
 
     /// State cap for the speed-independence verifier.
-    pub fn verify_config(mut self, config: VerifyConfig) -> Self {
-        self.opts.flow.verify_config = config;
-        self
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().verify_config(c)` with \
+                                          `Batch::config`"
+    )]
+    pub fn verify_config(self, config: VerifyConfig) -> Self {
+        self.map_config(|c| c.flow.verify_config = config)
     }
 
     /// Repairs CSC violations before synthesis (default off).
-    pub fn repair_csc(mut self, on: bool) -> Self {
-        self.opts.flow.repair_csc = on;
-        self
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().repair_csc(on)` with \
+                                          `Batch::config`"
+    )]
+    pub fn repair_csc(self, on: bool) -> Self {
+        self.map_config(|c| c.flow.repair_csc = on)
     }
 
     /// Acknowledgment policy for every run.
-    pub fn ack_mode(mut self, mode: AckMode) -> Self {
-        self.opts.flow.decompose.ack_mode = mode;
-        self
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().ack_mode(m)` with \
+                                          `Batch::config`"
+    )]
+    pub fn ack_mode(self, mode: AckMode) -> Self {
+        self.map_config(|c| c.flow.decompose.ack_mode = mode)
     }
 
     /// OR-tree fanin bound for every run.
-    pub fn or_limit(mut self, limit: usize) -> Self {
-        self.opts.or_limit = Some(limit);
-        self
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Config::builder().or_limit(n)` with \
+                                          `Batch::config`"
+    )]
+    pub fn or_limit(self, limit: usize) -> Self {
+        self.map_config(|c| c.or_limit = Some(limit))
     }
 
-    /// Runs every specification at every limit, elaborating each
-    /// benchmark once.
+    /// Runs every specification at every limit — on `jobs` worker threads
+    /// when configured — elaborating each benchmark once per engine
+    /// family.
     ///
     /// # Errors
-    /// The first [`Error`] any run raises, fail-fast. Unknown names
-    /// surface as [`Error::UnknownBenchmark`] before any flow runs.
+    /// The first [`Error`] any run raises, in input order. Unknown names
+    /// surface as [`Error::UnknownBenchmark`] before any flow runs, and
+    /// invalid limits as [`Error::InvalidConfig`].
     pub fn run(self) -> Result<Vec<BatchRow>, Error> {
         // Validate every name upfront so a typo late in the list does not
         // waste the (potentially minutes-long) flows before it.
         for name in &self.names {
-            if benchmark(name).is_none() {
+            if !self.engine.registry().contains(name) {
                 return Err(Error::UnknownBenchmark { name: name.clone() });
             }
         }
-        let mut rows = Vec::with_capacity(self.names.len());
-        for name in &self.names {
-            let elaborated = Synthesis::from_benchmark(name.clone())
-                .flow_config(&self.opts.flow)
-                .csc_repair_config(self.opts.csc_repair.clone())
-                .elaborate()?;
-            let sg = elaborated.state_graph().clone();
-            let states = sg.state_count();
-            let mut reports = Vec::with_capacity(self.limits.len());
-            for &limit in &self.limits {
-                let mut synthesis = Synthesis::from_state_graph(sg.clone())
-                    .flow_config(&self.opts.flow)
-                    .literal_limit(limit);
-                if let Some(or_limit) = self.opts.or_limit {
-                    synthesis = synthesis.or_limit(or_limit);
+        // One configuration per literal limit. Only the limits themselves
+        // are validated here: the base config either passed its builder
+        // already or was set through the deprecated 0.2 shims, whose
+        // out-of-range values must keep their historical (clamped)
+        // behavior rather than start failing.
+        if self.limits.is_empty() {
+            return Err(Error::InvalidConfig {
+                message: "a batch needs at least one literal limit".to_string(),
+            });
+        }
+        let configs: Vec<Config> = self
+            .limits
+            .iter()
+            .map(|&limit| {
+                if limit < 2 {
+                    return Err(Error::InvalidConfig {
+                        message: format!("literal limit {limit} is below 2"),
+                    });
                 }
-                reports.push(synthesis.run()?);
+                let mut config = self.engine.config().clone();
+                config.flow.decompose.literal_limit = limit;
+                Ok(config)
+            })
+            .collect::<Result<_, _>>()?;
+
+        let engine = &self.engine;
+        let names = &self.names;
+        let configs = &configs;
+        let jobs = self.jobs.min(names.len()).max(1);
+        if jobs == 1 {
+            return names.iter().map(|name| run_row(engine, name, configs)).collect();
+        }
+
+        // Worker pool: an atomic cursor hands out specifications; each
+        // result lands in its input-order slot, so the assembled rows (and
+        // the first reported error) are identical to a sequential run.
+        // A failure flag cancels the unclaimed suffix — matching the
+        // sequential fail-fast contract of not wasting minutes-long flows
+        // after an error (rows already claimed still finish).
+        let cursor = AtomicUsize::new(0);
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let slots: Vec<Mutex<Option<Result<BatchRow, Error>>>> =
+            names.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(name) = names.get(i) else { break };
+                    let row = run_row(engine, name, configs);
+                    if row.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    *slots[i].lock().expect("result slot") = Some(row);
+                });
             }
-            rows.push(BatchRow { name: name.clone(), states, reports });
+        });
+        // Claims are handed out in input order and every claimed slot is
+        // filled, so the unclaimed (empty) suffix can only begin after
+        // the first error slot: scanning in order finds the same error a
+        // sequential run would report.
+        let mut rows = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot.into_inner().expect("result slot") {
+                Some(Ok(row)) => rows.push(row),
+                Some(Err(error)) => return Err(error),
+                None => unreachable!("slots are only left empty after an earlier error"),
+            }
         }
         Ok(rows)
     }
+}
+
+/// One batch row: elaborate once (through the engine cache), then run the
+/// full flow at every limit.
+fn run_row(engine: &Engine, name: &str, configs: &[Config]) -> Result<BatchRow, Error> {
+    let first = configs.first().expect("at least one limit");
+    let elaborated = engine.with_config(first.clone()).benchmark(name).elaborate()?;
+    let states = elaborated.state_graph().state_count();
+    let mut reports = Vec::with_capacity(configs.len());
+    for config in configs {
+        reports.push(engine.with_config(config.clone()).benchmark(name).run()?);
+    }
+    Ok(BatchRow { name: name.to_string(), states, reports })
 }
 
 #[cfg(test)]
@@ -753,9 +1021,13 @@ mod tests {
     use super::*;
     use crate::observer::RecordingObserver;
 
+    fn config_at(limit: usize) -> Config {
+        Config::builder().literal_limit(limit).build().unwrap()
+    }
+
     #[test]
     fn one_shot_matches_quickstart() {
-        let report = Synthesis::from_benchmark("hazard").literal_limit(2).run().unwrap();
+        let report = Synthesis::from_benchmark("hazard").config(&config_at(2)).run().unwrap();
         assert_eq!(report.inserted, Some(1));
         assert_eq!(report.verified, Some(true));
     }
@@ -789,7 +1061,7 @@ mod tests {
     #[test]
     fn staged_equals_one_shot() {
         let staged = Synthesis::from_benchmark("dff")
-            .literal_limit(2)
+            .config(&config_at(2))
             .elaborate()
             .unwrap()
             .covers()
@@ -800,11 +1072,20 @@ mod tests {
             .verify()
             .unwrap()
             .into_report();
-        let one_shot = Synthesis::from_benchmark("dff").literal_limit(2).run().unwrap();
+        let one_shot = Synthesis::from_benchmark("dff").config(&config_at(2)).run().unwrap();
         assert_eq!(staged.inserted, one_shot.inserted);
         assert_eq!(staged.si_cost, one_shot.si_cost);
         assert_eq!(staged.non_si_cost, one_shot.non_si_cost);
         assert_eq!(staged.verified, one_shot.verified);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_configure() {
+        let shimmed = Synthesis::from_benchmark("dff").literal_limit(3).run().unwrap();
+        let configured = Synthesis::from_benchmark("dff").config(&config_at(3)).run().unwrap();
+        assert_eq!(shimmed.inserted, configured.inserted);
+        assert_eq!(shimmed.si_cost, configured.si_cost);
     }
 
     #[test]
@@ -861,9 +1142,29 @@ mod tests {
     }
 
     #[test]
+    fn stage_artifacts_are_send() {
+        fn is_send<T: Send + 'static>() {}
+        is_send::<Synthesis>();
+        is_send::<Elaborated>();
+        is_send::<Covers>();
+        is_send::<Decomposed>();
+        is_send::<Mapped>();
+        is_send::<Verified>();
+        is_send::<Batch>();
+        is_send::<Engine>();
+        is_send::<Config>();
+        is_send::<Error>();
+        is_send::<FlowReport>();
+    }
+
+    #[test]
     fn batch_yields_aligned_rows() {
-        let rows =
-            Batch::over_benchmarks(["half", "hazard"]).limits([2, 3]).verify(false).run().unwrap();
+        let config = Config::builder().verify(false).build().unwrap();
+        let rows = Batch::over_benchmarks(["half", "hazard"])
+            .config(&config)
+            .limits([2, 3])
+            .run()
+            .unwrap();
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert_eq!(row.reports.len(), 2);
@@ -877,5 +1178,55 @@ mod tests {
     fn batch_rejects_unknown_names_fail_fast() {
         let err = Batch::over_benchmarks(["half", "bogus"]).run().unwrap_err();
         assert!(matches!(err, Error::UnknownBenchmark { ref name } if name == "bogus"));
+    }
+
+    #[test]
+    fn batch_rejects_invalid_limits_before_running() {
+        let err = Batch::over_benchmarks(["half"]).limits([1]).run().unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }), "{err}");
+        let err = Batch::over_benchmarks(["half"]).limits(Vec::new()).run().unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_batch_shims_keep_their_clamping_behavior() {
+        // 0.2 silently clamped an or_limit of 1 to 2 in the OR-join; the
+        // deprecated shim must not start failing validation.
+        let rows = Batch::over_benchmarks(["half"]).or_limit(1).verify(false).run().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].reports[0].inserted.is_some());
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_rows() {
+        let engine = Engine::new(Config::builder().verify(false).build().unwrap());
+        let names = ["half", "hazard", "dff", "chu133"];
+        let sequential = engine.batch(names).limits([2]).jobs(1).run().unwrap();
+        let parallel = engine.batch(names).limits([2]).jobs(3).run().unwrap();
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.states, p.states);
+            for (sr, pr) in s.reports.iter().zip(&p.reports) {
+                assert_eq!(sr.inserted, pr.inserted, "{}", s.name);
+                assert_eq!(sr.inserted_names, pr.inserted_names, "{}", s.name);
+                assert_eq!(sr.si_cost, pr.si_cost, "{}", s.name);
+                assert_eq!(sr.non_si_cost, pr.non_si_cost, "{}", s.name);
+            }
+        }
+        // The parallel run reused the sequential run's elaborations.
+        assert!(engine.cache_stats().hits >= names.len() as u64);
+    }
+
+    #[test]
+    fn parallel_batch_reports_first_error_in_input_order() {
+        // "mmu" elaborates to thousands of states; a tiny reachability cap
+        // makes every run fail, and the reported error must be the first
+        // name in input order, exactly as sequentially.
+        let config = Config::builder().reach_max_states(2).verify(false).build().unwrap();
+        let engine = Engine::new(config);
+        let err = engine.batch(["half", "hazard"]).jobs(2).run().unwrap_err();
+        assert!(matches!(err, Error::Elaborate(_)), "{err}");
     }
 }

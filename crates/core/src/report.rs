@@ -1,7 +1,13 @@
-//! Structured emitters for flow results: markdown and CSV renderings of
-//! Table 1-style batches, plus a per-circuit synthesis dossier.
+//! Structured emitters for flow results: markdown, CSV and JSON
+//! renderings of Table 1-style batches, plus a per-circuit synthesis
+//! dossier.
+//!
+//! The JSON emitters are hand-rolled (no serde — the build environment is
+//! offline): deterministic key order, RFC 8259-compliant string escaping,
+//! `null` for "not implementable" / "unverified".
 
 use crate::flow::FlowReport;
+use simap_netlist::Cost;
 use std::fmt::Write as _;
 
 /// One row of a batch report (a named flow result at several limits).
@@ -85,6 +91,94 @@ pub fn to_csv(limits: &[usize], rows: &[BatchRow]) -> String {
     out
 }
 
+/// Escapes a string for inclusion in a JSON document (RFC 8259 §7).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+fn json_usize_array(items: &[usize]) -> String {
+    let rendered: Vec<String> = items.iter().map(usize::to_string).collect();
+    format!("[{}]", rendered.join(","))
+}
+
+fn json_cost(cost: Cost) -> String {
+    format!("{{\"literals\":{},\"c_elements\":{}}}", cost.literals, cost.c_elements)
+}
+
+fn json_opt<T: std::fmt::Display>(value: Option<T>) -> String {
+    match value {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders one flow report as a JSON object (what `simap map --json`
+/// prints). `inserted` is `null` when not implementable at the limit, and
+/// `verified` is `null` when verification was skipped or inconclusive.
+pub fn report_json(report: &FlowReport) -> String {
+    format!(
+        "{{\"name\":{},\"initial_histogram\":{},\"implementable\":{},\"inserted\":{},\
+         \"inserted_names\":{},\"si_cost\":{},\"non_si_cost\":{},\"verified\":{}}}",
+        json_string(&report.name),
+        json_usize_array(&report.initial_histogram),
+        report.inserted.is_some(),
+        json_opt(report.inserted),
+        json_string_array(&report.inserted_names),
+        json_cost(report.si_cost),
+        json_cost(report.non_si_cost),
+        json_opt(report.verified),
+    )
+}
+
+/// Renders a batch as one JSON document: the literal limits plus one
+/// object per circuit whose `runs` align with `limits`.
+pub fn to_json(limits: &[usize], rows: &[BatchRow]) -> String {
+    let mut out = String::from("{\"limits\":");
+    out.push_str(&json_usize_array(limits));
+    out.push_str(",\"circuits\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"states\":{},\"runs\":[",
+            json_string(&row.name),
+            row.states
+        );
+        for (j, (limit, report)) in limits.iter().zip(&row.reports).enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"literal_limit\":{limit},\"report\":{}}}", report_json(report));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
 /// A human-readable synthesis dossier for one flow result: histogram,
 /// steps and costs.
 pub fn dossier(report: &FlowReport) -> String {
@@ -140,7 +234,8 @@ mod tests {
         bd.add_arc(s[2], Event::fall(SignalId(0)), s[3]);
         bd.add_arc(s[3], Event::fall(SignalId(1)), s[0]);
         let sg = bd.build(s[0]).unwrap();
-        Synthesis::from_state_graph(sg).literal_limit(2).run().unwrap()
+        let config = crate::Config::builder().literal_limit(2).build().unwrap();
+        Synthesis::from_state_graph(sg).config(&config).run().unwrap()
     }
 
     #[test]
@@ -162,6 +257,48 @@ mod tests {
         assert!(lines.next().unwrap().starts_with("circuit,states"));
         let data = lines.next().unwrap();
         assert!(data.starts_with("hs,4,2,0,true,"), "{data}");
+    }
+
+    #[test]
+    fn json_escaping_is_rfc8259() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_shape() {
+        let report = handshake_report();
+        let single = report_json(&report);
+        assert!(single.starts_with("{\"name\":\"hs\""), "{single}");
+        assert!(single.contains("\"implementable\":true"));
+        assert!(single.contains("\"verified\":true"));
+        assert!(single.contains("\"si_cost\":{\"literals\":"));
+
+        let rows = vec![BatchRow { name: "hs".into(), states: 4, reports: vec![report] }];
+        let doc = to_json(&[2], &rows);
+        assert!(doc.starts_with("{\"limits\":[2],\"circuits\":["), "{doc}");
+        assert!(doc.contains("\"runs\":[{\"literal_limit\":2,\"report\":{"));
+        assert!(doc.ends_with("]}"));
+        // Balanced braces/brackets (a cheap well-formedness proxy, since
+        // no JSON parser is available offline).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = doc.matches(open).count();
+            let closes = doc.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close} in {doc}");
+        }
+    }
+
+    #[test]
+    fn json_null_for_skipped_verification() {
+        let mut report = handshake_report();
+        report.verified = None;
+        report.inserted = None;
+        let single = report_json(&report);
+        assert!(single.contains("\"implementable\":false"));
+        assert!(single.contains("\"inserted\":null"));
+        assert!(single.contains("\"verified\":null"));
     }
 
     #[test]

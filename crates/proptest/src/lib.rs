@@ -2,7 +2,7 @@
 //!
 //! The build environment has no network registry, so this workspace ships
 //! a dependency-free shim exposing the subset of the proptest 1.x API that
-//! `tests/properties.rs` uses: the [`Strategy`] trait with `prop_map`,
+//! `tests/properties.rs` uses: the [`strategy::Strategy`] trait with `prop_map`,
 //! integer-range strategies, [`collection::vec`], the [`proptest!`] macro
 //! (including the `#![proptest_config(..)]` inner attribute),
 //! [`prop_assert!`]/[`prop_assert_eq!`] and [`ProptestConfig`].
@@ -141,7 +141,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -20,6 +20,8 @@ use crate::patterns::{
 };
 use crate::petri::Stg;
 use simap_sg::SignalKind;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// A named benchmark specification.
 #[derive(Debug, Clone)]
@@ -297,6 +299,58 @@ pub fn benchmark(name: &str) -> Option<Stg> {
     Some(stg)
 }
 
+/// A thread-safe handle to the embedded benchmark suite that builds each
+/// specification at most once and hands out shared [`Arc<Stg>`]s.
+///
+/// [`benchmark`] reconstructs the STG from scratch on every call; drivers
+/// that synthesize the same circuit repeatedly (batches, caches, parallel
+/// workers) share a registry instead:
+///
+/// ```
+/// use simap_stg::BenchmarkRegistry;
+/// let registry = BenchmarkRegistry::new();
+/// let a = registry.get("hazard").unwrap();
+/// let b = registry.get("hazard").unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // built once, shared after
+/// ```
+#[derive(Debug, Default)]
+pub struct BenchmarkRegistry {
+    cache: Mutex<HashMap<String, Arc<Stg>>>,
+}
+
+impl BenchmarkRegistry {
+    /// An empty registry; specifications are built lazily on first use.
+    pub fn new() -> Self {
+        BenchmarkRegistry::default()
+    }
+
+    /// The benchmark names this registry resolves, in Table 1 order.
+    pub fn names(&self) -> &'static [&'static str] {
+        benchmark_names()
+    }
+
+    /// Whether `name` is a known benchmark (without building it).
+    pub fn contains(&self, name: &str) -> bool {
+        benchmark_names().contains(&name)
+    }
+
+    /// The named specification, built on first request and shared
+    /// afterwards; `None` for an unknown name. The lock is held across
+    /// the build so concurrent first requests for one name construct the
+    /// STG exactly once (the `Arc::ptr_eq` guarantee holds across
+    /// threads).
+    pub fn get(&self, name: &str) -> Option<Arc<Stg>> {
+        if !self.contains(name) {
+            return None;
+        }
+        let mut cache = self.cache.lock().expect("registry lock");
+        let stg = cache
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(benchmark(name).expect("known name")));
+        Some(stg.clone())
+    }
+}
+
 /// Builds every benchmark in Table 1 order.
 pub fn all_benchmarks() -> Vec<Benchmark> {
     benchmark_names()
@@ -326,6 +380,22 @@ mod tests {
             let sg = elaborate(&b.stg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let report = check_all(&sg);
             assert!(report.is_ok(), "{}: {:?}", b.name, report.violations);
+        }
+    }
+
+    #[test]
+    fn registry_shares_one_stg_across_threads() {
+        let registry = BenchmarkRegistry::new();
+        assert!(registry.contains("hazard"));
+        assert!(!registry.contains("bogus"));
+        assert!(registry.get("bogus").is_none());
+        let handles: Vec<Arc<Stg>> = std::thread::scope(|scope| {
+            let workers: Vec<_> =
+                (0..4).map(|_| scope.spawn(|| registry.get("hazard").expect("known"))).collect();
+            workers.into_iter().map(|w| w.join().expect("no panic")).collect()
+        });
+        for pair in handles.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]), "all threads share one construction");
         }
     }
 

@@ -28,7 +28,7 @@ pub mod reach;
 pub mod write;
 
 pub use analysis::{analyze, StgAnalysis};
-pub use benchmarks::{all_benchmarks, benchmark, benchmark_names, Benchmark};
+pub use benchmarks::{all_benchmarks, benchmark, benchmark_names, Benchmark, BenchmarkRegistry};
 pub use parse::{parse_g, ParseStgError};
 pub use petri::{Place, PlaceId, Stg, StgError, Transition, TransitionId};
 pub use reach::{elaborate, elaborate_with, ReachConfig, ReachError};

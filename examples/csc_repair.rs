@@ -5,12 +5,13 @@
 //!
 //! Without repair the pipeline rejects the specification with
 //! [`simap::Error::CscViolation`] carrying the full conflict list; with
-//! `.repair_csc(true)` the state signal is inserted automatically.
+//! `Config::builder().repair_csc(true)` the state signal is inserted
+//! automatically.
 //!
 //! Run with: `cargo run --release --example csc_repair`
 
 use simap::sg::{Event, Signal, SignalId, SignalKind, StateGraphBuilder};
-use simap::Synthesis;
+use simap::{Config, Synthesis};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -30,7 +31,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let sg = bd.build(s0)?;
 
     // Without repair the flow reports the CSC violation...
-    match Synthesis::from_state_graph(sg.clone()).literal_limit(2).run() {
+    match Synthesis::from_state_graph(sg.clone()).run() {
         Ok(_) => println!("strict flow: unexpectedly succeeded"),
         Err(e) => {
             println!("strict flow rejected: {e}");
@@ -39,9 +40,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // ...with repair enabled a state signal is inserted automatically.
+    let config = Config::builder().repair_csc(true).build()?;
     let verified = Synthesis::from_state_graph(sg)
-        .literal_limit(2)
-        .repair_csc(true)
+        .config(&config)
         .elaborate()?
         .covers()?
         .decompose()?

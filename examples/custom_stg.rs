@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let roundtrip = simap::stg::parse_g(&simap::stg::write_g(&stg))?;
     assert_eq!(roundtrip.transitions().len(), stg.transitions().len());
 
-    let elaborated = Synthesis::from_stg(stg).literal_limit(2).elaborate()?;
+    let elaborated = Synthesis::from_stg(stg).elaborate()?;
     let report = elaborated.properties();
     if !report.is_ok() {
         for v in &report.violations {

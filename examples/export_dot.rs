@@ -5,15 +5,15 @@
 //!
 //! Run with: `cargo run --release --example export_dot [benchmark] [signal]`
 
-use simap::netlist::Library;
 use simap::sg::{regions_of, DotOptions, Event};
-use simap::Synthesis;
+use simap::Engine;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "hazard".to_string());
-    let elaborated = Synthesis::from_benchmark(&name).literal_limit(2).elaborate()?;
+    let engine = Engine::default();
+    let elaborated = engine.benchmark(&name).elaborate()?;
     let sg = elaborated.state_graph();
 
     let signal = match args.next() {
@@ -26,9 +26,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let dot = simap::sg::to_dot(sg, &DotOptions { highlight, show_codes: true });
     println!("{dot}");
 
-    // Map and report cell usage against the 2-input library.
+    // Map and report cell usage against the engine's target library.
     let mapped = elaborated.covers()?.decompose()?.map();
-    let library = Library::two_input();
+    let library = engine.library();
     eprintln!("# cell report for `{name}` against the {} library:", library.name);
     for (shape, count) in library.cell_report(mapped.circuit()) {
         eprintln!("#   {count:3} x {shape}");

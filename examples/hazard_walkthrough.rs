@@ -15,7 +15,7 @@ use simap::Synthesis;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let elaborated = Synthesis::from_benchmark("hazard").literal_limit(2).elaborate()?;
+    let elaborated = Synthesis::from_benchmark("hazard").elaborate()?;
     let sg = elaborated.state_graph().clone();
 
     println!("step 1 — the specification (Fig. 1a):");

@@ -1,14 +1,15 @@
 //! Quickstart: map a benchmark specification onto a 2-input gate library
 //! while preserving speed-independence, then print the resulting netlist.
 //!
-//! The staged [`Synthesis`] pipeline is the single entry point: configure
-//! it, then either `.run()` for the classic one-shot report or step
-//! through the typed stages to inspect intermediate artifacts (as done
-//! here to reuse the mapped netlist without rebuilding it).
+//! Describe the run with one validated [`Config`], execute it through an
+//! [`Engine`] (whose elaboration cache makes repeated runs cheap), and
+//! either `.run()` for the classic one-shot report or step through the
+//! typed stages to inspect intermediate artifacts (as done here to reuse
+//! the mapped netlist without rebuilding it).
 //!
 //! Run with: `cargo run --release --example quickstart [benchmark] [limit]`
 
-use simap::Synthesis;
+use simap::{Config, Engine};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -16,9 +17,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let name = args.next().unwrap_or_else(|| "hazard".to_string());
     let limit: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(2);
 
+    let engine = Engine::new(Config::builder().literal_limit(limit).build()?);
+
     // 1. Elaborate the specification (STG → state graph) and sanity-check
     //    the §2.1 properties.
-    let elaborated = Synthesis::from_benchmark(&name).literal_limit(limit).elaborate()?;
+    let elaborated = engine.benchmark(&name).elaborate()?;
     let properties = elaborated.properties();
     println!(
         "{name}: {} signals, {} states, speed-independent: {}, CSC: {}",

@@ -7,11 +7,12 @@
 //! Run with: `cargo run --release --example wide_celement [max_k]`
 
 use simap::stg::patterns;
-use simap::Synthesis;
+use simap::{Config, Engine};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let max_k: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(6);
+    let engine = Engine::new(Config::builder().literal_limit(2).build()?);
 
     println!(
         "{:>3} | {:>7} | {:>9} | {:>9} | {:>10} | {:>9}",
@@ -20,8 +21,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("{}", "-".repeat(62));
 
     for k in 2..=max_k {
-        let covers =
-            Synthesis::from_stg(patterns::celement(k)).literal_limit(2).elaborate()?.covers()?;
+        let covers = engine.stg(patterns::celement(k)).elaborate()?.covers()?;
         let states = covers.state_graph().state_count();
         let initial_max = covers.mc().max_complexity();
         let t = std::time::Instant::now();

@@ -5,6 +5,7 @@
 //! simap check <spec.g>                 verify the specification's properties
 //! simap map   <spec.g> [options]      run the full mapping flow
 //! simap bench list                     list the embedded Table 1 circuits
+//! simap bench run [name ...] [opts]   batch the suite through one config
 //!
 //! map options:
 //!   -l, --limit <n>      literal limit (default 2)
@@ -12,15 +13,27 @@
 //!       --no-verify      skip the final speed-independence verification
 //!       --or-limit <n>   split second-level OR gates to <= n inputs
 //!   -v, --verbose        narrate stages and insertions to stderr
+//!       --json           print the report as JSON instead of the dossier
 //!       --verilog <f>    write the mapped netlist as structural Verilog
 //!       --dot <f>        write the final state graph as Graphviz dot
 //!       --bench <name>   use an embedded benchmark instead of a file
+//!
+//! bench run options:
+//!       --limits <a,b>   literal limits (default 2)
+//!   -j, --jobs <n>       worker threads (default 1; results identical)
+//!       --csc-repair     repair CSC violations by state-signal insertion
+//!       --no-verify      skip speed-independence verification
+//!       --json|--csv     emit JSON / CSV instead of the markdown table
+//!   -v, --verbose        report elaboration-cache statistics to stderr
 //! ```
+//!
+//! Unknown flags and flags missing their value are rejected with an
+//! error (exit code 1) instead of being silently ignored.
 
-use simap::core::dossier;
+use simap::core::{dossier, report_json, to_csv, to_json, to_markdown};
 use simap::netlist::to_verilog;
 use simap::sg::DotOptions;
-use simap::{StderrObserver, Synthesis};
+use simap::{Config, Engine, StderrObserver, Synthesis};
 use std::error::Error;
 use std::process::ExitCode;
 
@@ -47,33 +60,90 @@ fn run() -> Result<ExitCode, Box<dyn Error>> {
     }
 }
 
-/// Flags that consume the following argument as their value.
-const VALUED_FLAGS: [&str; 6] = ["--limit", "-l", "--or-limit", "--verilog", "--dot", "--bench"];
+/// One accepted flag of a subcommand.
+struct FlagSpec {
+    /// Canonical name (`--limit`).
+    name: &'static str,
+    /// Optional short alias (`-l`).
+    alias: Option<&'static str>,
+    /// Whether the flag consumes the following argument as its value.
+    takes_value: bool,
+}
 
-/// Builds a [`Synthesis`] from the CLI's source arguments: `--bench
-/// <name>` takes precedence; otherwise the first non-flag argument that
-/// is not the value of a valued flag is a `.g` file path.
-fn synthesis(args: &[String]) -> Result<Synthesis, Box<dyn Error>> {
-    if args.iter().any(|a| a == "--bench") {
-        let name = flag_value(args, "--bench").ok_or("--bench needs a name")?;
+const fn flag(name: &'static str) -> FlagSpec {
+    FlagSpec { name, alias: None, takes_value: false }
+}
+
+const fn valued(name: &'static str) -> FlagSpec {
+    FlagSpec { name, alias: None, takes_value: true }
+}
+
+const fn aliased(mut spec: FlagSpec, alias: &'static str) -> FlagSpec {
+    spec.alias = Some(alias);
+    spec
+}
+
+/// Strictly parsed arguments of one subcommand: every flag was declared,
+/// every valued flag has its value.
+struct Parsed {
+    positionals: Vec<String>,
+    flags: Vec<&'static str>,
+    values: Vec<(&'static str, String)>,
+}
+
+impl Parsed {
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains(&name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        // Last occurrence wins, matching common CLI conventions.
+        self.values.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses `args` against the accepted `specs`.
+///
+/// # Errors
+/// An unknown flag, or a valued flag with no following argument.
+fn parse_flags(args: &[String], specs: &[FlagSpec]) -> Result<Parsed, String> {
+    let mut parsed = Parsed { positionals: Vec::new(), flags: Vec::new(), values: Vec::new() };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if !arg.starts_with('-') || arg == "-" {
+            parsed.positionals.push(arg.clone());
+            continue;
+        }
+        let spec = specs
+            .iter()
+            .find(|s| s.name == arg || s.alias == Some(arg.as_str()))
+            .ok_or_else(|| format!("unknown flag `{arg}`"))?;
+        if spec.takes_value {
+            let value = iter.next().ok_or_else(|| format!("flag `{arg}` requires a value"))?;
+            parsed.values.push((spec.name, value.clone()));
+        } else {
+            parsed.flags.push(spec.name);
+        }
+    }
+    Ok(parsed)
+}
+
+/// Builds a [`Synthesis`] from the parsed source arguments: `--bench
+/// <name>` takes precedence; otherwise the first positional argument is a
+/// `.g` file path.
+fn synthesis(parsed: &Parsed) -> Result<Synthesis, Box<dyn Error>> {
+    if let Some(name) = parsed.value("--bench") {
         return Ok(Synthesis::from_benchmark(name));
     }
-    let mut iter = args.iter();
-    let path = loop {
-        let Some(arg) = iter.next() else {
-            return Err("no specification given (pass a .g file or --bench <name>)".into());
-        };
-        if VALUED_FLAGS.contains(&arg.as_str()) {
-            iter.next(); // skip the flag's value
-        } else if !arg.starts_with('-') {
-            break arg;
-        }
+    let Some(path) = parsed.positionals.first() else {
+        return Err("no specification given (pass a .g file or --bench <name>)".into());
     };
     Ok(Synthesis::from_g_source(std::fs::read_to_string(path)?))
 }
 
 fn check(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
-    let elaborated = synthesis(args)?.elaborate()?;
+    let parsed = parse_flags(args, &[valued("--bench")])?;
+    let elaborated = synthesis(&parsed)?.elaborate()?;
     let sg = elaborated.state_graph();
     let report = elaborated.properties();
     println!("{}: {} signals, {} states", sg.name(), sg.signal_count(), sg.state_count());
@@ -85,24 +155,34 @@ fn check(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     Ok(if report.is_ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|p| args.get(p + 1)).map(String::as_str)
-}
-
 fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
-    let limit: usize = flag_value(args, "--limit")
-        .or_else(|| flag_value(args, "-l"))
-        .map(str::parse)
-        .transpose()?
-        .unwrap_or(2);
+    let parsed = parse_flags(
+        args,
+        &[
+            aliased(valued("--limit"), "-l"),
+            valued("--or-limit"),
+            valued("--verilog"),
+            valued("--dot"),
+            valued("--bench"),
+            flag("--csc-repair"),
+            flag("--no-verify"),
+            flag("--json"),
+            aliased(flag("--verbose"), "-v"),
+        ],
+    )?;
 
-    let verify = !args.iter().any(|a| a == "--no-verify");
-    let mut synthesis =
-        synthesis(args)?.literal_limit(limit).repair_csc(args.iter().any(|a| a == "--csc-repair"));
-    if let Some(n) = flag_value(args, "--or-limit") {
-        synthesis = synthesis.or_limit(n.parse()?);
+    let mut builder =
+        Config::builder().repair_csc(parsed.has("--csc-repair")).verify(!parsed.has("--no-verify"));
+    if let Some(limit) = parsed.value("--limit") {
+        builder = builder.literal_limit(limit.parse()?);
     }
-    if args.iter().any(|a| a == "--verbose" || a == "-v") {
+    if let Some(limit) = parsed.value("--or-limit") {
+        builder = builder.or_limit(limit.parse()?);
+    }
+    let config = builder.build()?;
+
+    let mut synthesis = synthesis(&parsed)?.config(&config);
+    if parsed.has("--verbose") {
         synthesis = synthesis.observer(StderrObserver);
     }
 
@@ -111,16 +191,30 @@ fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     // dossier (`verified: Some(false)`), not raised as an error, so the
     // netlist exports below still run — matching the historical CLI.
     let mapped = synthesis.elaborate()?.covers()?.decompose()?.map();
-    let verified = if verify { mapped.verify_compat() } else { mapped.skip_verify() };
+    let verified = if config.verify() { mapped.verify_compat() } else { mapped.skip_verify() };
     let report = verified.report();
-    print!("{}", dossier(report));
+    let json = parsed.has("--json");
+    if json {
+        println!("{}", report_json(report));
+    } else {
+        print!("{}", dossier(report));
+    }
+    // In JSON mode stdout carries exactly one JSON document; export
+    // confirmations move to stderr so `--json --verilog f` stays parseable.
+    let confirm = |path: &str| {
+        if json {
+            eprintln!("wrote {path}");
+        } else {
+            println!("wrote {path}");
+        }
+    };
 
-    if let Some(path) = flag_value(args, "--verilog") {
+    if let Some(path) = parsed.value("--verilog") {
         let module = report.name.clone();
         std::fs::write(path, to_verilog(verified.circuit(), &report.outcome.sg, &module))?;
-        println!("wrote {path}");
+        confirm(path);
     }
-    if let Some(path) = flag_value(args, "--dot") {
+    if let Some(path) = parsed.value("--dot") {
         std::fs::write(
             path,
             simap::sg::to_dot(
@@ -128,7 +222,7 @@ fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
                 &DotOptions { show_codes: true, ..Default::default() },
             ),
         )?;
-        println!("wrote {path}");
+        confirm(path);
     }
     Ok(if report.inserted.is_some() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
@@ -136,16 +230,76 @@ fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
 fn bench(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     match args.first().map(String::as_str) {
         Some("list") => {
-            for name in simap::stg::benchmark_names() {
-                let sg = Synthesis::from_benchmark(*name).elaborate()?;
+            parse_flags(&args[1..], &[])?;
+            let engine = Engine::default();
+            for name in engine.registry().names() {
+                let sg = engine.benchmark(*name).elaborate()?;
                 let sg = sg.state_graph();
                 println!("{name:15} {:2} signals {:5} states", sg.signal_count(), sg.state_count());
             }
             Ok(ExitCode::SUCCESS)
         }
+        Some("run") => bench_run(&args[1..]),
         _ => {
-            eprintln!("usage: simap bench list");
+            eprintln!("usage: simap bench <list|run> ...");
             Ok(ExitCode::FAILURE)
         }
     }
+}
+
+fn bench_run(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let parsed = parse_flags(
+        args,
+        &[
+            valued("--limits"),
+            aliased(valued("--jobs"), "-j"),
+            flag("--csc-repair"),
+            flag("--no-verify"),
+            flag("--json"),
+            flag("--csv"),
+            aliased(flag("--verbose"), "-v"),
+        ],
+    )?;
+
+    let limits: Vec<usize> = match parsed.value("--limits") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| s.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("bad --limits `{spec}`: {e}"))?,
+        None => vec![2],
+    };
+    if limits.is_empty() {
+        return Err("--limits needs at least one limit".into());
+    }
+    let jobs: usize = parsed.value("--jobs").map(str::parse).transpose()?.unwrap_or(1);
+
+    let config = Config::builder()
+        .repair_csc(parsed.has("--csc-repair"))
+        .verify(!parsed.has("--no-verify"))
+        .build()?;
+    let engine = Engine::new(config);
+
+    let batch = if parsed.positionals.is_empty() {
+        engine.batch_all()
+    } else {
+        engine.batch(parsed.positionals.iter().cloned())
+    };
+    let rows = batch.limits(limits.clone()).jobs(jobs).run()?;
+
+    if parsed.has("--json") {
+        println!("{}", to_json(&limits, &rows));
+    } else if parsed.has("--csv") {
+        print!("{}", to_csv(&limits, &rows));
+    } else {
+        print!("{}", to_markdown(&limits, &rows));
+    }
+    if parsed.has("--verbose") {
+        let stats = engine.cache_stats();
+        eprintln!(
+            "elaboration cache: {} hits, {} misses, {} entries",
+            stats.hits, stats.misses, stats.entries
+        );
+    }
+    Ok(ExitCode::SUCCESS)
 }

@@ -9,28 +9,46 @@
 //!
 //! ## Quickstart
 //!
-//! The whole flow — STG → state graph → monotonous covers →
-//! decomposition/resynthesis → standard-C netlist → speed-independence
-//! verification — hangs off one entry point, the [`Synthesis`] builder:
+//! Describe a run with one validated [`Config`], then execute it through
+//! an [`Engine`] — the thread-safe, cheaply-cloneable front door that
+//! owns the benchmark registry, the gate library and a memoized
+//! elaboration cache:
 //!
 //! ```
-//! use simap::Synthesis;
+//! use simap::{Config, Engine};
 //!
-//! let report = simap::Synthesis::from_benchmark("hazard")
-//!     .literal_limit(2) // map onto gates of at most 2 literals
-//!     .run()?;
+//! let engine = Engine::new(Config::builder().literal_limit(2).build()?);
+//! let report = engine.synthesize("hazard")?;
 //! assert!(report.inserted.is_some(), "hazard is 2-input implementable");
 //! assert_eq!(report.verified, Some(true), "and provably speed-independent");
+//!
+//! // Re-running on the same engine skips STG→state-graph reachability:
+//! engine.synthesize("hazard")?;
+//! assert_eq!(engine.cache_stats().hits, 1);
 //! # Ok::<(), simap::Error>(())
 //! ```
 //!
-//! Every intermediate artifact is a typed stage value that can be
-//! inspected, cached or fanned out:
+//! [`Batch`] drives whole suites through one configuration — across a
+//! worker pool with [`Batch::jobs`], with results byte-identical to a
+//! sequential run:
 //!
 //! ```
-//! use simap::Synthesis;
+//! use simap::{Config, Engine};
 //!
-//! let elaborated = Synthesis::from_benchmark("hazard").elaborate()?;
+//! let engine = Engine::new(Config::builder().verify(false).build()?);
+//! let rows = engine.batch(["half", "hazard"]).limits([2, 3]).jobs(2).run()?;
+//! println!("{}", simap::core::to_markdown(&[2, 3], &rows));
+//! # Ok::<(), simap::Error>(())
+//! ```
+//!
+//! Every intermediate artifact of the flow is a typed, `Send + 'static`
+//! stage value that can be inspected, cached or moved across threads:
+//!
+//! ```
+//! use simap::{Config, Engine};
+//!
+//! let engine = Engine::new(Config::default());
+//! let elaborated = engine.benchmark("hazard").elaborate()?;
 //! assert!(elaborated.properties().is_ok()); // §2.1 checks
 //!
 //! let covers = elaborated.covers()?; // §2.2 monotonous covers
@@ -44,16 +62,8 @@
 //! ```
 //!
 //! Failures of any stage surface as the unified [`Error`] enum with the
-//! stage and the offending signals attached, [`FlowObserver`] hooks
-//! stream per-step progress, and [`Batch`] drives whole benchmark suites:
-//!
-//! ```
-//! use simap::Batch;
-//!
-//! let rows = Batch::over_benchmarks(["half", "hazard"]).limits([2]).run()?;
-//! println!("{}", simap::core::to_markdown(&[2], &rows));
-//! # Ok::<(), simap::Error>(())
-//! ```
+//! stage and the offending signals attached, and [`FlowObserver`] hooks
+//! stream per-step progress ([`Synthesis::observer`]).
 //!
 //! ## Crates
 //!
@@ -68,14 +78,17 @@
 //! * [`netlist`] — standard-C circuits, cost model, the non-SI baseline
 //!   and the semi-modularity verifier ([`simap_netlist`]);
 //! * [`core`] — monotonous covers, SIP event insertion, progress analysis,
-//!   the decomposition loop and the [`pipeline`] ([`simap_core`]).
+//!   the decomposition loop, the [`pipeline`] and the [`Engine`]
+//!   ([`simap_core`]).
 //!
 //! ## Deprecation policy
 //!
-//! Flow-level free functions superseded by [`Synthesis`] (today:
-//! `simap::core::run_flow`) remain available as `#[deprecated]` shims
-//! with unchanged behavior for at least one minor release before
-//! removal. Algorithm primitives (`synthesize_mc`, `repair_csc`,
+//! The 0.2 per-stage configuration setters (`Synthesis::literal_limit`,
+//! `Batch::verify`, …) were superseded in 0.3 by [`Config`] +
+//! [`Synthesis::config`] / [`Batch::config`]; they remain available as
+//! `#[deprecated]` shims with unchanged behavior for at least one minor
+//! release before removal, as does `simap::core::run_flow` (deprecated in
+//! 0.2). Algorithm primitives (`synthesize_mc`, `repair_csc`,
 //! `compute_insertion`, `build_circuit`, …) are the stable substrate the
 //! pipeline is built on and are not deprecated.
 
@@ -90,6 +103,7 @@ pub use simap_stg as stg;
 
 pub use simap_core::pipeline;
 pub use simap_core::{
-    Batch, Covers, Decomposed, Elaborated, Error, FlowObserver, Mapped, Stage, Synthesis, Verified,
+    Batch, CacheStats, Config, ConfigBuilder, Covers, Decomposed, Elaborated, Engine, Error,
+    FlowObserver, Mapped, Stage, Synthesis, Verified,
 };
 pub use simap_core::{NullObserver, RecordingObserver, StderrObserver};

@@ -1,15 +1,19 @@
 //! End-to-end checks of the report emitters and the artifacts a CLI user
-//! relies on: Verilog export of a mapped benchmark, dot export, and the
-//! markdown/CSV batch emitters over real flow results.
+//! relies on: Verilog export of a mapped benchmark, dot export, the
+//! markdown/CSV/JSON batch emitters over real flow results, and the
+//! `simap` binary itself — strict flag handling, `--json` output and the
+//! parallel `bench run` driver.
 
-use simap::core::{to_csv, to_markdown, FlowReport};
+use simap::core::{report_json, to_csv, to_json, to_markdown, FlowReport};
 use simap::netlist::to_verilog;
 use simap::sg::DotOptions;
-use simap::{Batch, Synthesis, Verified};
+use simap::{Batch, Config, Synthesis, Verified};
+use std::process::Command;
 
 fn verified(name: &str, limit: usize) -> Verified {
+    let config = Config::builder().literal_limit(limit).build().expect("valid limit");
     Synthesis::from_benchmark(name)
-        .literal_limit(limit)
+        .config(&config)
         .elaborate()
         .expect("elaborates")
         .covers()
@@ -59,4 +63,107 @@ fn emitters_cover_batch_rows() {
     assert!(md.contains("| half |"));
     let csv = to_csv(&[2], &rows);
     assert!(csv.lines().count() >= 2);
+}
+
+/// Golden test of the hand-rolled JSON emitters: the exact bytes for the
+/// `half` benchmark (deterministic flow, deterministic key order).
+#[test]
+fn json_emitters_match_golden_output() {
+    let report = flow("half", 2);
+    assert_eq!(
+        report_json(&report),
+        "{\"name\":\"half\",\"initial_histogram\":[0,2,1],\"implementable\":true,\
+         \"inserted\":0,\"inserted_names\":[],\
+         \"si_cost\":{\"literals\":4,\"c_elements\":1},\
+         \"non_si_cost\":{\"literals\":4,\"c_elements\":1},\"verified\":true}"
+    );
+
+    let rows = Batch::over_benchmarks(["half"]).limits([2]).run().expect("batch");
+    assert_eq!(
+        to_json(&[2], &rows),
+        "{\"limits\":[2],\"circuits\":[{\"name\":\"half\",\"states\":6,\"runs\":[\
+         {\"literal_limit\":2,\"report\":{\"name\":\"half\",\
+         \"initial_histogram\":[0,2,1],\"implementable\":true,\"inserted\":0,\
+         \"inserted_names\":[],\"si_cost\":{\"literals\":4,\"c_elements\":1},\
+         \"non_si_cost\":{\"literals\":4,\"c_elements\":1},\"verified\":true}}]}]}"
+    );
+}
+
+// ---- the `simap` binary itself ----
+
+fn simap(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_simap")).args(args).output().expect("binary runs")
+}
+
+#[test]
+fn cli_rejects_unknown_flags() {
+    let out = simap(&["map", "--bench", "half", "--badflag"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag `--badflag`"), "{stderr}");
+}
+
+#[test]
+fn cli_rejects_flags_missing_their_value() {
+    for args in [
+        vec!["map", "--bench", "half", "--or-limit"],
+        vec!["map", "--bench"],
+        vec!["bench", "run", "half", "--jobs"],
+    ] {
+        let out = simap(&args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("requires a value"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn cli_rejects_unknown_flags_in_subcommands() {
+    let out = simap(&["bench", "run", "half", "--nonsense"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag `--nonsense`"), "{stderr}");
+}
+
+#[test]
+fn cli_rejects_invalid_config_values() {
+    let out = simap(&["map", "--bench", "half", "--limit", "1"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid configuration"), "{stderr}");
+}
+
+#[test]
+fn cli_map_json_matches_library_emitter() {
+    let out = simap(&["map", "--bench", "half", "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.trim_end(), report_json(&flow("half", 2)));
+}
+
+#[test]
+fn cli_json_stdout_stays_pure_with_exports() {
+    let dir = std::env::temp_dir().join("simap_cli_json_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let verilog = dir.join("half.v");
+    let out = simap(&["map", "--bench", "half", "--json", "--verilog", verilog.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.trim_end(),
+        report_json(&flow("half", 2)),
+        "stdout must be exactly one JSON document"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("wrote"), "confirmation on stderr");
+    assert!(verilog.exists());
+}
+
+#[test]
+fn cli_bench_run_parallel_output_is_identical_to_sequential() {
+    let base = ["bench", "run", "half", "hazard", "dff", "--limits", "2,3", "--no-verify"];
+    let sequential = simap(&[&base[..], &["--csv", "--jobs", "1"]].concat());
+    let parallel = simap(&[&base[..], &["--csv", "--jobs", "3"]].concat());
+    assert!(sequential.status.success() && parallel.status.success());
+    assert!(!sequential.stdout.is_empty());
+    assert_eq!(sequential.stdout, parallel.stdout, "parallel output must be byte-identical");
 }

@@ -33,14 +33,13 @@ fn repaired_spec_maps_and_verifies() {
     assert!(csc_conflicts(&fixed).is_empty());
     assert!(check_all(&fixed).is_ok());
 
-    let report = Synthesis::from_state_graph(fixed).literal_limit(2).run().expect("flow succeeds");
+    let report = Synthesis::from_state_graph(fixed).run().expect("flow succeeds");
     assert!(report.inserted.is_some());
     assert_eq!(report.verified, Some(true));
 
     // The pipeline performs the same repair inline.
     let verified = Synthesis::from_state_graph(sg)
-        .literal_limit(2)
-        .repair_csc(true)
+        .config(&simap::Config::builder().repair_csc(true).build().unwrap())
         .elaborate()
         .expect("repairable")
         .covers()
@@ -108,7 +107,10 @@ fn longer_conflict_chain_repairs() {
             assert!(csc_conflicts(&fixed).is_empty());
             assert!(check_all(&fixed).is_ok());
             assert!(!inserted.is_empty());
-            let report = Synthesis::from_state_graph(fixed).literal_limit(3).run().expect("flow");
+            let report = Synthesis::from_state_graph(fixed)
+                .config(&simap::Config::builder().literal_limit(3).build().unwrap())
+                .run()
+                .expect("flow");
             assert!(report.inserted.is_some());
         }
         Err(e) => panic!("expected repair to succeed: {e}"),

@@ -13,7 +13,7 @@ fn sg_of(name: &str) -> simap::sg::StateGraph {
 
 #[test]
 fn hazard_full_flow_is_verified() {
-    let report = Synthesis::from_benchmark("hazard").literal_limit(2).run().expect("CSC holds");
+    let report = Synthesis::from_benchmark("hazard").run().expect("CSC holds");
     assert_eq!(report.inserted, Some(1), "the 3-literal cube needs one insertion");
     assert_eq!(report.verified, Some(true));
     assert!(report.outcome.mc.max_complexity() <= 2);
@@ -22,10 +22,8 @@ fn hazard_full_flow_is_verified() {
 #[test]
 fn small_benchmarks_map_to_two_input_gates() {
     for name in ["half", "dff", "chu133", "chu150", "converta", "ebergen", "vbe5b", "rcv-setup"] {
-        let report = Synthesis::from_benchmark(name)
-            .literal_limit(2)
-            .run()
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report =
+            Synthesis::from_benchmark(name).run().unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(report.inserted.is_some(), "{name} must be 2-input implementable");
         assert_eq!(report.verified, Some(true), "{name} final circuit must verify");
     }
@@ -99,8 +97,8 @@ fn verification_catches_a_broken_substitution() {
 fn g_format_roundtrip_preserves_flow_results() {
     let stg = simap::stg::benchmark("ebergen").expect("known");
     let text = simap::stg::write_g(&stg);
-    let r1 = Synthesis::from_stg(stg).literal_limit(2).run().expect("flow");
-    let r2 = Synthesis::from_g_source(text).literal_limit(2).run().expect("flow");
+    let r1 = Synthesis::from_stg(stg).run().expect("flow");
+    let r2 = Synthesis::from_g_source(text).run().expect("flow");
     assert_eq!(r1.inserted, r2.inserted);
     assert_eq!(r1.si_cost, r2.si_cost);
 }

@@ -1,0 +1,160 @@
+//! Integration tests of the execution layer shipped in 0.3: the
+//! validated `Config`, the cache-carrying `Engine`, and the parallel
+//! `Batch` executor — including the CI smoke test that parallel and
+//! sequential batches emit byte-identical reports.
+
+use simap::core::{to_csv, to_markdown};
+use simap::{Config, Engine, Error, Stage};
+
+#[test]
+fn config_is_validated_once_at_build() {
+    let err = Config::builder().literal_limit(1).build().unwrap_err();
+    assert!(matches!(err, Error::InvalidConfig { .. }), "{err}");
+    assert_eq!(err.stage(), Stage::Configure);
+    assert!(err.to_string().contains("[configure]"), "{err}");
+    assert!(Config::builder().or_limit(1).build().is_err());
+    assert!(Config::builder().literal_limit(2).or_limit(2).build().is_ok());
+}
+
+#[test]
+fn engine_reuse_skips_elaboration() {
+    let engine = Engine::new(Config::default());
+    let first = engine.synthesize("hazard").expect("flow");
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (0, 1));
+
+    let again = engine.synthesize("hazard").expect("flow");
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1), "second run must hit the cache");
+    assert_eq!(first.inserted, again.inserted);
+    assert_eq!(first.si_cost, again.si_cost);
+    assert_eq!(first.verified, again.verified);
+}
+
+#[test]
+fn engine_clones_and_config_variants_share_one_cache() {
+    let engine = Engine::new(Config::builder().verify(false).build().unwrap());
+    engine.clone().synthesize("half").expect("flow");
+    // A different literal limit does not change elaboration: hit.
+    let at3 = engine.with_config(Config::builder().literal_limit(3).build().unwrap());
+    at3.synthesize("half").expect("flow");
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+}
+
+#[test]
+fn staged_pipeline_through_engine_also_hits() {
+    let engine = Engine::default();
+    engine.benchmark("dff").elaborate().expect("elaborates");
+    let covers = engine.benchmark("dff").elaborate().expect("cached").covers().expect("CSC");
+    assert!(covers.mc().max_complexity() >= 2);
+    assert_eq!(engine.cache_stats().hits, 1);
+}
+
+#[test]
+fn parallel_batch_matches_sequential() {
+    // The CI smoke test: markdown and CSV renderings must be
+    // byte-identical between jobs=1 and jobs=4, rows in input order.
+    let engine = Engine::new(Config::builder().verify(false).build().unwrap());
+    let names = ["half", "hazard", "dff", "chu133", "chu150", "ebergen"];
+    let limits = [2usize, 3];
+
+    let sequential = engine.batch(names).limits(limits).jobs(1).run().expect("sequential");
+    let parallel = engine.batch(names).limits(limits).jobs(4).run().expect("parallel");
+
+    assert_eq!(to_markdown(&limits, &sequential), to_markdown(&limits, &parallel));
+    assert_eq!(to_csv(&limits, &sequential), to_csv(&limits, &parallel));
+
+    // The parallel run re-used every elaboration of the sequential one.
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses as usize, names.len());
+    assert!(stats.hits as usize >= names.len() * limits.len());
+}
+
+#[test]
+fn batch_without_engine_still_works() {
+    let rows = simap::Batch::over_benchmarks(["half"]).jobs(2).run().expect("batch");
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].name, "half");
+}
+
+#[test]
+fn engine_caches_g_sources_by_text() {
+    let src = ".model ring\n.inputs a\n.outputs b\n.graph\n\
+               a+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n";
+    let engine = Engine::default();
+    engine.g_source(src).run().expect("flow");
+    engine.g_source(src).run().expect("flow");
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+}
+
+#[test]
+fn cache_hits_emit_the_same_observer_stages_as_cold_runs() {
+    use simap::core::RecordingObserver;
+    use simap::FlowObserver;
+    use std::sync::{Arc, Mutex};
+
+    struct Shared(Arc<Mutex<RecordingObserver>>);
+    impl FlowObserver for Shared {
+        fn on_stage_start(&mut self, stage: Stage, spec: &str) {
+            self.0.lock().unwrap().on_stage_start(stage, spec);
+        }
+    }
+
+    let engine = Engine::default();
+    let stg = simap::stg::benchmark("half").unwrap();
+    let record = |engine: &Engine, stg: &simap::stg::Stg| {
+        let rec = Arc::new(Mutex::new(RecordingObserver::default()));
+        engine.stg(stg.clone()).observer(Shared(rec.clone())).elaborate().unwrap();
+        let stages = rec.lock().unwrap().stages.clone();
+        stages
+    };
+    let cold = record(&engine, &stg);
+    let warm = record(&engine, &stg);
+    assert_eq!(engine.cache_stats().hits, 1, "second elaboration must be a hit");
+    assert_eq!(cold, warm, "cache hits must replay the cold stage stream");
+    assert!(!cold.contains(&Stage::Load), "STG sources have no load stage");
+}
+
+#[test]
+fn cache_hits_replay_csc_conflicts_and_repairs() {
+    use simap::core::RecordingObserver;
+    use simap::FlowObserver;
+    use std::sync::{Arc, Mutex};
+
+    struct Shared(Arc<Mutex<RecordingObserver>>);
+    impl FlowObserver for Shared {
+        fn on_csc_conflicts(&mut self, conflicts: &[simap::core::CscConflict]) {
+            self.0.lock().unwrap().on_csc_conflicts(conflicts);
+        }
+        fn on_csc_repair(&mut self, signal: &str) {
+            self.0.lock().unwrap().on_csc_repair(signal);
+        }
+    }
+
+    // a+ ; b+ ; b- ; a- over two outputs: code 10 repeats, the textbook
+    // CSC conflict, repairable with one state signal.
+    let src = ".model cscdemo\n.outputs a b\n.graph\n\
+               a+ b+\nb+ b-\nb- a-\na- a+\n.marking { <a-,a+> }\n.end\n";
+    let engine = Engine::new(Config::builder().repair_csc(true).build().unwrap());
+    let record = |engine: &Engine| {
+        let rec = Arc::new(Mutex::new(RecordingObserver::default()));
+        engine.g_source(src).observer(Shared(rec.clone())).elaborate().unwrap();
+        let seen = rec.lock().unwrap();
+        (seen.conflict_counts.clone(), seen.csc_insertions.clone())
+    };
+    let cold = record(&engine);
+    let warm = record(&engine);
+    assert_eq!(engine.cache_stats().hits, 1, "second elaboration must be a hit");
+    assert!(!cold.1.is_empty(), "repair must have inserted a state signal");
+    assert_eq!(cold, warm, "hits must replay conflict and repair events");
+}
+
+#[test]
+fn reach_limit_is_honored_through_config() {
+    let config = Config::builder().reach_max_states(4).build().unwrap();
+    let err = Engine::new(config).synthesize("hazard").unwrap_err();
+    assert!(matches!(err, Error::Elaborate(_)), "{err}");
+    assert_eq!(err.stage(), Stage::Elaborate);
+}

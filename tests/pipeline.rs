@@ -64,7 +64,6 @@ fn parse_error_carries_line() {
 #[test]
 fn csc_violation_with_repair_off() {
     let err = Synthesis::from_state_graph(conflicted(SignalKind::Output))
-        .literal_limit(2)
         .elaborate()
         .expect("elaboration itself succeeds")
         .covers()
@@ -84,10 +83,13 @@ fn csc_repair_failure_surfaces_conflicts() {
     // unrepairable — and the error must carry the original conflicts
     // instead of being swallowed (the historic run_flow fallback).
     use simap::core::CscRepairConfig;
-    let err = Synthesis::from_state_graph(conflicted(SignalKind::Output))
-        .literal_limit(2)
+    let starved = simap::Config::builder()
         .repair_csc(true)
         .csc_repair_config(CscRepairConfig { max_insertions: 0 })
+        .build()
+        .unwrap();
+    let err = Synthesis::from_state_graph(conflicted(SignalKind::Output))
+        .config(&starved)
         .elaborate()
         .unwrap_err();
     let Error::CscRepairFailed { ref conflicts, .. } = err else {
@@ -101,7 +103,6 @@ fn csc_repair_failure_surfaces_conflicts() {
 #[test]
 fn verification_failure_is_typed() {
     let mapped = Synthesis::from_state_graph(non_persistent())
-        .literal_limit(2)
         .elaborate()
         .expect("elaborates")
         .covers()
@@ -118,17 +119,15 @@ fn verification_failure_is_typed() {
 fn run_reports_refutation_compatibly() {
     // The one-shot driver keeps the historical FlowReport contract:
     // refutation is data (`verified == Some(false)`), not an error.
-    let report =
-        Synthesis::from_state_graph(non_persistent()).literal_limit(2).run().expect("runs");
+    let report = Synthesis::from_state_graph(non_persistent()).run().expect("runs");
     assert_eq!(report.verified, Some(false));
 }
 
 #[test]
 fn staged_matches_one_shot_on_benchmarks() {
     for name in ["half", "hazard", "chu133"] {
-        let one_shot = Synthesis::from_benchmark(name).literal_limit(2).run().unwrap();
+        let one_shot = Synthesis::from_benchmark(name).run().unwrap();
         let staged = Synthesis::from_benchmark(name)
-            .literal_limit(2)
             .elaborate()
             .unwrap()
             .covers()
@@ -155,7 +154,7 @@ fn deprecated_run_flow_still_works() {
     let stg = simap::stg::benchmark("hazard").expect("known");
     let sg = simap::stg::elaborate(&stg).expect("elaborates");
     let old = run_flow(&sg, &FlowConfig::with_limit(2)).expect("flow");
-    let new = Synthesis::from_state_graph(sg).literal_limit(2).run().expect("flow");
+    let new = Synthesis::from_state_graph(sg).run().expect("flow");
     assert_eq!(old.inserted, new.inserted);
     assert_eq!(old.si_cost, new.si_cost);
     assert_eq!(old.verified, new.verified);
@@ -208,11 +207,8 @@ fn observer_streams_progress() {
     }
 
     let log = Arc::new(Mutex::new(Log::default()));
-    let report = Synthesis::from_benchmark("hazard")
-        .literal_limit(2)
-        .observer(Obs(log.clone()))
-        .run()
-        .expect("flow");
+    let report =
+        Synthesis::from_benchmark("hazard").observer(Obs(log.clone())).run().expect("flow");
     let log = log.lock().unwrap();
     assert_eq!(log.steps, report.inserted.unwrap());
     assert_eq!(log.verdict, Some(Some(true)));
@@ -247,7 +243,6 @@ fn observer_stages_balance_on_refutation() {
 
     let counts = Arc::new(Mutex::new(Counts::default()));
     let err = Synthesis::from_state_graph(non_persistent())
-        .literal_limit(2)
         .observer(Obs(counts.clone()))
         .elaborate()
         .unwrap()
@@ -266,7 +261,6 @@ fn observer_stages_balance_on_refutation() {
 #[test]
 fn verify_compat_reports_refutation_as_data() {
     let verified = Synthesis::from_state_graph(non_persistent())
-        .literal_limit(2)
         .elaborate()
         .unwrap()
         .covers()

@@ -251,3 +251,47 @@ proptest! {
         prop_assert!(check_all(&result.sg).is_ok());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The execution-layer determinism contract: for random benchmark
+    /// subsets, literal limits and job counts, a parallel `Batch` emits
+    /// byte-identical reports to a sequential one, and re-running the
+    /// batch on the same `Engine` answers every elaboration from the
+    /// cache (nonzero hits, no new misses).
+    #[test]
+    fn parallel_batch_is_deterministic_and_caches(
+        subset in 1usize..32,
+        limit in 2usize..4,
+        jobs in 2usize..5,
+    ) {
+        use simap::core::{to_csv, to_markdown};
+        use simap::{Config, Engine};
+
+        let pool = ["half", "hazard", "dff", "chu133", "ebergen"];
+        let names: Vec<&str> = pool
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| subset >> i & 1 == 1)
+            .map(|(_, &n)| n)
+            .collect();
+        let limits = [limit];
+
+        let engine = Engine::new(Config::builder().verify(false).build().expect("valid"));
+        let sequential =
+            engine.batch(names.clone()).limits(limits).jobs(1).run().expect("sequential");
+        let parallel =
+            engine.batch(names.clone()).limits(limits).jobs(jobs).run().expect("parallel");
+        prop_assert_eq!(to_markdown(&limits, &sequential), to_markdown(&limits, &parallel));
+        prop_assert_eq!(to_csv(&limits, &sequential), to_csv(&limits, &parallel));
+
+        let before = engine.cache_stats();
+        prop_assert_eq!(before.misses as usize, names.len(), "one elaboration per name");
+        let again = engine.batch(names.clone()).limits(limits).jobs(jobs).run().expect("rerun");
+        prop_assert_eq!(to_csv(&limits, &sequential), to_csv(&limits, &again));
+        let after = engine.cache_stats();
+        prop_assert_eq!(after.misses, before.misses, "no new elaborations on reuse");
+        prop_assert!(after.hits > before.hits, "the rerun must report cache hits");
+    }
+}
