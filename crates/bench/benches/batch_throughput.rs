@@ -1,11 +1,15 @@
 //! Throughput of the parallel `Batch` executor: the same benchmark
 //! subset driven at jobs=1 vs jobs=N (N = available cores, capped), plus
 //! a warm-cache column showing what the memoized elaboration saves when a
-//! long-lived `Engine` is reused. Results are byte-identical across the
-//! columns — only the wall clock moves.
+//! long-lived `Engine` is reused, and a packed-vs-explicit column
+//! isolating the reachability engine itself on the largest registry
+//! specification. Results are byte-identical across the columns — only
+//! the wall clock moves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use simap_bench::reexports::{Config, Engine};
+use simap_bench::reexports::{
+    benchmark, elaborate_with, Config, Engine, ReachConfig, ReachStrategy,
+};
 
 /// Medium-cost circuits, heaviest first (the work queue hands out names
 /// in order, so a descending sort balances the pool): enough per-row work
@@ -89,5 +93,24 @@ fn bench_elaborate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cold, bench_warm, bench_elaborate);
+/// The reachability engine itself, isolated from the rest of the flow:
+/// cold elaboration of `mr0` — the largest registry specification (4096
+/// states, 20800 arcs) — under the packed-state engine vs the explicit
+/// oracle. The packed arena + mask-compiled token game is the whole
+/// difference; the acceptance bar is a >= 2x speedup.
+fn bench_strategy(c: &mut Criterion) {
+    let largest = "mr0";
+    let stg = benchmark(largest).expect("known benchmark");
+    let mut group = c.benchmark_group("elaborate/strategy");
+    group.sample_size(10);
+    for strategy in [ReachStrategy::Packed, ReachStrategy::Explicit] {
+        let config = ReachConfig { strategy, ..ReachConfig::default() };
+        group.bench_function(BenchmarkId::new(strategy.to_string(), largest), |b| {
+            b.iter(|| elaborate_with(std::hint::black_box(&stg), &config).expect("elaborates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold, bench_warm, bench_elaborate, bench_strategy);
 criterion_main!(benches);

@@ -162,7 +162,9 @@ pub mod reexports {
         DecomposeConfig, Engine, FlowConfig, Synthesis,
     };
     pub use simap_sg::check_all;
-    pub use simap_stg::{all_benchmarks, benchmark, elaborate, patterns};
+    pub use simap_stg::{
+        all_benchmarks, benchmark, elaborate, elaborate_with, patterns, ReachConfig, ReachStrategy,
+    };
 }
 
 #[cfg(test)]

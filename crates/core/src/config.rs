@@ -23,7 +23,7 @@ use crate::decompose::{AckMode, DecomposeConfig};
 use crate::error::Error;
 use crate::flow::FlowConfig;
 use simap_netlist::VerifyConfig;
-use simap_stg::ReachConfig;
+use simap_stg::{ReachConfig, ReachStrategy};
 
 /// A validated, immutable configuration of the whole synthesis flow.
 ///
@@ -210,6 +210,20 @@ impl ConfigBuilder {
         self
     }
 
+    /// Reachability engine: the packed-state default or the explicit
+    /// differential oracle (shorthand for [`Self::reach_config`]).
+    pub fn reach_strategy(mut self, strategy: ReachStrategy) -> Self {
+        self.config.reach.strategy = strategy;
+        self
+    }
+
+    /// Worker threads for reachability frontier expansion (packed
+    /// strategy only; results are byte-identical whatever the value).
+    pub fn reach_jobs(mut self, jobs: usize) -> Self {
+        self.config.reach.jobs = jobs;
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
@@ -266,6 +280,8 @@ mod tests {
             .max_insertions(5)
             .verify_max_states(1234)
             .reach_max_states(5678)
+            .reach_strategy(ReachStrategy::Explicit)
+            .reach_jobs(4)
             .build()
             .unwrap();
         assert_eq!(config.literal_limit(), 4);
@@ -276,6 +292,8 @@ mod tests {
         assert_eq!(config.max_insertions(), 5);
         assert_eq!(config.verify_config().max_states, 1234);
         assert_eq!(config.reach_config().max_states, 5678);
+        assert_eq!(config.reach_config().strategy, ReachStrategy::Explicit);
+        assert_eq!(config.reach_config().jobs, 4);
     }
 
     #[test]

@@ -58,6 +58,13 @@ pub(crate) struct ElabKey {
     csc_max_insertions: usize,
     reach_max_states: usize,
     reach_max_tokens: u8,
+    /// Both strategies produce byte-identical graphs, but cached entries
+    /// carry the [`simap_stg::ReachStats`] of the run that filled them —
+    /// keying by strategy keeps those counters honest (and lets a
+    /// differential harness elaborate both ways through one engine).
+    /// `ReachConfig::jobs` is deliberately *not* part of the key: it is
+    /// pure execution parallelism with a byte-identical-output contract.
+    reach_strategy: simap_stg::ReachStrategy,
 }
 
 /// The source component of an [`ElabKey`].
@@ -77,6 +84,9 @@ pub(crate) struct CachedElaboration {
     /// The CSC conflicts of the *unrepaired* graph, kept so cache hits
     /// replay the same observer events as the cold run that filled them.
     pub(crate) conflicts: Vec<crate::csc::CscConflict>,
+    /// Exploration counters of the cold run (`None` for sources that
+    /// arrive pre-elaborated).
+    pub(crate) reach: Option<simap_stg::ReachStats>,
 }
 
 struct Shared {
@@ -231,6 +241,7 @@ impl Engine {
             csc_max_insertions: config.csc_repair.max_insertions,
             reach_max_states: config.reach.max_states,
             reach_max_tokens: config.reach.max_tokens,
+            reach_strategy: config.reach.strategy,
         }
     }
 

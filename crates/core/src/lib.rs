@@ -38,6 +38,17 @@
 //! # Ok::<(), simap_core::Error>(())
 //! ```
 //!
+//! Elaboration itself defaults to the packed-state reachability engine
+//! ([`simap_stg::ReachStrategy::Packed`]): bit-packed markings in a
+//! contiguous arena, mask-compiled transitions, optional parallel
+//! frontier expansion via [`ConfigBuilder::reach_jobs`]. The legacy
+//! explicit BFS remains available through
+//! [`ConfigBuilder::reach_strategy`] as a differential oracle — both
+//! engines produce byte-identical graphs and errors, and the strategy is
+//! part of the elaboration cache key. [`Elaborated::reach_stats`]
+//! exposes the visited/interned/edge counters of the run that produced a
+//! graph (cache hits replay the cold run's counters).
+//!
 //! [`Batch`] drives many specifications through one configuration —
 //! sequentially or on a worker pool with deterministic, order-preserving
 //! results:

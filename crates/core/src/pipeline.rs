@@ -46,7 +46,7 @@ use crate::observer::{FlowObserver, NullObserver};
 use crate::report::BatchRow;
 use simap_netlist::{verify_speed_independence, Circuit, Cost, VerifyConfig, VerifyError};
 use simap_sg::StateGraph;
-use simap_stg::{benchmark, elaborate_with, parse_g, write_g, Stg};
+use simap_stg::{benchmark, elaborate_with_stats, parse_g, write_g, ReachStats, Stg};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -363,12 +363,17 @@ impl Synthesis {
                     }
                 }
                 self.ctx.end(Stage::Elaborate);
-                return Ok(Elaborated { ctx: self.ctx, sg: cached.sg, repaired: cached.repaired });
+                return Ok(Elaborated {
+                    ctx: self.ctx,
+                    sg: cached.sg,
+                    repaired: cached.repaired,
+                    reach: cached.reach,
+                });
             }
         }
 
         let reach = self.ctx.config.reach.clone();
-        let sg = match self.source {
+        let (sg, reach_stats) = match self.source {
             Source::Benchmark(ref name) => {
                 self.ctx.start(Stage::Load, name);
                 // Resolve through the engine's registry when available so
@@ -380,22 +385,25 @@ impl Synthesis {
                 .ok_or_else(|| Error::UnknownBenchmark { name: name.clone() })?;
                 self.ctx.end(Stage::Load);
                 self.ctx.start(Stage::Elaborate, name);
-                elaborate_with(&stg, &reach)?
+                let (sg, stats) = elaborate_with_stats(&stg, &reach)?;
+                (sg, Some(stats))
             }
             Source::Text(ref text) => {
                 self.ctx.start(Stage::Load, "<g-source>");
                 let stg = parse_g(text)?;
                 self.ctx.end(Stage::Load);
                 self.ctx.start(Stage::Elaborate, stg.name());
-                elaborate_with(&stg, &reach)?
+                let (sg, stats) = elaborate_with_stats(&stg, &reach)?;
+                (sg, Some(stats))
             }
             Source::Stg(ref stg) => {
                 self.ctx.start(Stage::Elaborate, stg.name());
-                elaborate_with(stg, &reach)?
+                let (sg, stats) = elaborate_with_stats(stg, &reach)?;
+                (sg, Some(stats))
             }
             Source::StateGraph(sg) => {
                 self.ctx.start(Stage::Elaborate, sg.name());
-                *sg
+                (*sg, None)
             }
         };
 
@@ -430,10 +438,15 @@ impl Synthesis {
         if let (Some(engine), Some(key)) = (&self.engine, key) {
             engine.store(
                 key,
-                CachedElaboration { sg: sg.clone(), repaired: repaired.clone(), conflicts },
+                CachedElaboration {
+                    sg: sg.clone(),
+                    repaired: repaired.clone(),
+                    conflicts,
+                    reach: reach_stats,
+                },
             );
         }
-        Ok(Elaborated { ctx: self.ctx, sg, repaired })
+        Ok(Elaborated { ctx: self.ctx, sg, repaired, reach: reach_stats })
     }
 
     /// Runs the whole flow — elaborate, covers, decompose, map and (unless
@@ -460,12 +473,21 @@ pub struct Elaborated {
     ctx: Ctx,
     sg: Arc<StateGraph>,
     repaired: Vec<String>,
+    reach: Option<ReachStats>,
 }
 
 impl Elaborated {
     /// The elaborated state graph.
     pub fn state_graph(&self) -> &StateGraph {
         &self.sg
+    }
+
+    /// Exploration counters of the reachability run that produced this
+    /// graph — markings visited/interned, edges fired, the strategy that
+    /// ran. `None` when the synthesis started from an already-elaborated
+    /// state graph; cache hits report the cold run's counters.
+    pub fn reach_stats(&self) -> Option<ReachStats> {
+        self.reach
     }
 
     /// A shared handle to the elaborated state graph (cheap to clone).

@@ -13,12 +13,23 @@ pub struct StateId(pub usize);
 /// transitions.
 ///
 /// Codes assign bit `i` to signal `i`; up to 64 signals are supported.
+///
+/// Arcs are stored in compressed sparse row form — one flat, sorted arc
+/// array per direction plus per-state offsets — so bulk construction
+/// (reachability produces tens of thousands of arcs) costs two sorts
+/// instead of one heap allocation per state, and traversals scan
+/// contiguous memory.
 #[derive(Debug, Clone)]
 pub struct StateGraph {
     signals: Vec<Signal>,
     codes: Vec<u64>,
-    succ: Vec<Vec<(Event, StateId)>>,
-    pred: Vec<Vec<(Event, StateId)>>,
+    /// `succ_arcs[succ_off[s]..succ_off[s+1]]` are the outgoing arcs of
+    /// state `s`, sorted and deduplicated.
+    succ_off: Vec<usize>,
+    succ_arcs: Vec<(Event, StateId)>,
+    /// Incoming arcs, same layout keyed by target state.
+    pred_off: Vec<usize>,
+    pred_arcs: Vec<(Event, StateId)>,
     initial: StateId,
     name: String,
 }
@@ -32,6 +43,9 @@ pub enum BuildSgError {
     DuplicateSignal(String),
     /// The graph has no states.
     Empty,
+    /// [`StateGraph::from_grouped_arcs`] was fed arcs not grouped by
+    /// source state.
+    UngroupedArcs,
 }
 
 impl fmt::Display for BuildSgError {
@@ -40,6 +54,9 @@ impl fmt::Display for BuildSgError {
             BuildSgError::TooManySignals(n) => write!(f, "too many signals: {n} (max 64)"),
             BuildSgError::DuplicateSignal(s) => write!(f, "duplicate signal name `{s}`"),
             BuildSgError::Empty => write!(f, "state graph has no states"),
+            BuildSgError::UngroupedArcs => {
+                write!(f, "from_grouped_arcs requires arcs grouped by ascending source state")
+            }
         }
     }
 }
@@ -47,12 +64,18 @@ impl fmt::Display for BuildSgError {
 impl std::error::Error for BuildSgError {}
 
 /// Incremental builder for [`StateGraph`].
+///
+/// The code→state index consulted by [`StateGraphBuilder::state_for_code`]
+/// is built lazily on first use, so bulk construction paths that only call
+/// [`StateGraphBuilder::add_state`] / [`StateGraphBuilder::add_states`] —
+/// like the packed reachability engine, which already interns markings
+/// itself — pay nothing for it.
 #[derive(Debug, Clone)]
 pub struct StateGraphBuilder {
     signals: Vec<Signal>,
     codes: Vec<u64>,
     arcs: Vec<(StateId, Event, StateId)>,
-    by_code: HashMap<u64, Vec<StateId>>,
+    by_code: Option<HashMap<u64, StateId>>,
     name: String,
 }
 
@@ -62,20 +85,27 @@ impl StateGraphBuilder {
     /// # Errors
     /// Fails if there are more than 64 signals or duplicate names.
     pub fn new(name: impl Into<String>, signals: Vec<Signal>) -> Result<Self, BuildSgError> {
-        if signals.len() > 64 {
-            return Err(BuildSgError::TooManySignals(signals.len()));
-        }
-        let mut seen = std::collections::HashSet::new();
-        for s in &signals {
-            if !seen.insert(s.name.clone()) {
-                return Err(BuildSgError::DuplicateSignal(s.name.clone()));
-            }
-        }
+        Self::with_capacity(name, signals, 0, 0)
+    }
+
+    /// Like [`StateGraphBuilder::new`], pre-reserving room for `states`
+    /// states and `arcs` arcs (the bulk-construction entry point used when
+    /// the caller — e.g. reachability — already knows both counts).
+    ///
+    /// # Errors
+    /// Fails if there are more than 64 signals or duplicate names.
+    pub fn with_capacity(
+        name: impl Into<String>,
+        signals: Vec<Signal>,
+        states: usize,
+        arcs: usize,
+    ) -> Result<Self, BuildSgError> {
+        validate_signals(&signals)?;
         Ok(StateGraphBuilder {
             signals,
-            codes: Vec::new(),
-            arcs: Vec::new(),
-            by_code: HashMap::new(),
+            codes: Vec::with_capacity(states),
+            arcs: Vec::with_capacity(arcs),
+            by_code: None,
             name: name.into(),
         })
     }
@@ -85,19 +115,36 @@ impl StateGraphBuilder {
     pub fn add_state(&mut self, code: u64) -> StateId {
         let id = StateId(self.codes.len());
         self.codes.push(code);
-        self.by_code.entry(code).or_default().push(id);
+        if let Some(by_code) = &mut self.by_code {
+            by_code.entry(code).or_insert(id);
+        }
         id
+    }
+
+    /// Bulk-appends states labeled with `codes`, in order.
+    pub fn add_states(&mut self, codes: impl IntoIterator<Item = u64>) {
+        for code in codes {
+            self.add_state(code);
+        }
     }
 
     /// Returns an existing state with this code or adds one. Only sensible
     /// for graphs known to satisfy unique state coding per marking.
     pub fn state_for_code(&mut self, code: u64) -> StateId {
-        if let Some(ids) = self.by_code.get(&code) {
-            if let Some(&id) = ids.first() {
-                return id;
+        let by_code = self.by_code.get_or_insert_with(|| {
+            let mut map = HashMap::with_capacity(self.codes.len());
+            for (i, &c) in self.codes.iter().enumerate() {
+                map.entry(c).or_insert(StateId(i));
             }
+            map
+        });
+        if let Some(&id) = by_code.get(&code) {
+            return id;
         }
-        self.add_state(code)
+        let id = StateId(self.codes.len());
+        self.codes.push(code);
+        by_code.insert(code, id);
+        id
     }
 
     /// Adds an arc `src --event--> dst`.
@@ -114,28 +161,218 @@ impl StateGraphBuilder {
             return Err(BuildSgError::Empty);
         }
         let n = self.codes.len();
-        let mut succ = vec![Vec::new(); n];
-        let mut pred = vec![Vec::new(); n];
-        for (src, ev, dst) in self.arcs {
-            succ[src.0].push((ev, dst));
-            pred[dst.0].push((ev, src));
-        }
-        for list in succ.iter_mut().chain(pred.iter_mut()) {
-            list.sort();
-            list.dedup();
-        }
+        let (succ_off, succ_arcs) = csr(n, &self.arcs, |&(src, ev, dst)| (src.0, (ev, dst)));
+        let (pred_off, pred_arcs) = csr(n, &self.arcs, |&(src, ev, dst)| (dst.0, (ev, src)));
         Ok(StateGraph {
             signals: self.signals,
             codes: self.codes,
-            succ,
-            pred,
+            succ_off,
+            succ_arcs,
+            pred_off,
+            pred_arcs,
             initial,
             name: self.name,
         })
     }
 }
 
+/// Shared signal validation of the state-graph constructors.
+fn validate_signals(signals: &[Signal]) -> Result<(), BuildSgError> {
+    if signals.len() > 64 {
+        return Err(BuildSgError::TooManySignals(signals.len()));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for s in signals {
+        if !seen.insert(s.name.as_str()) {
+            return Err(BuildSgError::DuplicateSignal(s.name.clone()));
+        }
+    }
+    Ok(())
+}
+
+/// Sorts every CSR segment and — only when duplicates actually exist —
+/// compacts them out in place (`write` never overtakes the read index,
+/// so the overwriting is safe). Duplicate-free input, the common case,
+/// costs the sorts alone. `visit` sees every segment right after its
+/// sort, while it is cache-hot (the pred builder counts degrees there).
+fn sort_and_compact(
+    n: usize,
+    off: Vec<usize>,
+    mut flat: Vec<(Event, StateId)>,
+    mut visit: impl FnMut(&[(Event, StateId)]),
+) -> (Vec<usize>, Vec<(Event, StateId)>) {
+    let mut has_dup = false;
+    for s in 0..n {
+        let seg = &mut flat[off[s]..off[s + 1]];
+        if seg.len() > 1 {
+            seg.sort_unstable();
+            has_dup |= seg.windows(2).any(|w| w[0] == w[1]);
+        }
+        visit(seg);
+    }
+    if !has_dup {
+        return (off, flat);
+    }
+    let mut out_off = vec![0usize; n + 1];
+    let mut write = 0usize;
+    for s in 0..n {
+        out_off[s] = write;
+        let mut prev = None;
+        for i in off[s]..off[s + 1] {
+            let arc = flat[i];
+            if prev != Some(arc) {
+                flat[write] = arc;
+                write += 1;
+                prev = Some(arc);
+            }
+        }
+    }
+    out_off[n] = write;
+    flat.truncate(write);
+    (out_off, flat)
+}
+
+/// Builds one compressed-sparse-row direction by counting sort: count
+/// per-key degrees, prefix-sum into offsets, scatter, then sort and
+/// deduplicate each (small) segment in place. Linear in the arc count
+/// plus the per-segment sorts — no global comparison sort, no per-state
+/// allocation.
+fn csr(
+    n: usize,
+    arcs: &[(StateId, Event, StateId)],
+    key: impl Fn(&(StateId, Event, StateId)) -> (usize, (Event, StateId)),
+) -> (Vec<usize>, Vec<(Event, StateId)>) {
+    let mut off = vec![0usize; n + 1];
+    if arcs.is_empty() {
+        return (off, Vec::new());
+    }
+    for arc in arcs {
+        off[key(arc).0 + 1] += 1;
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let mut flat = vec![key(&arcs[0]).1; arcs.len()];
+    let mut cursor = off.clone();
+    for arc in arcs {
+        let (k, v) = key(arc);
+        flat[cursor[k]] = v;
+        cursor[k] += 1;
+    }
+    sort_and_compact(n, off, flat, |_| ())
+}
+
 impl StateGraph {
+    /// Bulk constructor for exploration front-ends: builds the graph
+    /// directly from per-state codes and an arc stream **grouped by
+    /// ascending source state** (the natural output order of a BFS), with
+    /// no intermediate arc buffer. Produces exactly the graph the
+    /// equivalent [`StateGraphBuilder`] sequence would — arcs sorted and
+    /// deduplicated per state — at a fraction of the allocation traffic.
+    ///
+    /// # Errors
+    /// The [`StateGraphBuilder::new`] validations, plus
+    /// [`BuildSgError::UngroupedArcs`] when the stream violates the
+    /// grouping precondition.
+    pub fn from_grouped_arcs(
+        name: impl Into<String>,
+        signals: Vec<Signal>,
+        codes: Vec<u64>,
+        initial: StateId,
+        arcs: impl IntoIterator<Item = (StateId, Event, StateId)>,
+    ) -> Result<StateGraph, BuildSgError> {
+        let arcs = arcs.into_iter();
+        let n = codes.len();
+        let mut succ_off = vec![0usize; n + 1];
+        let mut flat: Vec<(Event, StateId)> = Vec::with_capacity(arcs.size_hint().0);
+        let mut last_src = 0usize;
+        let mut unsorted = false;
+        flat.extend(arcs.map(|(src, ev, dst)| {
+            unsorted |= src.0 < last_src;
+            last_src = src.0;
+            succ_off[src.0 + 1] += 1;
+            (ev, dst)
+        }));
+        if unsorted {
+            return Err(BuildSgError::UngroupedArcs);
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+        }
+        Self::from_csr_parts(name, signals, codes, initial, succ_off, flat)
+    }
+
+    /// The rawest bulk constructor: per-state codes plus ready-made
+    /// successor CSR parts (`succ_off[s]..succ_off[s+1]` indexing `arcs`;
+    /// per-state arc order arbitrary). Sorts and deduplicates each
+    /// segment and derives the predecessor direction, producing exactly
+    /// the graph the equivalent [`StateGraphBuilder`] sequence would.
+    ///
+    /// # Errors
+    /// The [`StateGraphBuilder::new`] validations, plus
+    /// [`BuildSgError::UngroupedArcs`] when `succ_off` is not a monotone
+    /// cover of `arcs` (wrong length, decreasing, or not ending at
+    /// `arcs.len()`).
+    pub fn from_csr_parts(
+        name: impl Into<String>,
+        signals: Vec<Signal>,
+        codes: Vec<u64>,
+        initial: StateId,
+        succ_off: Vec<usize>,
+        arcs: Vec<(Event, StateId)>,
+    ) -> Result<StateGraph, BuildSgError> {
+        validate_signals(&signals)?;
+        if codes.is_empty() {
+            return Err(BuildSgError::Empty);
+        }
+        let n = codes.len();
+        if succ_off.len() != n + 1
+            || succ_off[0] != 0
+            || succ_off[n] != arcs.len()
+            || succ_off.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(BuildSgError::UngroupedArcs);
+        }
+        // The successor sort pass doubles as the predecessor degree
+        // count (each segment is cache-hot right after its sort).
+        let before = arcs.len();
+        let mut pred_off = vec![0usize; n + 1];
+        let (succ_off, succ_arcs) = sort_and_compact(n, succ_off, arcs, |seg| {
+            for &(_, dst) in seg {
+                pred_off[dst.0 + 1] += 1;
+            }
+        });
+        if succ_arcs.len() != before {
+            // Duplicates were compacted away after the count: redo it.
+            pred_off.iter_mut().for_each(|c| *c = 0);
+            for &(_, dst) in &succ_arcs {
+                pred_off[dst.0 + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut pred_flat = vec![(Event::rise(SignalId(0)), StateId(0)); succ_arcs.len()];
+        let mut cursor = pred_off.clone();
+        for s in 0..n {
+            for &(ev, dst) in &succ_arcs[succ_off[s]..succ_off[s + 1]] {
+                pred_flat[cursor[dst.0]] = (ev, StateId(s));
+                cursor[dst.0] += 1;
+            }
+        }
+        let (pred_off, pred_arcs) = sort_and_compact(n, pred_off, pred_flat, |_| ());
+
+        Ok(StateGraph {
+            signals,
+            codes,
+            succ_off,
+            succ_arcs,
+            pred_off,
+            pred_arcs,
+            initial,
+            name: name.into(),
+        })
+    }
     /// Name of the specification.
     pub fn name(&self) -> &str {
         &self.name
@@ -161,6 +398,11 @@ impl StateGraph {
         (0..self.codes.len()).map(StateId)
     }
 
+    /// Number of (deduplicated) arcs.
+    pub fn arc_count(&self) -> usize {
+        self.succ_arcs.len()
+    }
+
     /// The initial state.
     pub fn initial(&self) -> StateId {
         self.initial
@@ -178,29 +420,29 @@ impl StateGraph {
 
     /// Outgoing arcs of `s`.
     pub fn succ(&self, s: StateId) -> &[(Event, StateId)] {
-        &self.succ[s.0]
+        &self.succ_arcs[self.succ_off[s.0]..self.succ_off[s.0 + 1]]
     }
 
     /// Incoming arcs of `s`.
     pub fn pred(&self, s: StateId) -> &[(Event, StateId)] {
-        &self.pred[s.0]
+        &self.pred_arcs[self.pred_off[s.0]..self.pred_off[s.0 + 1]]
     }
 
     /// Whether `event` is enabled (has an outgoing arc) at `s`.
     pub fn enabled(&self, s: StateId, event: Event) -> bool {
-        self.succ[s.0].iter().any(|&(e, _)| e == event)
+        self.succ(s).iter().any(|&(e, _)| e == event)
     }
 
     /// The target of `event` from `s`, if enabled (deterministic graphs
     /// have at most one).
     pub fn fire(&self, s: StateId, event: Event) -> Option<StateId> {
-        self.succ[s.0].iter().find(|&&(e, _)| e == event).map(|&(_, t)| t)
+        self.succ(s).iter().find(|&&(e, _)| e == event).map(|&(_, t)| t)
     }
 
     /// Whether signal `a` is *excited* at `s` (some transition of `a` is
     /// enabled).
     pub fn excited(&self, s: StateId, signal: SignalId) -> bool {
-        self.succ[s.0].iter().any(|&(e, _)| e.signal == signal)
+        self.succ(s).iter().any(|&(e, _)| e.signal == signal)
     }
 
     /// Whether signal `a` is *stable* at `s` (not excited).
@@ -210,7 +452,7 @@ impl StateGraph {
 
     /// Events enabled at `s`.
     pub fn enabled_events(&self, s: StateId) -> Vec<Event> {
-        let mut evs: Vec<Event> = self.succ[s.0].iter().map(|&(e, _)| e).collect();
+        let mut evs: Vec<Event> = self.succ(s).iter().map(|&(e, _)| e).collect();
         evs.sort();
         evs.dedup();
         evs
@@ -353,6 +595,85 @@ mod tests {
         let g = toy();
         assert_eq!(g.event_name(Event::rise(SignalId(1))), "b+");
         assert_eq!(g.state_label(StateId(2)), "2(11)");
+    }
+
+    #[test]
+    fn arc_count_counts_deduplicated_arcs() {
+        let g = toy();
+        assert_eq!(g.arc_count(), 4);
+    }
+
+    #[test]
+    fn bulk_add_states_matches_incremental() {
+        let mut b = StateGraphBuilder::with_capacity(
+            "bulk",
+            vec![Signal::new("a", SignalKind::Input)],
+            3,
+            2,
+        )
+        .unwrap();
+        b.add_states([0b0, 0b1, 0b0]);
+        b.add_arc(StateId(0), Event::rise(SignalId(0)), StateId(1));
+        b.add_arc(StateId(1), Event::fall(SignalId(0)), StateId(2));
+        let g = b.build(StateId(0)).unwrap();
+        assert_eq!(g.state_count(), 3);
+        assert_eq!(g.arc_count(), 2);
+        assert_eq!(g.code(StateId(2)), 0);
+    }
+
+    #[test]
+    fn from_grouped_arcs_matches_builder() {
+        let incremental = toy();
+        let signals =
+            vec![Signal::new("a", SignalKind::Input), Signal::new("b", SignalKind::Output)];
+        let a = SignalId(0);
+        let bb = SignalId(1);
+        // Same graph, arcs grouped by source (per-source order arbitrary).
+        let bulk = StateGraph::from_grouped_arcs(
+            "toy",
+            signals.clone(),
+            vec![0b00, 0b01, 0b11, 0b10],
+            StateId(0),
+            [
+                (StateId(0), Event::rise(a), StateId(1)),
+                (StateId(1), Event::rise(bb), StateId(2)),
+                (StateId(2), Event::fall(a), StateId(3)),
+                (StateId(3), Event::fall(bb), StateId(0)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(bulk.state_count(), incremental.state_count());
+        assert_eq!(bulk.arc_count(), incremental.arc_count());
+        for s in incremental.states() {
+            assert_eq!(bulk.code(s), incremental.code(s));
+            assert_eq!(bulk.succ(s), incremental.succ(s));
+            assert_eq!(bulk.pred(s), incremental.pred(s));
+        }
+
+        // Arcs out of source order are rejected.
+        let err = StateGraph::from_grouped_arcs(
+            "bad",
+            signals,
+            vec![0b00, 0b01],
+            StateId(0),
+            [(StateId(1), Event::fall(a), StateId(0)), (StateId(0), Event::rise(a), StateId(1))],
+        )
+        .unwrap_err();
+        assert_eq!(err, BuildSgError::UngroupedArcs);
+    }
+
+    #[test]
+    fn state_for_code_sees_bulk_added_states() {
+        // The lazy code index must cover states added before its first use
+        // and stay consistent afterwards.
+        let mut b =
+            StateGraphBuilder::new("lazy", vec![Signal::new("a", SignalKind::Input)]).unwrap();
+        let s0 = b.add_state(0b0);
+        assert_eq!(b.state_for_code(0b0), s0, "existing state is found");
+        let s1 = b.state_for_code(0b1);
+        assert_eq!(b.state_for_code(0b1), s1, "new state is remembered");
+        let s2 = b.add_state(0b10);
+        assert_eq!(b.state_for_code(0b10), s2, "post-index additions are indexed too");
     }
 
     #[test]

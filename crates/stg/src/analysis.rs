@@ -3,9 +3,8 @@
 //! that speed-independent specifications rely on.
 
 use crate::petri::{PlaceId, Stg, TransitionId};
-use crate::reach::{ReachConfig, ReachError};
+use crate::reach::{explore, ReachConfig, ReachError};
 use simap_sg::SignalKind;
-use std::collections::HashSet;
 
 /// Summary of an STG analysis run.
 #[derive(Debug, Clone)]
@@ -29,53 +28,21 @@ pub struct StgAnalysis {
 
 /// Analyzes an STG.
 ///
+/// The token game runs through the same exploration core as
+/// [`crate::reach::elaborate_with`], honoring the configured
+/// [`ReachConfig::strategy`] and [`ReachConfig::jobs`] — so behavioural
+/// observations (safeness, dead transitions, marking counts) and error
+/// semantics are identical to elaboration's by construction.
+///
 /// # Errors
 /// Propagates [`ReachError`] when the net is unbounded or too large.
 pub fn analyze(stg: &Stg, config: &ReachConfig) -> Result<StgAnalysis, ReachError> {
-    // Reachability with bookkeeping: we re-run the token game directly so
-    // we can observe markings and fired transitions.
+    let exploration = explore(stg, config)?;
+    let safe = exploration.safe;
     let n_transitions = stg.transitions().len();
-    let initial: Vec<u8> = stg.initial_marking().to_vec();
-    let mut seen: HashSet<Vec<u8>> = HashSet::new();
-    let mut queue: Vec<Vec<u8>> = vec![initial.clone()];
-    seen.insert(initial);
-    let mut fired: Vec<bool> = vec![false; n_transitions];
-    let mut safe = true;
-
-    let mut head = 0;
-    while head < queue.len() {
-        let m = queue[head].clone();
-        head += 1;
-        if m.iter().any(|&t| t > 1) {
-            safe = false;
-        }
-        for t in 0..n_transitions {
-            let t = TransitionId(t);
-            if !stg.pre(t).iter().all(|p| m[p.0] > 0) {
-                continue;
-            }
-            fired[t.0] = true;
-            let mut next = m.clone();
-            for p in stg.pre(t) {
-                next[p.0] -= 1;
-            }
-            for p in stg.post(t) {
-                next[p.0] += 1;
-                if next[p.0] > config.max_tokens {
-                    return Err(ReachError::Unbounded { place: stg.places()[p.0].name.clone() });
-                }
-            }
-            if seen.insert(next.clone()) {
-                if seen.len() > config.max_states {
-                    return Err(ReachError::TooManyStates { limit: config.max_states });
-                }
-                queue.push(next);
-            }
-        }
-    }
 
     let dead_transitions: Vec<TransitionId> =
-        (0..n_transitions).map(TransitionId).filter(|t| !fired[t.0]).collect();
+        (0..n_transitions).map(TransitionId).filter(|t| !exploration.fired[t.0]).collect();
 
     let choice_places: Vec<PlaceId> =
         (0..stg.places().len()).map(PlaceId).filter(|&p| stg.is_choice_place(p)).collect();
@@ -96,7 +63,7 @@ pub fn analyze(stg: &Stg, config: &ReachConfig) -> Result<StgAnalysis, ReachErro
         choice_places,
         free_choice,
         input_choice_only,
-        markings: queue.len(),
+        markings: exploration.count,
     })
 }
 

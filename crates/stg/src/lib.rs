@@ -15,6 +15,27 @@
 //! assert_eq!(sg.state_count(), 4);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## Reachability strategies
+//!
+//! Elaboration runs on one of two engines selected by
+//! [`ReachConfig::strategy`]:
+//!
+//! * [`ReachStrategy::Packed`] (default) — markings are bit-packed `u64`
+//!   words in one contiguous arena, interned through a hash-to-index
+//!   table, with per-transition enable/fire masks and incrementally
+//!   maintained enabled sets; [`ReachConfig::jobs`] adds parallel
+//!   frontier expansion. See [`reach`] for the full architecture.
+//! * [`ReachStrategy::Explicit`] — the legacy explicit BFS
+//!   (`Vec<u8>` markings, `HashMap` interning). Keep it in mind whenever
+//!   you need an independent oracle: it shares almost no code with the
+//!   packed engine yet must produce byte-identical graphs and errors,
+//!   which is exactly what `tests/reach_differential.rs` checks.
+//!
+//! Both strategies explore in the same BFS order, so graphs, state
+//! numbering and [`ReachError`] values never depend on the engine or on
+//! the number of worker threads. [`elaborate_with_stats`] additionally
+//! reports visited/interned/edge counters for observability.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,5 +52,8 @@ pub use analysis::{analyze, StgAnalysis};
 pub use benchmarks::{all_benchmarks, benchmark, benchmark_names, Benchmark, BenchmarkRegistry};
 pub use parse::{parse_g, ParseStgError};
 pub use petri::{Place, PlaceId, Stg, StgError, Transition, TransitionId};
-pub use reach::{elaborate, elaborate_with, ReachConfig, ReachError};
+pub use reach::{
+    elaborate, elaborate_with, elaborate_with_stats, ReachConfig, ReachError, ReachStats,
+    ReachStrategy,
+};
 pub use write::write_g;

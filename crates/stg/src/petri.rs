@@ -105,9 +105,19 @@ impl Stg {
         &self.transitions
     }
 
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
     /// Places of the net.
     pub fn places(&self) -> &[Place] {
         &self.places
+    }
+
+    /// Number of places.
+    pub fn place_count(&self) -> usize {
+        self.places.len()
     }
 
     /// Initial marking (token count per place).

@@ -2,16 +2,22 @@
 //! mapper.
 //!
 //! ```text
-//! simap check <spec.g>                 verify the specification's properties
+//! simap check <spec.g> [options]      verify the specification's properties
 //! simap map   <spec.g> [options]      run the full mapping flow
 //! simap bench list                     list the embedded Table 1 circuits
 //! simap bench run [name ...] [opts]   batch the suite through one config
+//!
+//! check options:
+//!       --strategy <s>   reachability engine: packed (default) | explicit
+//!       --bench <name>   use an embedded benchmark instead of a file
 //!
 //! map options:
 //!   -l, --limit <n>      literal limit (default 2)
 //!       --csc-repair     repair CSC violations by state-signal insertion
 //!       --no-verify      skip the final speed-independence verification
 //!       --or-limit <n>   split second-level OR gates to <= n inputs
+//!       --strategy <s>   reachability engine: packed (default) | explicit
+//!       --reach-jobs <n> frontier-expansion threads (packed; same output)
 //!   -v, --verbose        narrate stages and insertions to stderr
 //!       --json           print the report as JSON instead of the dossier
 //!       --verilog <f>    write the mapped netlist as structural Verilog
@@ -21,6 +27,8 @@
 //! bench run options:
 //!       --limits <a,b>   literal limits (default 2)
 //!   -j, --jobs <n>       worker threads (default 1; results identical)
+//!       --strategy <s>   reachability engine: packed (default) | explicit
+//!       --reach-jobs <n> frontier-expansion threads (packed; same output)
 //!       --csc-repair     repair CSC violations by state-signal insertion
 //!       --no-verify      skip speed-independence verification
 //!       --json|--csv     emit JSON / CSV instead of the markdown table
@@ -141,12 +149,34 @@ fn synthesis(parsed: &Parsed) -> Result<Synthesis, Box<dyn Error>> {
     Ok(Synthesis::from_g_source(std::fs::read_to_string(path)?))
 }
 
+/// Applies the shared reachability flags (`--strategy`, `--reach-jobs`)
+/// to a configuration builder.
+fn reach_flags(
+    parsed: &Parsed,
+    mut builder: simap::ConfigBuilder,
+) -> Result<simap::ConfigBuilder, Box<dyn Error>> {
+    if let Some(strategy) = parsed.value("--strategy") {
+        builder = builder.reach_strategy(strategy.parse::<simap::ReachStrategy>()?);
+    }
+    if let Some(jobs) = parsed.value("--reach-jobs") {
+        builder = builder.reach_jobs(jobs.parse()?);
+    }
+    Ok(builder)
+}
+
 fn check(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
-    let parsed = parse_flags(args, &[valued("--bench")])?;
-    let elaborated = synthesis(&parsed)?.elaborate()?;
+    let parsed = parse_flags(args, &[valued("--bench"), valued("--strategy")])?;
+    let config = reach_flags(&parsed, Config::builder())?.build()?;
+    let elaborated = synthesis(&parsed)?.config(&config).elaborate()?;
     let sg = elaborated.state_graph();
     let report = elaborated.properties();
     println!("{}: {} signals, {} states", sg.name(), sg.signal_count(), sg.state_count());
+    if let Some(stats) = elaborated.reach_stats() {
+        println!(
+            "  elaboration: {} markings visited, {} interned, {} edges ({})",
+            stats.visited, stats.interned, stats.edges, stats.strategy
+        );
+    }
     println!("  speed-independent: {}", report.is_speed_independent());
     println!("  complete state coding: {}", report.has_csc());
     for v in report.violations.iter().take(10) {
@@ -164,6 +194,8 @@ fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             valued("--verilog"),
             valued("--dot"),
             valued("--bench"),
+            valued("--strategy"),
+            valued("--reach-jobs"),
             flag("--csc-repair"),
             flag("--no-verify"),
             flag("--json"),
@@ -171,8 +203,10 @@ fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
         ],
     )?;
 
-    let mut builder =
-        Config::builder().repair_csc(parsed.has("--csc-repair")).verify(!parsed.has("--no-verify"));
+    let mut builder = reach_flags(
+        &parsed,
+        Config::builder().repair_csc(parsed.has("--csc-repair")).verify(!parsed.has("--no-verify")),
+    )?;
     if let Some(limit) = parsed.value("--limit") {
         builder = builder.literal_limit(limit.parse()?);
     }
@@ -253,6 +287,8 @@ fn bench_run(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
         &[
             valued("--limits"),
             aliased(valued("--jobs"), "-j"),
+            valued("--strategy"),
+            valued("--reach-jobs"),
             flag("--csc-repair"),
             flag("--no-verify"),
             flag("--json"),
@@ -274,10 +310,11 @@ fn bench_run(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     }
     let jobs: usize = parsed.value("--jobs").map(str::parse).transpose()?.unwrap_or(1);
 
-    let config = Config::builder()
-        .repair_csc(parsed.has("--csc-repair"))
-        .verify(!parsed.has("--no-verify"))
-        .build()?;
+    let config = reach_flags(
+        &parsed,
+        Config::builder().repair_csc(parsed.has("--csc-repair")).verify(!parsed.has("--no-verify")),
+    )?
+    .build()?;
     let engine = Engine::new(config);
 
     let batch = if parsed.positionals.is_empty() {

@@ -28,6 +28,27 @@
 //! # Ok::<(), simap::Error>(())
 //! ```
 //!
+//! Cold elaboration itself runs on the packed-state reachability engine
+//! by default — bit-packed markings in a contiguous arena with
+//! mask-compiled transitions (see [`simap_stg::reach`]). The legacy
+//! explicit BFS survives as [`ReachStrategy::Explicit`], useful as an
+//! independent differential oracle when validating changes to the hot
+//! path, and [`ReachConfig::jobs`] turns on parallel frontier expansion
+//! with byte-identical results:
+//!
+//! ```
+//! use simap::{Config, Engine, ReachStrategy};
+//!
+//! let oracle = Config::builder().reach_strategy(ReachStrategy::Explicit).build()?;
+//! let fast = Config::builder().reach_jobs(4).build()?;
+//! let engine = Engine::new(fast);
+//! let elaborated = engine.benchmark("hazard").elaborate()?;
+//! let stats = elaborated.reach_stats().expect("fresh elaboration");
+//! assert_eq!(stats.interned, elaborated.state_graph().state_count());
+//! # let _ = oracle;
+//! # Ok::<(), simap::Error>(())
+//! ```
+//!
 //! [`Batch`] drives whole suites through one configuration — across a
 //! worker pool with [`Batch::jobs`], with results byte-identical to a
 //! sequential run:
@@ -107,3 +128,4 @@ pub use simap_core::{
     FlowObserver, Mapped, Stage, Synthesis, Verified,
 };
 pub use simap_core::{NullObserver, RecordingObserver, StderrObserver};
+pub use simap_stg::{ReachConfig, ReachStats, ReachStrategy};

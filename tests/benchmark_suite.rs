@@ -1,8 +1,10 @@
-//! Integration tests over the embedded 32-circuit Table 1 suite.
+//! Integration tests over the embedded 32-circuit Table 1 suite,
+//! including the golden conformance snapshot every strategy must match.
 
-use simap::core::{synthesize_mc, validate_mc};
+use simap::core::{csc_conflicts, synthesize_mc, validate_mc};
 use simap::sg::check_all;
-use simap::stg::{all_benchmarks, benchmark_names, elaborate};
+use simap::stg::{all_benchmarks, benchmark_names, elaborate, elaborate_with};
+use simap::{ReachConfig, ReachStrategy};
 
 #[test]
 fn suite_has_the_32_table1_names() {
@@ -62,6 +64,63 @@ fn shared_output_specs_merge_regions() {
         mc.signals.iter().any(|s| { s.covers().iter().any(|c| c.region_indices.len() > 1) })
             || !mc.signals.is_empty()
     );
+}
+
+/// Where the committed conformance snapshot lives.
+const GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/benchmark_conformance.tsv");
+
+/// Renders the conformance table: one line per Table 1 circuit with its
+/// state count, state-graph arc count and CSC-conflict count.
+fn conformance_table(config: &ReachConfig) -> String {
+    let mut out = String::from("# circuit\tstates\tarcs\tcsc_conflicts\n");
+    for name in benchmark_names() {
+        let stg = simap::stg::benchmark(name).expect("known benchmark");
+        let sg = elaborate_with(&stg, config).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let conflicts = csc_conflicts(&sg).len();
+        out.push_str(&format!("{name}\t{}\t{}\t{conflicts}\n", sg.state_count(), sg.arc_count()));
+    }
+    out
+}
+
+/// Golden conformance suite: every `benchmark_names()` entry must match
+/// the committed snapshot of state / arc / CSC-conflict counts — under
+/// the packed default *and* the explicit oracle. Regenerate after an
+/// intentional specification change with:
+///
+/// ```text
+/// UPDATE_GOLDEN=1 cargo test --test benchmark_suite golden_conformance
+/// ```
+#[test]
+fn golden_conformance_snapshot() {
+    let packed = conformance_table(&ReachConfig::default());
+    let explicit = || {
+        conformance_table(&ReachConfig {
+            strategy: ReachStrategy::Explicit,
+            ..ReachConfig::default()
+        })
+    };
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        // Never bake a strategy divergence into the snapshot: the oracle
+        // must agree with what is about to be written.
+        assert_eq!(explicit(), packed, "packed and explicit disagree; fix that first");
+        std::fs::write(GOLDEN_PATH, &packed).expect("write golden snapshot");
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {GOLDEN_PATH}: {e}\n\
+             regenerate it with: UPDATE_GOLDEN=1 cargo test --test benchmark_suite golden"
+        )
+    });
+    assert_eq!(
+        packed, golden,
+        "benchmark conformance drifted from the committed snapshot; if the change is \
+         intentional, regenerate it with:\n    UPDATE_GOLDEN=1 cargo test --test \
+         benchmark_suite golden"
+    );
+    assert_eq!(explicit(), golden, "the explicit oracle must match the same snapshot");
 }
 
 #[test]

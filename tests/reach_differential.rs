@@ -1,0 +1,222 @@
+//! Differential testing of the packed-state reachability engine against
+//! the explicit oracle: for random safe STGs, every registry benchmark,
+//! and every error family (unbounded, state limit, inconsistency), the
+//! `Packed` and `Explicit` strategies — and parallel frontier expansion —
+//! must produce byte-identical results.
+//!
+//! Case counts are environment-tunable so CI can run a deeper sweep:
+//! `SIMAP_DIFF_CASES=256 cargo test --release --test reach_differential`.
+
+use proptest::prelude::*;
+use simap::sg::StateGraph;
+use simap::stg::{
+    benchmark, benchmark_names, elaborate_with, elaborate_with_stats, parse_g, patterns, Stg,
+};
+use simap::{ReachConfig, ReachStrategy};
+
+fn cases(default: u32) -> u32 {
+    std::env::var("SIMAP_DIFF_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn explicit(config: &ReachConfig) -> ReachConfig {
+    ReachConfig { strategy: ReachStrategy::Explicit, jobs: 1, ..config.clone() }
+}
+
+/// Structural byte-identity: same signals, state numbering, codes, arcs
+/// and initial state (and therefore the same dot rendering).
+fn assert_same_graph(packed: &StateGraph, oracle: &StateGraph, context: &str) {
+    assert_eq!(packed.name(), oracle.name(), "{context}: name");
+    assert_eq!(packed.signals(), oracle.signals(), "{context}: signals");
+    assert_eq!(packed.state_count(), oracle.state_count(), "{context}: state count");
+    assert_eq!(packed.initial(), oracle.initial(), "{context}: initial state");
+    for s in packed.states() {
+        assert_eq!(packed.code(s), oracle.code(s), "{context}: code of state {}", s.0);
+        assert_eq!(packed.succ(s), oracle.succ(s), "{context}: successors of state {}", s.0);
+        assert_eq!(packed.pred(s), oracle.pred(s), "{context}: predecessors of state {}", s.0);
+    }
+    assert_eq!(
+        simap::sg::to_dot(packed, &Default::default()),
+        simap::sg::to_dot(oracle, &Default::default()),
+        "{context}: dot rendering"
+    );
+}
+
+/// Elaborates under every strategy (packed sequential, packed jobs=4,
+/// explicit) and checks the outcomes — graphs or errors — coincide.
+fn assert_differential(stg: &Stg, config: &ReachConfig, context: &str) {
+    let packed = elaborate_with(stg, &ReachConfig { jobs: 1, ..config.clone() });
+    let parallel = elaborate_with(stg, &ReachConfig { jobs: 4, ..config.clone() });
+    let oracle = elaborate_with(stg, &explicit(config));
+    match (&packed, &parallel, &oracle) {
+        (Ok(p), Ok(par), Ok(o)) => {
+            assert_same_graph(p, o, context);
+            assert_same_graph(par, o, &format!("{context} [jobs=4]"));
+        }
+        (Err(p), Err(par), Err(o)) => {
+            assert_eq!(p, o, "{context}: packed error must equal the oracle's");
+            assert_eq!(par, o, "{context}: parallel error must equal the oracle's");
+        }
+        _ => panic!(
+            "{context}: strategies disagree on success:\n  packed:   {packed:?}\n  \
+             parallel: {parallel:?}\n  explicit: {oracle:?}"
+        ),
+    }
+}
+
+/// A recipe for one of the safe parametric specification families.
+#[derive(Debug, Clone, Copy)]
+struct Part {
+    kind: u8,
+    a: usize,
+    b: usize,
+}
+
+fn build_part(part: Part) -> Stg {
+    match part.kind % 6 {
+        0 => patterns::sequencer(2 + part.a % 5, None),
+        1 => patterns::celement(2 + part.a % 4),
+        2 => patterns::fork_join(1 + part.a % 3, 1 + part.b % 2),
+        3 => patterns::pipeline(1 + part.a % 4),
+        4 => patterns::choice(2 + part.a % 3),
+        _ => patterns::shared_output_choice(2 + part.a % 2),
+    }
+}
+
+fn arb_part() -> impl Strategy<Value = Part> {
+    proptest::collection::vec(0usize..16, 3).prop_map(|v| Part {
+        kind: v[0] as u8,
+        a: v[1],
+        b: v[2],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
+
+    /// Random safe STGs — single patterns and parallel compositions —
+    /// elaborate byte-identically under Packed (sequential and jobs=4)
+    /// and Explicit.
+    #[test]
+    fn random_safe_stgs_elaborate_identically(parts in proptest::collection::vec(arb_part(), 1..3)) {
+        let stg = if parts.len() == 1 {
+            build_part(parts[0])
+        } else {
+            let built: Vec<Stg> = parts.iter().copied().map(build_part).collect();
+            patterns::parallel("t", &built)
+        };
+        assert_differential(&stg, &ReachConfig::default(), &format!("{parts:?}"));
+    }
+
+    /// Tight state limits produce the same `ReachError::StateLimit` —
+    /// same limit, same progress counter — under every strategy.
+    #[test]
+    fn state_limits_map_to_the_same_error(part in arb_part(), limit in 1usize..12) {
+        let stg = build_part(part);
+        let config = ReachConfig { max_states: limit, ..ReachConfig::default() };
+        assert_differential(&stg, &config, &format!("{part:?} limit={limit}"));
+    }
+
+    /// Unbounded nets produce the same `ReachError::Unbounded` — same
+    /// place, bound and progress counter — under every strategy.
+    #[test]
+    fn unbounded_nets_map_to_the_same_error(max_tokens in 1u8..5) {
+        let src = "\
+.model unb
+.inputs a
+.graph
+p a+
+a+ p q
+q a-
+a- p
+.marking { p }
+.end
+";
+        let stg = parse_g(src).expect("parses");
+        let config = ReachConfig { max_tokens, max_states: 10_000, ..ReachConfig::default() };
+        assert_differential(&stg, &config, &format!("unbounded max_tokens={max_tokens}"));
+    }
+}
+
+/// Every registry benchmark elaborates byte-identically under both
+/// strategies and under parallel frontier expansion, with matching
+/// exploration counters.
+#[test]
+fn all_registry_benchmarks_elaborate_identically() {
+    for name in benchmark_names() {
+        let stg = benchmark(name).expect("known benchmark");
+        let config = ReachConfig::default();
+        let (packed, pstats) =
+            elaborate_with_stats(&stg, &config).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (oracle, ostats) = elaborate_with_stats(&stg, &explicit(&config))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_same_graph(&packed, &oracle, name);
+        assert_eq!(
+            (pstats.visited, pstats.interned, pstats.edges),
+            (ostats.visited, ostats.interned, ostats.edges),
+            "{name}: exploration counters"
+        );
+        let parallel = elaborate_with(&stg, &ReachConfig { jobs: 4, ..config })
+            .unwrap_or_else(|e| panic!("{name} [jobs=4]: {e}"));
+        assert_same_graph(&parallel, &oracle, &format!("{name} [jobs=4]"));
+    }
+}
+
+/// Inconsistent STGs are rejected with the same diagnostic by both
+/// strategies.
+#[test]
+fn inconsistent_stgs_map_to_the_same_error() {
+    let src = "\
+.model bad
+.inputs a
+.graph
+a+ a+/2
+a+/2 a-
+a- a+
+.marking { <a-,a+> }
+.end
+";
+    let stg = parse_g(src).expect("parses");
+    let config = ReachConfig::default();
+    let packed = elaborate_with(&stg, &config).unwrap_err();
+    let oracle = elaborate_with(&stg, &explicit(&config)).unwrap_err();
+    assert_eq!(packed, oracle);
+}
+
+/// The boundary token bound: at `max_tokens = 255` a token count can hit
+/// the top of `u8`; both engines must still agree (the explicit oracle
+/// bound-checks before incrementing, the packed engine widens its
+/// fields) instead of overflowing.
+#[test]
+fn max_tokens_255_does_not_overflow() {
+    let src = "\
+.model unb
+.inputs a
+.graph
+p a+
+a+ p q
+q a-
+a- p
+.marking { p }
+.end
+";
+    let stg = parse_g(src).expect("parses");
+    // The token-generating net climbs one token per cycle, so a state
+    // budget past 2*255 markings lets `q` reach the u8 boundary.
+    let config = ReachConfig { max_tokens: 255, max_states: 2000, ..ReachConfig::default() };
+    assert_differential(&stg, &config, "max_tokens=255");
+}
+
+/// Registry benchmarks under tight limits hit the same `StateLimit`.
+#[test]
+fn benchmark_state_limits_match() {
+    for (name, limit) in [("mmu", 5), ("vbe10b", 100), ("master-read", 17)] {
+        let stg = benchmark(name).expect("known benchmark");
+        let config = ReachConfig { max_states: limit, ..ReachConfig::default() };
+        let packed = elaborate_with(&stg, &config).unwrap_err();
+        let parallel =
+            elaborate_with(&stg, &ReachConfig { jobs: 4, ..config.clone() }).unwrap_err();
+        let oracle = elaborate_with(&stg, &explicit(&config)).unwrap_err();
+        assert_eq!(packed, oracle, "{name}");
+        assert_eq!(parallel, oracle, "{name} [jobs=4]");
+    }
+}
