@@ -6,10 +6,98 @@
 //! satisfy-count, used to cross-check covers and to validate the
 //! minimizer in tests. Variables use the same indices as [`crate::Cube`]
 //! (natural ordering `x0 < x1 < …`).
+//!
+//! On top of the classic connectives the manager provides the symbolic
+//! model-checking primitives — set-wise quantification
+//! ([`Bdd::exists_set`]), the relational product ([`Bdd::and_exists`]),
+//! order-preserving variable renaming ([`Bdd::rename`]) and
+//! set-restricted satisfy counting ([`Bdd::sat_count_set`]) — used by the
+//! symbolic reachability engine. Those set-based operations work on up to
+//! [`MAX_BDD_VARS`] variables; the minterm-code APIs ([`Bdd::eval`],
+//! [`Bdd::sat_count`]) and the [`Cube`]/[`Cover`] conversions remain
+//! bounded by [`crate::cube::MAX_VARS`] (= 64) and assert it.
 
 use crate::cover::Cover;
-use crate::cube::{Cube, Literal, MAX_VARS};
+use crate::cube::{Cube, Literal};
 use std::collections::HashMap;
+
+/// Hard cap on BDD variable indices. Far above [`crate::cube::MAX_VARS`]
+/// (the bound that still applies to the cube/cover conversions): symbolic
+/// state vectors interleave current/next copies of every place and signal
+/// of a net, which overflows the 64-variable cube world long before it
+/// stresses the node store.
+pub const MAX_BDD_VARS: usize = 4096;
+
+/// A set of BDD variables, used by the quantification, relational-product
+/// and counting operations. Stored as a bitset; construction order is
+/// irrelevant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarSet {
+    bits: Vec<u64>,
+}
+
+impl VarSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        VarSet::default()
+    }
+
+    /// Adds a variable to the set.
+    ///
+    /// # Panics
+    /// Panics if `var >= MAX_BDD_VARS`.
+    pub fn insert(&mut self, var: usize) {
+        assert!(var < MAX_BDD_VARS, "variable index {var} out of range");
+        let word = var / 64;
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        self.bits[word] |= 1u64 << (var % 64);
+    }
+
+    /// Whether `var` is in the set.
+    pub fn contains(&self, var: usize) -> bool {
+        self.bits.get(var / 64).is_some_and(|w| w >> (var % 64) & 1 == 1)
+    }
+
+    /// Number of variables in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// The members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &w)| (0..64).filter(move |b| w >> b & 1 == 1).map(move |b| i * 64 + b))
+    }
+
+    /// The largest member, if any.
+    pub fn max(&self) -> Option<usize> {
+        self.bits
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, &w)| i * 64 + 63 - w.leading_zeros() as usize)
+    }
+}
+
+impl FromIterator<usize> for VarSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut set = VarSet::new();
+        for v in iter {
+            set.insert(v);
+        }
+        set
+    }
+}
 
 /// Reference to a BDD node (terminals included). Only meaningful together
 /// with the [`Bdd`] manager that produced it.
@@ -92,9 +180,10 @@ impl Bdd {
     /// The single-variable function `x_var`.
     ///
     /// # Panics
-    /// Panics if `var >= MAX_VARS`.
+    /// Panics if `var >= MAX_BDD_VARS`. (The [`Cube`]/[`Cover`]
+    /// conversions stay bounded by the tighter [`crate::cube::MAX_VARS`].)
     pub fn var(&mut self, var: usize) -> BddRef {
-        assert!(var < MAX_VARS);
+        assert!(var < MAX_BDD_VARS, "variable index {var} out of range");
         self.mk(var as u32, BddRef::FALSE, BddRef::TRUE)
     }
 
@@ -181,10 +270,16 @@ impl Bdd {
         acc
     }
 
-    /// Evaluates the function on a minterm code.
+    /// Evaluates the function on a minterm code. A `u64` code addresses
+    /// 64 variables, so like every minterm-code API this is only defined
+    /// for functions whose support stays below [`crate::cube::MAX_VARS`].
+    ///
+    /// # Panics
+    /// Panics if the function depends on a variable `>= 64`.
     pub fn eval(&self, mut r: BddRef, code: u64) -> bool {
         while !r.is_terminal() {
             let n = self.nodes[r.0 as usize];
+            assert!(n.var < 64, "eval takes u64 minterm codes; variable {} is out of range", n.var);
             r = if code >> n.var & 1 == 1 { n.hi } else { n.lo };
         }
         r == BddRef::TRUE
@@ -211,7 +306,12 @@ impl Bdd {
         self.and(ra, nb) == BddRef::FALSE
     }
 
-    /// Number of satisfying assignments over `nvars` variables.
+    /// Number of satisfying assignments over `nvars` variables. The
+    /// function's support must lie within `0..nvars` (use
+    /// [`Bdd::sat_count_set`] for sparse or high-index variable sets).
+    ///
+    /// # Panics
+    /// Panics if the function depends on a variable `>= nvars`.
     pub fn sat_count(&self, r: BddRef, nvars: usize) -> u64 {
         fn rec(bdd: &Bdd, r: BddRef, nvars: u32, memo: &mut HashMap<BddRef, u64>) -> u64 {
             // Count over variables var_of(r)..nvars (i.e. weight each
@@ -224,6 +324,12 @@ impl Bdd {
                         return c;
                     }
                     let n = bdd.nodes[r.0 as usize];
+                    assert!(
+                        n.var < nvars,
+                        "sat_count over {nvars} variables, but the function depends on \
+                         variable {}",
+                        n.var
+                    );
                     let lo = rec(bdd, n.lo, nvars, memo);
                     let hi = rec(bdd, n.hi, nvars, memo);
                     let skip_lo = bdd.var_of(n.lo).min(nvars) - n.var - 1;
@@ -241,6 +347,8 @@ impl Bdd {
     }
 
     /// Extracts an (irredundant-path) SOP cover: one cube per 1-path.
+    /// Cubes are bounded by [`crate::cube::MAX_VARS`], so the function's
+    /// support must stay below 64 (the [`Literal`] constructor asserts).
     pub fn to_cover(&self, r: BddRef) -> Cover {
         let mut cubes = Vec::new();
         let mut path: Vec<Literal> = Vec::new();
@@ -327,6 +435,220 @@ impl Bdd {
     pub fn depends_on(&mut self, r: BddRef, var: usize) -> bool {
         let (lo, hi) = self.restrict_pair(r, var);
         lo != hi
+    }
+
+    /// The decomposition of a non-terminal node: `(var, lo, hi)` with
+    /// `lo = f|_{var=0}` and `hi = f|_{var=1}`. `None` for terminals.
+    pub fn node(&self, r: BddRef) -> Option<(usize, BddRef, BddRef)> {
+        if r.is_terminal() {
+            None
+        } else {
+            let n = self.nodes[r.0 as usize];
+            Some((n.var as usize, n.lo, n.hi))
+        }
+    }
+
+    /// The support of a function: every variable it depends on, ascending.
+    pub fn support(&self, r: BddRef) -> Vec<usize> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = Vec::new();
+        let mut stack = vec![r];
+        while let Some(x) = stack.pop() {
+            if x.is_terminal() || !seen.insert(x) {
+                continue;
+            }
+            let n = self.nodes[x.0 as usize];
+            vars.push(n.var as usize);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Existential quantification of every variable in `vars` at once
+    /// (`∃ vars. f`). Equivalent to chaining [`Bdd::exists`] but with one
+    /// memoized traversal.
+    pub fn exists_set(&mut self, r: BddRef, vars: &VarSet) -> BddRef {
+        let Some(max) = vars.max() else { return r };
+        let mut memo = HashMap::new();
+        self.exists_set_rec(r, vars, max as u32, &mut memo)
+    }
+
+    fn exists_set_rec(
+        &mut self,
+        r: BddRef,
+        vars: &VarSet,
+        max: u32,
+        memo: &mut HashMap<BddRef, BddRef>,
+    ) -> BddRef {
+        // Below the deepest quantified variable the function is untouched.
+        if r.is_terminal() || self.var_of(r) > max {
+            return r;
+        }
+        if let Some(&m) = memo.get(&r) {
+            return m;
+        }
+        let n = self.nodes[r.0 as usize];
+        let lo = self.exists_set_rec(n.lo, vars, max, memo);
+        let hi = self.exists_set_rec(n.hi, vars, max, memo);
+        let res =
+            if vars.contains(n.var as usize) { self.or(lo, hi) } else { self.mk(n.var, lo, hi) };
+        memo.insert(r, res);
+        res
+    }
+
+    /// The relational product `∃ vars. f ∧ g` in one pass — the image
+    /// operator of symbolic reachability (`f` a state set, `g` a
+    /// transition relation, `vars` the current-state variables). Avoids
+    /// ever building the (often much larger) conjunction.
+    pub fn and_exists(&mut self, f: BddRef, g: BddRef, vars: &VarSet) -> BddRef {
+        let max = match vars.max() {
+            Some(m) => m as u32,
+            None => return self.and(f, g),
+        };
+        let mut memo = HashMap::new();
+        self.and_exists_rec(f, g, vars, max, &mut memo)
+    }
+
+    fn and_exists_rec(
+        &mut self,
+        f: BddRef,
+        g: BddRef,
+        vars: &VarSet,
+        max: u32,
+        memo: &mut HashMap<(BddRef, BddRef), BddRef>,
+    ) -> BddRef {
+        if f == BddRef::FALSE || g == BddRef::FALSE {
+            return BddRef::FALSE;
+        }
+        if f == BddRef::TRUE && g == BddRef::TRUE {
+            return BddRef::TRUE;
+        }
+        let top = self.var_of(f).min(self.var_of(g));
+        if top > max {
+            // No quantified variable remains below: plain conjunction.
+            return self.and(f, g);
+        }
+        // ∧ commutes: normalize the cache key.
+        let key = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = memo.get(&key) {
+            return r;
+        }
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let lo = self.and_exists_rec(f0, g0, vars, max, memo);
+        let res = if vars.contains(top as usize) {
+            if lo == BddRef::TRUE {
+                // ∃x. (… ∨ hi) is already true: skip the hi branch.
+                BddRef::TRUE
+            } else {
+                let hi = self.and_exists_rec(f1, g1, vars, max, memo);
+                self.or(lo, hi)
+            }
+        } else {
+            let hi = self.and_exists_rec(f1, g1, vars, max, memo);
+            self.mk(top, lo, hi)
+        };
+        memo.insert(key, res);
+        res
+    }
+
+    /// Renames variables along `map` — sorted `(from, to)` pairs. The
+    /// mapping must be order-preserving (sources ascending, targets
+    /// ascending) and total on the support of `r`, so the renamed diagram
+    /// keeps the variable order without reordering; this is exactly the
+    /// current↔next swap of an interleaved symbolic state encoding.
+    ///
+    /// # Panics
+    /// Panics if the pairs are unsorted, if targets are not strictly
+    /// increasing, or if a support variable of `r` has no mapping.
+    pub fn rename(&mut self, r: BddRef, map: &[(usize, usize)]) -> BddRef {
+        assert!(
+            map.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
+            "rename map must be sorted with strictly increasing targets"
+        );
+        assert!(map.iter().all(|&(_, to)| to < MAX_BDD_VARS));
+        let mut memo = HashMap::new();
+        self.rename_rec(r, map, &mut memo)
+    }
+
+    fn rename_rec(
+        &mut self,
+        r: BddRef,
+        map: &[(usize, usize)],
+        memo: &mut HashMap<BddRef, BddRef>,
+    ) -> BddRef {
+        if r.is_terminal() {
+            return r;
+        }
+        if let Some(&m) = memo.get(&r) {
+            return m;
+        }
+        let n = self.nodes[r.0 as usize];
+        let to = map
+            .binary_search_by_key(&(n.var as usize), |&(from, _)| from)
+            .map(|i| map[i].1 as u32)
+            .unwrap_or_else(|_| panic!("support variable {} has no rename mapping", n.var));
+        let lo = self.rename_rec(n.lo, map, memo);
+        let hi = self.rename_rec(n.hi, map, memo);
+        let res = self.mk(to, lo, hi);
+        memo.insert(r, res);
+        res
+    }
+
+    /// Number of satisfying assignments counted over exactly the
+    /// variables in `vars` (the support of `r` must be contained in
+    /// `vars`; variables outside the set contribute no factor). Saturates
+    /// at `u64::MAX`.
+    ///
+    /// # Panics
+    /// Panics if `r` depends on a variable outside `vars`.
+    pub fn sat_count_set(&self, r: BddRef, vars: &VarSet) -> u64 {
+        // rank(v) = how many set variables precede v; terminals rank at
+        // the full set size.
+        let sorted: Vec<u32> = vars.iter().map(|v| v as u32).collect();
+        let total = sorted.len() as u32;
+        assert!(total < 128, "sat_count_set supports at most 127 variables");
+        let rank = |v: u32| -> u32 {
+            if v == u32::MAX {
+                return total;
+            }
+            match sorted.binary_search(&v) {
+                Ok(i) => i as u32,
+                Err(_) => panic!("support variable {v} is not in the counting set"),
+            }
+        };
+        fn rec(
+            bdd: &Bdd,
+            r: BddRef,
+            rank: &dyn Fn(u32) -> u32,
+            memo: &mut HashMap<BddRef, u128>,
+        ) -> u128 {
+            match r {
+                BddRef::FALSE => 0,
+                BddRef::TRUE => 1,
+                _ => {
+                    if let Some(&c) = memo.get(&r) {
+                        return c;
+                    }
+                    let n = bdd.nodes[r.0 as usize];
+                    let lo = rec(bdd, n.lo, rank, memo);
+                    let hi = rec(bdd, n.hi, rank, memo);
+                    let here = rank(n.var);
+                    let skip_lo = rank(bdd.var_of(n.lo)) - here - 1;
+                    let skip_hi = rank(bdd.var_of(n.hi)) - here - 1;
+                    let c = (lo << skip_lo) + (hi << skip_hi);
+                    memo.insert(r, c);
+                    c
+                }
+            }
+        }
+        let mut memo = HashMap::new();
+        let base = rec(self, r, &rank, &mut memo);
+        let count = base << rank(self.var_of(r));
+        u64::try_from(count).unwrap_or(u64::MAX)
     }
 }
 
@@ -451,6 +773,136 @@ mod tests {
         let taut = Cover::from_cubes([cube(&[(0, true)]), cube(&[(0, false)])]);
         let r = bdd.from_cover(&taut);
         assert!(bdd.is_tautology(r));
+    }
+
+    #[test]
+    fn varset_basics() {
+        let set: VarSet = [3usize, 70, 3].into_iter().collect();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(3) && set.contains(70));
+        assert!(!set.contains(4) && !set.contains(1000));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![3, 70]);
+        assert_eq!(set.max(), Some(70));
+        assert!(VarSet::new().is_empty());
+        assert_eq!(VarSet::new().max(), None);
+    }
+
+    #[test]
+    fn exists_set_matches_chained_exists() {
+        let mut bdd = Bdd::new();
+        // f = (a ∧ b) ∨ (c ∧ ¬a)
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let na = bdd.not(a);
+        let cna = bdd.and(c, na);
+        let f = bdd.or(ab, cna);
+        let set: VarSet = [0usize, 2].into_iter().collect();
+        let chained = {
+            let e0 = bdd.exists(f, 0);
+            bdd.exists(e0, 2)
+        };
+        assert_eq!(bdd.exists_set(f, &set), chained);
+        assert_eq!(bdd.exists_set(f, &VarSet::new()), f);
+    }
+
+    #[test]
+    fn and_exists_is_the_relational_product() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let f = bdd.or(a, b);
+        let nc = bdd.not(c);
+        let g = bdd.xor(a, nc);
+        let set: VarSet = [0usize].into_iter().collect();
+        let conj = bdd.and(f, g);
+        let direct = bdd.exists_set(conj, &set);
+        assert_eq!(bdd.and_exists(f, g, &set), direct);
+        // Empty quantification degrades to conjunction.
+        assert_eq!(bdd.and_exists(f, g, &VarSet::new()), conj);
+    }
+
+    #[test]
+    fn rename_shifts_interleaved_variables() {
+        let mut bdd = Bdd::new();
+        // f over "next" variables 1, 3: x1 ∧ ¬x3.
+        let x1 = bdd.var(1);
+        let x3 = bdd.var(3);
+        let n3 = bdd.not(x3);
+        let f = bdd.and(x1, n3);
+        let down = bdd.rename(f, &[(1, 0), (3, 2)]);
+        let x0 = bdd.var(0);
+        let x2 = bdd.var(2);
+        let n2 = bdd.not(x2);
+        assert_eq!(down, bdd.and(x0, n2));
+        // Shifting back is the identity.
+        assert_eq!(bdd.rename(down, &[(0, 1), (2, 3)]), f);
+    }
+
+    #[test]
+    fn sat_count_set_counts_over_the_given_set() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let c = bdd.var(2);
+        let f = bdd.xor(a, c); // depends on vars {0, 2} only
+        let exact: VarSet = [0usize, 2].into_iter().collect();
+        assert_eq!(bdd.sat_count_set(f, &exact), 2);
+        // A free extra variable doubles the count; contiguous sets agree
+        // with the classic counter.
+        let wider: VarSet = [0usize, 2, 7].into_iter().collect();
+        assert_eq!(bdd.sat_count_set(f, &wider), 4);
+        let all: VarSet = (0..3).collect();
+        assert_eq!(bdd.sat_count_set(f, &all), bdd.sat_count(f, 3));
+        let set40: VarSet = (0..40).collect();
+        assert_eq!(bdd.sat_count_set(BddRef::TRUE, &set40), 1 << 40);
+        assert_eq!(bdd.sat_count_set(BddRef::FALSE, &set40), 0);
+    }
+
+    #[test]
+    fn node_and_support_expose_structure() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(5);
+        let f = bdd.and(a, b);
+        let (var, lo, hi) = bdd.node(f).expect("non-terminal");
+        assert_eq!(var, 0);
+        assert_eq!(lo, BddRef::FALSE);
+        assert_eq!(hi, b);
+        assert_eq!(bdd.node(BddRef::TRUE), None);
+        assert_eq!(bdd.support(f), vec![0, 5]);
+        assert_eq!(bdd.support(BddRef::FALSE), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn variables_beyond_the_cube_world_work() {
+        // Symbolic state vectors use indices past MAX_VARS: the classic
+        // connectives must keep functioning there.
+        let mut bdd = Bdd::new();
+        let hi = bdd.var(200);
+        let lo = bdd.var(3);
+        let f = bdd.and(hi, lo);
+        let set: VarSet = [3usize, 200].into_iter().collect();
+        assert_eq!(bdd.sat_count_set(f, &set), 1);
+        let e = bdd.exists_set(f, &[200usize].into_iter().collect());
+        assert_eq!(e, lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "eval takes u64 minterm codes")]
+    fn eval_rejects_high_variables() {
+        let mut bdd = Bdd::new();
+        let r = bdd.var(100);
+        bdd.eval(r, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on variable")]
+    fn sat_count_rejects_out_of_range_support() {
+        let mut bdd = Bdd::new();
+        let r = bdd.var(5);
+        bdd.sat_count(r, 3);
     }
 
     #[test]

@@ -210,10 +210,19 @@ impl ConfigBuilder {
         self
     }
 
-    /// Reachability engine: the packed-state default or the explicit
-    /// differential oracle (shorthand for [`Self::reach_config`]).
+    /// Reachability engine: the packed-state default, the explicit
+    /// differential oracle, or the symbolic BDD engine (shorthand for
+    /// [`Self::reach_config`]).
     pub fn reach_strategy(mut self, strategy: ReachStrategy) -> Self {
         self.config.reach.strategy = strategy;
+        self
+    }
+
+    /// Largest symbolically counted state space the symbolic strategy
+    /// materializes into an explicit state graph (shorthand for
+    /// [`Self::reach_config`]; ignored by the enumerative strategies).
+    pub fn reach_materialize_limit(mut self, n: usize) -> Self {
+        self.config.reach.materialize_limit = n;
         self
     }
 
@@ -251,6 +260,9 @@ impl ConfigBuilder {
         if c.reach.max_tokens == 0 {
             return fail("reachability max_tokens must be at least 1");
         }
+        if c.reach.materialize_limit == 0 {
+            return fail("reachability materialize_limit must be at least 1");
+        }
         Ok(self.config)
     }
 }
@@ -282,6 +294,7 @@ mod tests {
             .reach_max_states(5678)
             .reach_strategy(ReachStrategy::Explicit)
             .reach_jobs(4)
+            .reach_materialize_limit(4321)
             .build()
             .unwrap();
         assert_eq!(config.literal_limit(), 4);
@@ -294,6 +307,7 @@ mod tests {
         assert_eq!(config.reach_config().max_states, 5678);
         assert_eq!(config.reach_config().strategy, ReachStrategy::Explicit);
         assert_eq!(config.reach_config().jobs, 4);
+        assert_eq!(config.reach_config().materialize_limit, 4321);
     }
 
     #[test]
@@ -304,6 +318,7 @@ mod tests {
             Config::builder().or_limit(1),
             Config::builder().verify_max_states(0),
             Config::builder().reach_max_states(0),
+            Config::builder().reach_materialize_limit(0),
         ] {
             let err = builder.build().unwrap_err();
             assert!(matches!(err, Error::InvalidConfig { .. }), "{err}");

@@ -65,6 +65,12 @@ pub(crate) struct ElabKey {
     /// `ReachConfig::jobs` is deliberately *not* part of the key: it is
     /// pure execution parallelism with a byte-identical-output contract.
     reach_strategy: simap_stg::ReachStrategy,
+    /// The symbolic strategy's materialization threshold changes whether
+    /// an elaboration succeeds at all, so it participates too — but only
+    /// under [`simap_stg::ReachStrategy::Symbolic`]; the enumerative
+    /// engines ignore the knob, and keying it would cost them spurious
+    /// cache misses (normalized to 0 there).
+    reach_materialize_limit: usize,
 }
 
 /// The source component of an [`ElabKey`].
@@ -242,6 +248,10 @@ impl Engine {
             reach_max_states: config.reach.max_states,
             reach_max_tokens: config.reach.max_tokens,
             reach_strategy: config.reach.strategy,
+            reach_materialize_limit: match config.reach.strategy {
+                simap_stg::ReachStrategy::Symbolic => config.reach.materialize_limit,
+                _ => 0,
+            },
         }
     }
 
@@ -296,11 +306,17 @@ mod tests {
         let at3 = engine.with_config(Config::builder().literal_limit(3).build().unwrap());
         at3.benchmark("half").elaborate().unwrap();
         assert_eq!(engine.cache_stats().hits, 1);
+        // The materialization threshold only matters to the symbolic
+        // strategy: changing it under the packed default still hits.
+        let other_limit =
+            engine.with_config(Config::builder().reach_materialize_limit(123).build().unwrap());
+        other_limit.benchmark("half").elaborate().unwrap();
+        assert_eq!(engine.cache_stats().hits, 2);
         // Repair toggled: a different entry.
         let repairing = engine.with_config(Config::builder().repair_csc(true).build().unwrap());
         repairing.benchmark("half").elaborate().unwrap();
         let stats = engine.cache_stats();
-        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 2, 2));
     }
 
     #[test]

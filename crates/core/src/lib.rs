@@ -38,16 +38,30 @@
 //! # Ok::<(), simap_core::Error>(())
 //! ```
 //!
-//! Elaboration itself defaults to the packed-state reachability engine
-//! ([`simap_stg::ReachStrategy::Packed`]): bit-packed markings in a
-//! contiguous arena, mask-compiled transitions, optional parallel
-//! frontier expansion via [`ConfigBuilder::reach_jobs`]. The legacy
-//! explicit BFS remains available through
-//! [`ConfigBuilder::reach_strategy`] as a differential oracle — both
-//! engines produce byte-identical graphs and errors, and the strategy is
-//! part of the elaboration cache key. [`Elaborated::reach_stats`]
-//! exposes the visited/interned/edge counters of the run that produced a
-//! graph (cache hits replay the cold run's counters).
+//! Elaboration runs on one of **three reachability strategies** selected
+//! through [`ConfigBuilder::reach_strategy`]:
+//!
+//! * [`simap_stg::ReachStrategy::Packed`] (default) — bit-packed
+//!   markings in a contiguous arena, mask-compiled transitions, optional
+//!   parallel frontier expansion via [`ConfigBuilder::reach_jobs`]; the
+//!   fastest way to an explicit graph.
+//! * [`simap_stg::ReachStrategy::Explicit`] — the legacy explicit BFS,
+//!   kept as a differential oracle; byte-identical graphs and errors.
+//! * [`simap_stg::ReachStrategy::Symbolic`] — BDD fixed-point
+//!   reachability for 1-safe nets ([`simap_stg::symbolic`]). It wins
+//!   when the *size* of the state space is the question: the exact count
+//!   and the CSC verdict come out of the Boolean representation without
+//!   enumerating a marking, so nets past the enumerative `StateLimit`
+//!   stay analyzable through [`simap_stg::reach_symbolic`]. An explicit
+//!   graph (byte-identical to the other strategies, with the symbolic
+//!   count cross-checked) is materialized only up to
+//!   [`ConfigBuilder::reach_materialize_limit`].
+//!
+//! All three produce the same graphs and agree on error families; the
+//! strategy — and the materialization threshold — are part of the
+//! elaboration cache key. [`Elaborated::reach_stats`] exposes the
+//! visited/interned/edge counters of the run that produced a graph
+//! (cache hits replay the cold run's counters).
 //!
 //! [`Batch`] drives many specifications through one configuration —
 //! sequentially or on a worker pool with deterministic, order-preserving

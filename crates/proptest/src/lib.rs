@@ -112,7 +112,7 @@ pub mod strategy {
         )*};
     }
 
-    int_range_strategy!(u8, u16, u32, usize);
+    int_range_strategy!(u8, u16, u32, u64, usize);
 }
 
 /// Collection strategies.

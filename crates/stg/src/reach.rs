@@ -31,6 +31,24 @@
 //! and serves as the differential-testing oracle for the packed engine
 //! (see `tests/reach_differential.rs`); both strategies produce
 //! byte-identical state graphs and identical [`ReachError`] values.
+//!
+//! # The symbolic engine
+//!
+//! [`ReachStrategy::Symbolic`] ([`crate::symbolic`]) never enumerates
+//! markings at all: for 1-safe nets it encodes states as Boolean vectors,
+//! compiles every transition into a BDD (guard, update) relation and runs
+//! fixed-point image computation over the full reachable set. The exact
+//! state count comes out of a BDD satisfy-count, so nets whose reachable
+//! sets blow past [`ReachError::StateLimit`] for the enumerative engines
+//! stay analyzable (count, per-signal regions, CSC verdict) through
+//! [`crate::symbolic::reach_symbolic`]. An explicit [`StateGraph`] is
+//! materialized — through the same packed core, so graphs stay
+//! byte-identical across all three strategies and the independently
+//! computed symbolic count cross-checks the enumerative one — only when
+//! the state count is at most [`ReachConfig::materialize_limit`];
+//! above it, elaboration reports [`ReachError::MaterializeLimit`] while
+//! the summary API still answers. Nets that are not 1-safe are out of the
+//! symbolic engine's scope and rejected as [`ReachError::NotSafe`].
 
 use crate::petri::{PlaceId, Stg, TransitionId};
 use simap_sg::{check_consistency, StateGraph, StateId};
@@ -49,6 +67,12 @@ pub enum ReachStrategy {
     /// interning). Slower, but simple enough to audit by eye — the
     /// differential oracle the packed engine is tested against.
     Explicit,
+    /// BDD-based symbolic reachability for 1-safe nets
+    /// ([`crate::symbolic`]): the exact reachable set as a Boolean
+    /// function, counted without enumeration; the state graph is
+    /// materialized (byte-identically to the other strategies) only up to
+    /// [`ReachConfig::materialize_limit`].
+    Symbolic,
 }
 
 impl fmt::Display for ReachStrategy {
@@ -56,6 +80,7 @@ impl fmt::Display for ReachStrategy {
         f.write_str(match self {
             ReachStrategy::Packed => "packed",
             ReachStrategy::Explicit => "explicit",
+            ReachStrategy::Symbolic => "symbolic",
         })
     }
 }
@@ -67,7 +92,10 @@ impl std::str::FromStr for ReachStrategy {
         match s {
             "packed" => Ok(ReachStrategy::Packed),
             "explicit" => Ok(ReachStrategy::Explicit),
-            other => Err(format!("unknown reachability strategy `{other}` (packed|explicit)")),
+            "symbolic" => Ok(ReachStrategy::Symbolic),
+            other => {
+                Err(format!("unknown reachability strategy `{other}` (packed|explicit|symbolic)"))
+            }
         }
     }
 }
@@ -85,6 +113,13 @@ pub struct ReachConfig {
     /// `0` and `1` both mean sequential). Whatever the value, the
     /// resulting graph is byte-identical to a sequential run.
     pub jobs: usize,
+    /// Largest symbolically counted state space the symbolic strategy
+    /// will materialize into an explicit [`StateGraph`]; above it,
+    /// elaboration fails with [`ReachError::MaterializeLimit`] while
+    /// [`crate::symbolic::reach_symbolic`] still reports the exact count
+    /// and the CSC verdict. The enumerative strategies ignore this knob
+    /// (their [`ReachConfig::max_states`] plays the same guarding role).
+    pub materialize_limit: usize,
 }
 
 impl Default for ReachConfig {
@@ -94,6 +129,7 @@ impl Default for ReachConfig {
             max_tokens: 7,
             strategy: ReachStrategy::default(),
             jobs: 1,
+            materialize_limit: 1_000_000,
         }
     }
 }
@@ -136,6 +172,25 @@ pub enum ReachError {
         /// Description of the first offending arc.
         detail: String,
     },
+    /// The net is not 1-safe, so the symbolic engine's one-bit-per-place
+    /// encoding cannot represent it (the enumerative strategies handle
+    /// multi-token places up to [`ReachConfig::max_tokens`]).
+    NotSafe {
+        /// Name of the first place observed holding (or about to hold)
+        /// more than one token.
+        place: String,
+    },
+    /// The symbolically counted state space is real but too large to
+    /// materialize as an explicit state graph
+    /// ([`ReachConfig::materialize_limit`]). The count itself — and the
+    /// region/CSC analysis — remains available through
+    /// [`crate::symbolic::reach_symbolic`].
+    MaterializeLimit {
+        /// The exact symbolic state count.
+        states: u64,
+        /// The configured materialization threshold it exceeded.
+        limit: usize,
+    },
     /// The underlying state-graph builder failed (e.g. > 64 signals).
     Build(String),
 }
@@ -154,6 +209,17 @@ impl fmt::Display for ReachError {
                  marking(s) were fully explored; raise ReachConfig::max_states to go further)"
             ),
             ReachError::Inconsistent { detail } => write!(f, "inconsistent STG: {detail}"),
+            ReachError::NotSafe { place } => write!(
+                f,
+                "place `{place}` can hold more than one token: the symbolic engine only \
+                 supports 1-safe nets (use the packed or explicit strategy)"
+            ),
+            ReachError::MaterializeLimit { states, limit } => write!(
+                f,
+                "{states} reachable markings exceed the materialization threshold of {limit}; \
+                 raise ReachConfig::materialize_limit or use the symbolic summary \
+                 (simap_stg::symbolic::reach_symbolic) for counts without a graph"
+            ),
             ReachError::Build(msg) => write!(f, "state graph construction failed: {msg}"),
         }
     }
@@ -300,6 +366,7 @@ pub(crate) fn explore(stg: &Stg, config: &ReachConfig) -> Result<Exploration, Re
     match config.strategy {
         ReachStrategy::Packed => explore_packed(stg, config),
         ReachStrategy::Explicit => explore_explicit(stg, config),
+        ReachStrategy::Symbolic => crate::symbolic::explore_symbolic(stg, config),
     }
 }
 
@@ -984,7 +1051,7 @@ impl<'a> PackedExplorer<'a> {
     }
 }
 
-fn explore_packed(stg: &Stg, config: &ReachConfig) -> Result<Exploration, ReachError> {
+pub(crate) fn explore_packed(stg: &Stg, config: &ReachConfig) -> Result<Exploration, ReachError> {
     // Speculate on the narrow field layout first (1-safe nets, i.e. all
     // of practice, quarter their arena footprint this way); a layout
     // overflow restarts once at the width that can represent every legal
@@ -1331,8 +1398,29 @@ a- p
     fn strategy_parses_and_displays() {
         assert_eq!("packed".parse::<ReachStrategy>().unwrap(), ReachStrategy::Packed);
         assert_eq!("explicit".parse::<ReachStrategy>().unwrap(), ReachStrategy::Explicit);
+        assert_eq!("symbolic".parse::<ReachStrategy>().unwrap(), ReachStrategy::Symbolic);
         assert!("fancy".parse::<ReachStrategy>().is_err());
         assert_eq!(ReachStrategy::Packed.to_string(), "packed");
+        assert_eq!(ReachStrategy::Symbolic.to_string(), "symbolic");
         assert_eq!(ReachStrategy::default(), ReachStrategy::Packed);
+    }
+
+    #[test]
+    fn symbolic_error_messages_name_the_context() {
+        // Satellite pin: the symbolic-only error family names the place /
+        // the counts and points at the escape hatch.
+        let err = ReachError::NotSafe { place: "q".to_string() };
+        assert_eq!(
+            err.to_string(),
+            "place `q` can hold more than one token: the symbolic engine only supports \
+             1-safe nets (use the packed or explicit strategy)"
+        );
+        let err = ReachError::MaterializeLimit { states: 1 << 22, limit: 1000 };
+        assert_eq!(
+            err.to_string(),
+            "4194304 reachable markings exceed the materialization threshold of 1000; raise \
+             ReachConfig::materialize_limit or use the symbolic summary \
+             (simap_stg::symbolic::reach_symbolic) for counts without a graph"
+        );
     }
 }

@@ -8,7 +8,8 @@
 //! simap bench run [name ...] [opts]   batch the suite through one config
 //!
 //! check options:
-//!       --strategy <s>   reachability engine: packed (default) | explicit
+//!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic
+//!       --materialize-limit <n>  symbolic: largest state space built explicitly
 //!       --bench <name>   use an embedded benchmark instead of a file
 //!
 //! map options:
@@ -16,8 +17,9 @@
 //!       --csc-repair     repair CSC violations by state-signal insertion
 //!       --no-verify      skip the final speed-independence verification
 //!       --or-limit <n>   split second-level OR gates to <= n inputs
-//!       --strategy <s>   reachability engine: packed (default) | explicit
+//!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic
 //!       --reach-jobs <n> frontier-expansion threads (packed; same output)
+//!       --materialize-limit <n>  symbolic: largest state space built explicitly
 //!   -v, --verbose        narrate stages and insertions to stderr
 //!       --json           print the report as JSON instead of the dossier
 //!       --verilog <f>    write the mapped netlist as structural Verilog
@@ -27,8 +29,9 @@
 //! bench run options:
 //!       --limits <a,b>   literal limits (default 2)
 //!   -j, --jobs <n>       worker threads (default 1; results identical)
-//!       --strategy <s>   reachability engine: packed (default) | explicit
+//!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic
 //!       --reach-jobs <n> frontier-expansion threads (packed; same output)
+//!       --materialize-limit <n>  symbolic: largest state space built explicitly
 //!       --csc-repair     repair CSC violations by state-signal insertion
 //!       --no-verify      skip speed-independence verification
 //!       --json|--csv     emit JSON / CSV instead of the markdown table
@@ -149,8 +152,8 @@ fn synthesis(parsed: &Parsed) -> Result<Synthesis, Box<dyn Error>> {
     Ok(Synthesis::from_g_source(std::fs::read_to_string(path)?))
 }
 
-/// Applies the shared reachability flags (`--strategy`, `--reach-jobs`)
-/// to a configuration builder.
+/// Applies the shared reachability flags (`--strategy`, `--reach-jobs`,
+/// `--materialize-limit`) to a configuration builder.
 fn reach_flags(
     parsed: &Parsed,
     mut builder: simap::ConfigBuilder,
@@ -161,11 +164,17 @@ fn reach_flags(
     if let Some(jobs) = parsed.value("--reach-jobs") {
         builder = builder.reach_jobs(jobs.parse()?);
     }
+    if let Some(limit) = parsed.value("--materialize-limit") {
+        builder = builder.reach_materialize_limit(limit.parse()?);
+    }
     Ok(builder)
 }
 
 fn check(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
-    let parsed = parse_flags(args, &[valued("--bench"), valued("--strategy")])?;
+    let parsed = parse_flags(
+        args,
+        &[valued("--bench"), valued("--strategy"), valued("--materialize-limit")],
+    )?;
     let config = reach_flags(&parsed, Config::builder())?.build()?;
     let elaborated = synthesis(&parsed)?.config(&config).elaborate()?;
     let sg = elaborated.state_graph();
@@ -196,6 +205,7 @@ fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             valued("--bench"),
             valued("--strategy"),
             valued("--reach-jobs"),
+            valued("--materialize-limit"),
             flag("--csc-repair"),
             flag("--no-verify"),
             flag("--json"),
@@ -289,6 +299,7 @@ fn bench_run(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             aliased(valued("--jobs"), "-j"),
             valued("--strategy"),
             valued("--reach-jobs"),
+            valued("--materialize-limit"),
             flag("--csc-repair"),
             flag("--no-verify"),
             flag("--json"),

@@ -28,13 +28,16 @@
 //! # Ok::<(), simap::Error>(())
 //! ```
 //!
-//! Cold elaboration itself runs on the packed-state reachability engine
-//! by default — bit-packed markings in a contiguous arena with
-//! mask-compiled transitions (see [`simap_stg::reach`]). The legacy
-//! explicit BFS survives as [`ReachStrategy::Explicit`], useful as an
-//! independent differential oracle when validating changes to the hot
-//! path, and [`ReachConfig::jobs`] turns on parallel frontier expansion
-//! with byte-identical results:
+//! Cold elaboration runs on one of three reachability strategies (see
+//! [`simap_stg::reach`]): the packed-state default — bit-packed markings
+//! in a contiguous arena with mask-compiled transitions, plus
+//! [`ReachConfig::jobs`] parallel frontier expansion with byte-identical
+//! results; the legacy explicit BFS ([`ReachStrategy::Explicit`]), an
+//! independent differential oracle for validating changes to the hot
+//! path; and the symbolic BDD engine ([`ReachStrategy::Symbolic`]),
+//! which represents the reachable set of a 1-safe net as a Boolean
+//! function — exact state counts and CSC verdicts without enumerating a
+//! marking:
 //!
 //! ```
 //! use simap::{Config, Engine, ReachStrategy};
@@ -47,6 +50,27 @@
 //! assert_eq!(stats.interned, elaborated.state_graph().state_count());
 //! # let _ = oracle;
 //! # Ok::<(), simap::Error>(())
+//! ```
+//!
+//! The symbolic engine is the door to state spaces no enumerative engine
+//! can touch: [`simap_stg::reach_symbolic`] reports the exact count,
+//! per-signal excitation/quiescence regions and CSC conflict codes of
+//! spaces with billions of markings, and materializes an explicit
+//! [`sg::StateGraph`] — byte-identical to the other strategies — only
+//! while the count stays under
+//! [`ConfigBuilder::reach_materialize_limit`]:
+//!
+//! ```
+//! use simap::stg::{patterns, reach_symbolic, ReachConfig};
+//!
+//! // Ten independent 4-state rings: 4^10 ≈ 1M markings, counted exactly.
+//! let parts: Vec<_> = (0..10).map(|_| patterns::sequencer(2, None)).collect();
+//! let grid = patterns::parallel("grid", &parts);
+//! let sym = reach_symbolic(&grid, &ReachConfig { max_states: 1000, ..Default::default() })?;
+//! assert_eq!(sym.states, 4u64.pow(10));
+//! assert!(sym.graph.is_none(), "too big to materialize, still analyzable");
+//! assert!(sym.csc_conflict_codes.is_empty());
+//! # Ok::<(), simap::stg::ReachError>(())
 //! ```
 //!
 //! [`Batch`] drives whole suites through one configuration — across a

@@ -85,8 +85,8 @@ fn conformance_table(config: &ReachConfig) -> String {
 
 /// Golden conformance suite: every `benchmark_names()` entry must match
 /// the committed snapshot of state / arc / CSC-conflict counts — under
-/// the packed default *and* the explicit oracle. Regenerate after an
-/// intentional specification change with:
+/// the packed default, the explicit oracle *and* the symbolic BDD
+/// engine. Regenerate after an intentional specification change with:
 ///
 /// ```text
 /// UPDATE_GOLDEN=1 cargo test --test benchmark_suite golden_conformance
@@ -94,16 +94,22 @@ fn conformance_table(config: &ReachConfig) -> String {
 #[test]
 fn golden_conformance_snapshot() {
     let packed = conformance_table(&ReachConfig::default());
-    let explicit = || {
-        conformance_table(&ReachConfig {
-            strategy: ReachStrategy::Explicit,
-            ..ReachConfig::default()
-        })
+    let with = |strategy: ReachStrategy| {
+        conformance_table(&ReachConfig { strategy, ..ReachConfig::default() })
     };
     if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
-        // Never bake a strategy divergence into the snapshot: the oracle
-        // must agree with what is about to be written.
-        assert_eq!(explicit(), packed, "packed and explicit disagree; fix that first");
+        // Never bake a strategy divergence into the snapshot: every
+        // engine must agree with what is about to be written.
+        assert_eq!(
+            with(ReachStrategy::Explicit),
+            packed,
+            "packed and explicit disagree; fix that first"
+        );
+        assert_eq!(
+            with(ReachStrategy::Symbolic),
+            packed,
+            "packed and symbolic disagree; fix that first"
+        );
         std::fs::write(GOLDEN_PATH, &packed).expect("write golden snapshot");
         eprintln!("regenerated {GOLDEN_PATH}");
         return;
@@ -120,7 +126,16 @@ fn golden_conformance_snapshot() {
          intentional, regenerate it with:\n    UPDATE_GOLDEN=1 cargo test --test \
          benchmark_suite golden"
     );
-    assert_eq!(explicit(), golden, "the explicit oracle must match the same snapshot");
+    assert_eq!(
+        with(ReachStrategy::Explicit),
+        golden,
+        "the explicit oracle must match the same snapshot"
+    );
+    assert_eq!(
+        with(ReachStrategy::Symbolic),
+        golden,
+        "the symbolic engine must match the same snapshot"
+    );
 }
 
 #[test]

@@ -1,16 +1,22 @@
-//! Differential testing of the packed-state reachability engine against
-//! the explicit oracle: for random safe STGs, every registry benchmark,
-//! and every error family (unbounded, state limit, inconsistency), the
-//! `Packed` and `Explicit` strategies — and parallel frontier expansion —
-//! must produce byte-identical results.
+//! Differential testing of the reachability engines: for random safe
+//! STGs, every registry benchmark, and every error family (unbounded,
+//! state limit, inconsistency), the three strategies — `Packed` (the
+//! default, sequential and jobs=4), `Explicit` (the legacy oracle) and
+//! `Symbolic` (the BDD engine) — must agree. The enumerative pair is
+//! held to byte-identical results; the symbolic engine materializes
+//! byte-identical graphs too, and its independently computed counts,
+//! initial code, region sizes and CSC conflict codes are cross-checked
+//! against the oracle's graph.
 //!
 //! Case counts are environment-tunable so CI can run a deeper sweep:
 //! `SIMAP_DIFF_CASES=256 cargo test --release --test reach_differential`.
 
 use proptest::prelude::*;
-use simap::sg::StateGraph;
+use simap::core::csc_conflicts;
+use simap::sg::{Event, StateGraph};
 use simap::stg::{
-    benchmark, benchmark_names, elaborate_with, elaborate_with_stats, parse_g, patterns, Stg,
+    analyze, benchmark, benchmark_names, elaborate_with, elaborate_with_stats, parse_g, patterns,
+    reach_symbolic, ReachError, Stg,
 };
 use simap::{ReachConfig, ReachStrategy};
 
@@ -20,6 +26,10 @@ fn cases(default: u32) -> u32 {
 
 fn explicit(config: &ReachConfig) -> ReachConfig {
     ReachConfig { strategy: ReachStrategy::Explicit, jobs: 1, ..config.clone() }
+}
+
+fn symbolic(config: &ReachConfig) -> ReachConfig {
+    ReachConfig { strategy: ReachStrategy::Symbolic, jobs: 1, ..config.clone() }
 }
 
 /// Structural byte-identity: same signals, state numbering, codes, arcs
@@ -41,8 +51,87 @@ fn assert_same_graph(packed: &StateGraph, oracle: &StateGraph, context: &str) {
     );
 }
 
+/// The sorted set of distinct codes carrying a CSC conflict in a graph —
+/// the numbering-independent face of the conflict list.
+fn conflict_codes(sg: &StateGraph) -> Vec<u64> {
+    let mut codes: Vec<u64> = csc_conflicts(sg).iter().map(|c| c.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+/// Whether two reachability errors belong to the same family. The
+/// enumerative engines are held to exact equality elsewhere; the
+/// symbolic engine reports the same *kind* of failure with its own
+/// wording/counters, and its 1-safety boundary (`NotSafe`) fires before
+/// anything else — so on nets that are not 1-safe it stands in for
+/// whatever the enumerative engines go on to report (`Unbounded` or
+/// `StateLimit` on token-growing nets, `Inconsistent` on bounded
+/// multi-token nets whose signals also fail to alternate).
+fn same_error_family(symbolic: &ReachError, oracle: &ReachError) -> bool {
+    use std::mem::discriminant;
+    if discriminant(symbolic) == discriminant(oracle) {
+        return true;
+    }
+    matches!(
+        (symbolic, oracle),
+        (
+            ReachError::NotSafe { .. },
+            ReachError::Unbounded { .. }
+                | ReachError::StateLimit { .. }
+                | ReachError::Inconsistent { .. }
+        )
+    )
+}
+
+/// Cross-checks the symbolic summary — counts, initial code, CSC codes,
+/// per-signal regions — against an elaborated oracle graph.
+fn assert_summary_matches(stg: &Stg, config: &ReachConfig, oracle: &StateGraph, context: &str) {
+    let sym = reach_symbolic(stg, config)
+        .unwrap_or_else(|e| panic!("{context}: symbolic summary failed: {e}"));
+    assert_eq!(sym.states, oracle.state_count() as u64, "{context}: symbolic state count");
+    assert_eq!(sym.initial_code, oracle.code(oracle.initial()), "{context}: symbolic initial code");
+    let oracle_codes = conflict_codes(oracle);
+    assert_eq!(
+        sym.csc_conflict_code_count,
+        oracle_codes.len() as u64,
+        "{context}: CSC conflict code count"
+    );
+    if sym.csc_conflict_code_count <= simap::stg::MAX_CONFLICT_CODES as u64 {
+        assert_eq!(sym.csc_conflict_codes, oracle_codes, "{context}: CSC conflict codes");
+    }
+    for r in &sym.regions {
+        let rise = Event::rise(r.signal);
+        let fall = Event::fall(r.signal);
+        let mut rise_excited = 0u64;
+        let mut fall_excited = 0u64;
+        let mut quiescent_high = 0u64;
+        let mut quiescent_low = 0u64;
+        for s in oracle.states() {
+            let re = oracle.enabled(s, rise);
+            let fe = oracle.enabled(s, fall);
+            rise_excited += u64::from(re);
+            fall_excited += u64::from(fe);
+            if !re && !fe {
+                if oracle.value(s, r.signal) {
+                    quiescent_high += 1;
+                } else {
+                    quiescent_low += 1;
+                }
+            }
+        }
+        assert_eq!(
+            (r.rise_excited, r.fall_excited, r.quiescent_high, r.quiescent_low),
+            (rise_excited, fall_excited, quiescent_high, quiescent_low),
+            "{context}: regions of signal {:?}",
+            r.signal
+        );
+    }
+}
+
 /// Elaborates under every strategy (packed sequential, packed jobs=4,
-/// explicit) and checks the outcomes — graphs or errors — coincide.
+/// explicit, symbolic) and checks the outcomes — graphs or errors —
+/// coincide.
 fn assert_differential(stg: &Stg, config: &ReachConfig, context: &str) {
     let packed = elaborate_with(stg, &ReachConfig { jobs: 1, ..config.clone() });
     let parallel = elaborate_with(stg, &ReachConfig { jobs: 4, ..config.clone() });
@@ -59,6 +148,32 @@ fn assert_differential(stg: &Stg, config: &ReachConfig, context: &str) {
         _ => panic!(
             "{context}: strategies disagree on success:\n  packed:   {packed:?}\n  \
              parallel: {parallel:?}\n  explicit: {oracle:?}"
+        ),
+    }
+
+    let sym = elaborate_with(stg, &symbolic(config));
+    match (&sym, &oracle) {
+        (Ok(s), Ok(o)) => {
+            assert_same_graph(s, o, &format!("{context} [symbolic]"));
+            assert_summary_matches(stg, config, o, context);
+        }
+        (Err(ReachError::NotSafe { .. }), Ok(_)) => {
+            // The symbolic engine only covers 1-safe nets; the claim must
+            // still be true of the net.
+            let analysis = analyze(stg, &explicit(config))
+                .unwrap_or_else(|e| panic!("{context}: analysis failed: {e}"));
+            assert!(!analysis.safe, "{context}: symbolic claimed NotSafe for a 1-safe net");
+        }
+        (Err(s), Err(o)) => {
+            assert!(
+                same_error_family(s, o),
+                "{context}: symbolic error family mismatch:\n  symbolic: {s:?}\n  \
+                 explicit: {o:?}"
+            );
+        }
+        _ => panic!(
+            "{context}: symbolic disagrees on success:\n  symbolic: {sym:?}\n  \
+             explicit: {oracle:?}"
         ),
     }
 }
@@ -94,8 +209,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(cases(24)))]
 
     /// Random safe STGs — single patterns and parallel compositions —
-    /// elaborate byte-identically under Packed (sequential and jobs=4)
-    /// and Explicit.
+    /// elaborate identically under Packed (sequential and jobs=4),
+    /// Explicit and Symbolic, with the symbolic summary cross-checked.
     #[test]
     fn random_safe_stgs_elaborate_identically(parts in proptest::collection::vec(arb_part(), 1..3)) {
         let stg = if parts.len() == 1 {
@@ -117,7 +232,8 @@ proptest! {
     }
 
     /// Unbounded nets produce the same `ReachError::Unbounded` — same
-    /// place, bound and progress counter — under every strategy.
+    /// place, bound and progress counter — under the enumerative
+    /// strategies, and the matching `NotSafe` scope error symbolically.
     #[test]
     fn unbounded_nets_map_to_the_same_error(max_tokens in 1u8..5) {
         let src = "\
@@ -137,9 +253,12 @@ a- p
     }
 }
 
-/// Every registry benchmark elaborates byte-identically under both
+/// Every registry benchmark elaborates identically under all three
 /// strategies and under parallel frontier expansion, with matching
-/// exploration counters.
+/// exploration counters; the symbolic summary (exact counts, initial
+/// code, regions, CSC codes) is cross-checked against the oracle —
+/// on every benchmark in release builds, on the smaller ones in debug
+/// builds (the release-mode CI conformance job covers the full suite).
 #[test]
 fn all_registry_benchmarks_elaborate_identically() {
     for name in benchmark_names() {
@@ -155,14 +274,27 @@ fn all_registry_benchmarks_elaborate_identically() {
             (ostats.visited, ostats.interned, ostats.edges),
             "{name}: exploration counters"
         );
-        let parallel = elaborate_with(&stg, &ReachConfig { jobs: 4, ..config })
+        let parallel = elaborate_with(&stg, &ReachConfig { jobs: 4, ..config.clone() })
             .unwrap_or_else(|e| panic!("{name} [jobs=4]: {e}"));
         assert_same_graph(&parallel, &oracle, &format!("{name} [jobs=4]"));
+
+        let (sym, sstats) = elaborate_with_stats(&stg, &symbolic(&config))
+            .unwrap_or_else(|e| panic!("{name} [symbolic]: {e}"));
+        assert_same_graph(&sym, &oracle, &format!("{name} [symbolic]"));
+        assert_eq!(sstats.strategy, ReachStrategy::Symbolic, "{name}: symbolic stats strategy");
+        assert_eq!(
+            (sstats.visited, sstats.interned, sstats.edges),
+            (ostats.visited, ostats.interned, ostats.edges),
+            "{name}: symbolic exploration counters"
+        );
+        if !cfg!(debug_assertions) || oracle.state_count() <= 500 {
+            assert_summary_matches(&stg, &config, &oracle, name);
+        }
     }
 }
 
-/// Inconsistent STGs are rejected with the same diagnostic by both
-/// strategies.
+/// Inconsistent STGs are rejected with the same diagnostic by the
+/// enumerative strategies and with the same error family symbolically.
 #[test]
 fn inconsistent_stgs_map_to_the_same_error() {
     let src = "\
@@ -180,12 +312,43 @@ a- a+
     let packed = elaborate_with(&stg, &config).unwrap_err();
     let oracle = elaborate_with(&stg, &explicit(&config)).unwrap_err();
     assert_eq!(packed, oracle);
+    let sym = elaborate_with(&stg, &symbolic(&config)).unwrap_err();
+    assert_eq!(sym, oracle, "symbolic materialization shares the consistency check");
+    let summary = reach_symbolic(&stg, &config).unwrap_err();
+    assert!(matches!(summary, ReachError::Inconsistent { .. }), "{summary}");
+}
+
+/// A bounded multi-token net whose signal also fails to alternate: the
+/// enumerative engines finish exploring and report `Inconsistent`, while
+/// the symbolic engine's 1-safety pre-check fires first (`NotSafe`) —
+/// the one place the families legitimately differ in kind.
+#[test]
+fn multi_token_inconsistent_nets_stay_family_compatible() {
+    let src = "\
+.model mti
+.inputs a b
+.graph
+a+ a+/2
+a+/2 a-
+a- a+
+p b+
+b+ b-
+b- p
+.marking { <a-,a+> p=2 }
+.end
+";
+    let stg = parse_g(src).expect("parses");
+    assert_differential(&stg, &ReachConfig::default(), "multi-token inconsistent");
+    let oracle = elaborate_with(&stg, &explicit(&ReachConfig::default())).unwrap_err();
+    assert!(matches!(oracle, ReachError::Inconsistent { .. }), "{oracle}");
+    let sym = elaborate_with(&stg, &symbolic(&ReachConfig::default())).unwrap_err();
+    assert!(matches!(sym, ReachError::NotSafe { .. }), "{sym}");
 }
 
 /// The boundary token bound: at `max_tokens = 255` a token count can hit
-/// the top of `u8`; both engines must still agree (the explicit oracle
-/// bound-checks before incrementing, the packed engine widens its
-/// fields) instead of overflowing.
+/// the top of `u8`; both enumerative engines must still agree (the
+/// explicit oracle bound-checks before incrementing, the packed engine
+/// widens its fields) instead of overflowing.
 #[test]
 fn max_tokens_255_does_not_overflow() {
     let src = "\
@@ -206,7 +369,9 @@ a- p
     assert_differential(&stg, &config, "max_tokens=255");
 }
 
-/// Registry benchmarks under tight limits hit the same `StateLimit`.
+/// Registry benchmarks under tight limits hit the same `StateLimit` —
+/// byte-identical across all three strategies (the symbolic engine
+/// counts first, then reproduces the enumerative limit error exactly).
 #[test]
 fn benchmark_state_limits_match() {
     for (name, limit) in [("mmu", 5), ("vbe10b", 100), ("master-read", 17)] {
@@ -218,5 +383,7 @@ fn benchmark_state_limits_match() {
         let oracle = elaborate_with(&stg, &explicit(&config)).unwrap_err();
         assert_eq!(packed, oracle, "{name}");
         assert_eq!(parallel, oracle, "{name} [jobs=4]");
+        let sym = elaborate_with(&stg, &symbolic(&config)).unwrap_err();
+        assert_eq!(sym, oracle, "{name} [symbolic]");
     }
 }

@@ -1,0 +1,133 @@
+//! Round-trip property test of the `.g` writer/parser pair:
+//! `parse_g(write_g(stg))` must reproduce the net — places, transitions,
+//! arcs and the initial marking — for randomly pattern-composed safe
+//! STGs. Identity is checked structurally (by names and labels): the
+//! parser orders signals inputs-first, so ids may permute while the net
+//! itself must not change.
+
+use proptest::prelude::*;
+use simap::sg::SignalKind;
+use simap::stg::{parse_g, patterns, write_g, PlaceId, Stg, TransitionId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A name-based structural fingerprint of an STG, invariant under
+/// signal/place/transition renumbering.
+#[derive(Debug, PartialEq, Eq)]
+struct Signature {
+    name: String,
+    signals: BTreeMap<String, SignalKind>,
+    /// Place name → initial token count.
+    marking: BTreeMap<String, u8>,
+    /// Transition label → (sorted pre place names, sorted post place
+    /// names).
+    arcs: BTreeMap<String, (BTreeSet<String>, BTreeSet<String>)>,
+}
+
+fn signature(stg: &Stg) -> Signature {
+    let place_name = |p: PlaceId| stg.places()[p.0].name.clone();
+    Signature {
+        name: stg.name().to_string(),
+        signals: stg.signals().iter().map(|s| (s.name.clone(), s.kind)).collect(),
+        marking: stg
+            .places()
+            .iter()
+            .zip(stg.initial_marking())
+            .map(|(p, &t)| (p.name.clone(), t))
+            .collect(),
+        arcs: (0..stg.transition_count())
+            .map(TransitionId)
+            .map(|t| {
+                (
+                    stg.transition_label(t),
+                    (
+                        stg.pre(t).iter().map(|&p| place_name(p)).collect(),
+                        stg.post(t).iter().map(|&p| place_name(p)).collect(),
+                    ),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn assert_roundtrip(stg: &Stg, context: &str) {
+    let text = write_g(stg);
+    let back = parse_g(&text)
+        .unwrap_or_else(|e| panic!("{context}: rendered .g fails to parse: {e}\n{text}"));
+    assert_eq!(signature(&back), signature(stg), "{context}: structure drifted\n{text}");
+    // The parser numbers transitions in appearance order, so ids (and
+    // therefore line order) may permute across trips — but the *net*
+    // must stay fixed from the first trip on.
+    let text2 = write_g(&back);
+    let back2 = parse_g(&text2)
+        .unwrap_or_else(|e| panic!("{context}: re-rendered .g fails to parse: {e}\n{text2}"));
+    assert_eq!(signature(&back2), signature(stg), "{context}: second trip drifted");
+}
+
+/// A recipe mirroring the differential harness's pattern families.
+#[derive(Debug, Clone, Copy)]
+struct Part {
+    kind: u8,
+    a: usize,
+    b: usize,
+}
+
+fn build_part(part: Part) -> Stg {
+    match part.kind % 6 {
+        0 => patterns::sequencer(2 + part.a % 5, None),
+        1 => patterns::celement(2 + part.a % 4),
+        2 => patterns::fork_join(1 + part.a % 3, 1 + part.b % 2),
+        3 => patterns::pipeline(1 + part.a % 4),
+        4 => patterns::choice(2 + part.a % 3),
+        _ => patterns::shared_output_choice(2 + part.a % 2),
+    }
+}
+
+fn arb_part() -> impl Strategy<Value = Part> {
+    proptest::collection::vec(0usize..16, 3).prop_map(|v| Part {
+        kind: v[0] as u8,
+        a: v[1],
+        b: v[2],
+    })
+}
+
+proptest! {
+    /// Pattern-composed nets round-trip through write_g/parse_g.
+    #[test]
+    fn pattern_nets_roundtrip(parts in proptest::collection::vec(arb_part(), 1..3)) {
+        let stg = if parts.len() == 1 {
+            build_part(parts[0])
+        } else {
+            let built: Vec<Stg> = parts.iter().copied().map(build_part).collect();
+            patterns::parallel("t", &built)
+        };
+        assert_roundtrip(&stg, &format!("{parts:?}"));
+    }
+}
+
+/// Every registry benchmark round-trips too (explicit places, multiple
+/// transition instances, internal signals — the full format surface).
+#[test]
+fn registry_benchmarks_roundtrip() {
+    for b in simap::stg::all_benchmarks() {
+        assert_roundtrip(&b.stg, b.name);
+    }
+}
+
+/// The round-tripped net elaborates to the same state space (ids may
+/// permute; counts may not).
+#[test]
+fn roundtrip_preserves_the_state_space() {
+    for part in [
+        Part { kind: 0, a: 2, b: 0 },
+        Part { kind: 1, a: 1, b: 0 },
+        Part { kind: 3, a: 2, b: 0 },
+        Part { kind: 4, a: 1, b: 0 },
+    ] {
+        let stg = build_part(part);
+        let back = parse_g(&write_g(&stg)).expect("round-trips");
+        let original = simap::stg::elaborate(&stg).expect("elaborates");
+        let again = simap::stg::elaborate(&back).expect("round-tripped net elaborates");
+        assert_eq!(original.state_count(), again.state_count(), "{part:?}");
+        assert_eq!(original.arc_count(), again.arc_count(), "{part:?}");
+    }
+}
