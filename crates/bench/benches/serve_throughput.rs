@@ -1,0 +1,73 @@
+//! Throughput of `simap serve` with a warm elaboration cache: wall time
+//! for a burst of concurrent synthesize requests against a server with
+//! 1 worker vs several. The per-request flow cost is identical (the
+//! cache is warm), so the jobs=N column shows how far the bounded queue
+//! + worker pool actually parallelizes the service.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simap_serve::{ServeConfig, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+// Mid-size circuits whose per-request flow cost (tens of ms in release)
+// dwarfs connection handling, so the jobs=1 vs jobs=N ratio measures the
+// worker pool rather than the accept loop.
+const BENCHES: [&str; 2] = ["master-read", "trimos-send"];
+const CLIENTS: usize = 8;
+
+fn request(addr: SocketAddr, name: &str) {
+    let body = format!("{{\"bench\":\"{name}\"}}");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /synthesize HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read");
+    assert!(response.starts_with(b"HTTP/1.1 200"), "request failed");
+}
+
+fn start(jobs: usize) -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs,
+        queue_limit: 256,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (handle, join)
+}
+
+fn serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for jobs in [1usize, 4] {
+        let (handle, join) = start(jobs);
+        let addr = handle.addr();
+        // Warm the shared engine: every benchmark elaborated once.
+        for name in BENCHES {
+            request(addr, name);
+        }
+        // One iteration = a burst of CLIENTS concurrent clients, each
+        // issuing one warm-cache request (requests/sec = CLIENTS / time).
+        group.bench_with_input(BenchmarkId::new("warm_burst8", jobs), &jobs, |b, _| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for i in 0..CLIENTS {
+                        scope.spawn(move || request(addr, BENCHES[i % BENCHES.len()]));
+                    }
+                });
+            });
+        });
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean shutdown");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serve_throughput);
+criterion_main!(benches);

@@ -404,6 +404,11 @@ pub struct FlowReport {
     /// `Some(true)` verified, `Some(false)` refuted, `None` skipped or
     /// inconclusive.
     pub verified: Option<bool>,
+    /// Exploration counters of the STG→state-graph reachability run that
+    /// elaborated the specification (cache hits replay the cold run's
+    /// counters). `None` when the flow started from an already-elaborated
+    /// state graph.
+    pub reach: Option<simap_stg::ReachStats>,
     /// The decomposition outcome (final SG, covers, steps).
     pub outcome: DecomposeResult,
 }

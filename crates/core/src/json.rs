@@ -1,0 +1,626 @@
+//! Shared hand-rolled JSON support: the emit helpers every report
+//! emitter uses plus a recursive-descent parser for the `simap-serve`
+//! wire protocol.
+//!
+//! The build environment is offline (no serde), so both directions are
+//! implemented here by hand and kept deliberately small:
+//!
+//! * **Emitting** — [`quote`] (RFC 8259 §7 string escaping),
+//!   [`string_array`], [`usize_array`] and [`opt`] are the primitives
+//!   [`crate::report`] renders documents with. Emitters write keys in a
+//!   fixed order, so a given value always renders to the same bytes.
+//! * **Parsing** — [`parse`] turns a JSON text into a [`Json`] tree:
+//!   objects preserve member order, numbers split into [`Json::Int`]
+//!   (no fraction/exponent, fits `i64`) and [`Json::Float`], and errors
+//!   carry the byte offset they were detected at.
+//!
+//! Parse ∘ emit is the identity on emitted documents (asserted by the
+//! `json_roundtrip` property suite): for every `Json` value `v`,
+//! `parse(&v.emit())` returns `v` — with the one documented exception
+//! that non-finite floats emit as `null`.
+//!
+//! ```
+//! use simap_core::json::{parse, Json};
+//!
+//! let doc = parse(r#"{"bench":"half","limits":[2,3],"verify":false}"#)?;
+//! assert_eq!(doc.get("bench").and_then(Json::as_str), Some("half"));
+//! assert_eq!(doc.get("limits").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+//! assert_eq!(doc.emit(), r#"{"bench":"half","limits":[2,3],"verify":false}"#);
+//! # Ok::<(), simap_core::json::JsonError>(())
+//! ```
+
+use std::fmt::Write as _;
+
+/// Deepest value nesting [`parse`] accepts (arrays/objects inside
+/// arrays/objects); beyond it the parser reports an error instead of
+/// risking stack exhaustion on adversarial input.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value. Object members keep their textual order, so
+/// emitting a parsed document reproduces it byte for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number with no fraction or exponent that fits an `i64`.
+    Int(i64),
+    /// Any other number (fractions, exponents, beyond-`i64` magnitudes).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in member order. Duplicate keys are kept as parsed.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The value of an object member, when this is an object containing
+    /// `key` (first occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, when this is an [`Json::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as a `usize`, when this is a non-negative
+    /// [`Json::Int`] that fits.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_i64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The boolean payload, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Renders the value as compact JSON (no whitespace, fixed member
+    /// order). Non-finite floats — unrepresentable in JSON — render as
+    /// `null`.
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        self.emit_into(&mut out);
+        out
+    }
+
+    fn emit_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let start = out.len();
+                    let _ = write!(out, "{v}");
+                    // `Display` prints whole floats without a marker
+                    // ("2"); add one so the text parses back as a float.
+                    if !out[start..].contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => out.push_str(&quote(s)),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.emit_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&quote(key));
+                    out.push(':');
+                    value.emit_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Escapes and quotes a string for inclusion in a JSON document
+/// (RFC 8259 §7): quotes, backslashes and control characters are escaped,
+/// everything else passes through verbatim.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a slice of strings as a JSON array of quoted strings.
+pub fn string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| quote(s)).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Renders a slice of counts as a JSON array of numbers.
+pub fn usize_array(items: &[usize]) -> String {
+    let rendered: Vec<String> = items.iter().map(usize::to_string).collect();
+    format!("[{}]", rendered.join(","))
+}
+
+/// Renders an optional displayable value: the value itself, or `null`.
+pub fn opt<T: std::fmt::Display>(value: Option<T>) -> String {
+    match value {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset it was detected
+/// at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON text into a [`Json`] tree.
+///
+/// # Errors
+/// [`JsonError`] on malformed input: unexpected characters, unterminated
+/// strings, bad escapes (including lone surrogates), malformed numbers,
+/// nesting beyond [`MAX_DEPTH`], or trailing characters after the value.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters after the value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &'static str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{text}`")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string().map_err(|e| JsonError {
+                offset: e.offset,
+                message: format!("object key: {}", e.message),
+            })?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut run_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.run(run_start)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.run(run_start)?);
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                    run_start = self.pos;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// The raw (escape-free) byte run since `start`, validated as UTF-8.
+    /// The input came from a `&str`, so this cannot actually fail, but the
+    /// parser re-checks rather than trusting byte arithmetic.
+    fn run(&self, start: usize) -> Result<&str, JsonError> {
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in string"))
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => return self.unicode_escape(),
+            other => {
+                self.pos -= 1;
+                return Err(self.err(format!("unknown escape `\\{}`", other as char)));
+            }
+        })
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        // Surrogate pairs encode astral-plane characters as two \u
+        // escapes; a lone half is not a Unicode scalar value.
+        if (0xd800..0xdc00).contains(&first) {
+            if !self.bytes[self.pos..].starts_with(b"\\u") {
+                return Err(self.err("lone high surrogate"));
+            }
+            self.pos += 2;
+            let second = self.hex4()?;
+            if !(0xdc00..0xe000).contains(&second) {
+                return Err(self.err("high surrogate not followed by a low surrogate"));
+            }
+            let combined = 0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00);
+            char::from_u32(combined).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else if (0xdc00..0xe000).contains(&first) {
+            Err(self.err("lone low surrogate"))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.err("invalid \\u escape"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (c as char).to_digit(16).ok_or_else(|| self.err("bad hex digit"))?;
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone, or a nonzero digit followed by more.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits(),
+            _ => return Err(self.err("expected a digit")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after `.`"));
+            }
+            self.digits();
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in exponent"));
+            }
+            self.digits();
+        }
+        let text = self.run(start).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Json::Float(v)),
+            Err(_) => Err(self.err(format!("malformed number `{text}`"))),
+        }
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_is_rfc8259() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(quote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::Int(42));
+        assert_eq!(parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse("0").unwrap(), Json::Int(0));
+        assert_eq!(parse("2.5").unwrap(), Json::Float(2.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(parse("-1.25e-2").unwrap(), Json::Float(-0.0125));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn big_integers_fall_back_to_float() {
+        assert_eq!(parse("9223372036854775807").unwrap(), Json::Int(i64::MAX));
+        assert!(matches!(parse("92233720368547758080").unwrap(), Json::Float(_)));
+    }
+
+    #[test]
+    fn string_escapes_parse() {
+        assert_eq!(parse(r#""a\"b\\c\/d""#).unwrap(), Json::Str("a\"b\\c/d".into()));
+        assert_eq!(parse(r#""\b\f\n\r\t""#).unwrap(), Json::Str("\u{8}\u{c}\n\r\t".into()));
+        assert_eq!(parse(r#""\u0041\u00e9""#).unwrap(), Json::Str("Aé".into()));
+        // Surrogate pair: U+1D11E MUSICAL SYMBOL G CLEF.
+        assert_eq!(parse(r#""\ud834\udd1e""#).unwrap(), Json::Str("𝄞".into()));
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let doc = parse(r#" { "b" : [1, 2.5, "x"], "a" : { } , "c": null } "#).unwrap();
+        let members = doc.as_object().unwrap();
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(members[2].0, "c");
+        assert_eq!(doc.emit(), r#"{"b":[1,2.5,"x"],"a":{},"c":null}"#);
+        assert_eq!(doc.get("c"), Some(&Json::Null));
+        assert!(doc.get("missing").is_none());
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = parse(r#"{"n":3,"s":"x","b":true,"a":[1]}"#).unwrap();
+        assert_eq!(doc.get("n").unwrap().as_usize(), Some(3));
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(doc.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(Json::Int(-1).as_usize(), None, "negative ints do not coerce");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for (input, fragment) in [
+            ("", "end of input"),
+            ("{", "object key"),
+            ("[1,", "end of input"),
+            ("[1 2]", "expected `,` or `]`"),
+            ("{\"a\" 1}", "expected `:`"),
+            ("tru", "expected `true`"),
+            ("\"abc", "unterminated string"),
+            ("\"\\q\"", "unknown escape"),
+            ("\"\\ud834\"", "lone high surrogate"),
+            ("\"\\udd1e\"", "lone low surrogate"),
+            ("01", "trailing characters"),
+            ("1.", "digit after `.`"),
+            ("1e", "digit in exponent"),
+            ("{} {}", "trailing characters"),
+            ("\"\u{1}\"", "control character"),
+        ] {
+            let err = parse(input).unwrap_err();
+            assert!(err.message.contains(fragment), "{input:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting deeper"), "{err}");
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn floats_emit_with_a_marker() {
+        assert_eq!(Json::Float(2.0).emit(), "2.0");
+        assert_eq!(Json::Float(-0.5).emit(), "-0.5");
+        assert_eq!(Json::Float(f64::NAN).emit(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).emit(), "null");
+        // Emitted floats parse back as the same float.
+        for v in [2.0, -0.5, 1.0e300, std::f64::consts::PI, -0.0] {
+            match parse(&Json::Float(v).emit()).unwrap() {
+                Json::Float(back) => assert_eq!(back.to_bits(), v.to_bits()),
+                other => panic!("{v} re-parsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip_on_a_nested_value() {
+        let value = Json::Object(vec![
+            ("name".into(), Json::Str("a\"b\\c\nd\u{1}".into())),
+            ("counts".into(), Json::Array(vec![Json::Int(0), Json::Int(-3), Json::Float(1.5)])),
+            (
+                "nested".into(),
+                Json::Object(vec![("ok".into(), Json::Bool(true)), ("none".into(), Json::Null)]),
+            ),
+            ("empty".into(), Json::Array(vec![])),
+        ]);
+        let text = value.emit();
+        assert_eq!(parse(&text).unwrap(), value);
+        assert_eq!(parse(&text).unwrap().emit(), text);
+    }
+}

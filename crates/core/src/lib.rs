@@ -22,7 +22,13 @@
 //! [`Engine`] — a cheaply-cloneable, thread-safe handle owning the shared
 //! immutable inputs (benchmark registry, gate library) and a memoized
 //! elaboration cache, so repeated syntheses of the same specification
-//! skip STG→state-graph reachability:
+//! skip STG→state-graph reachability. The engine is the middle of three
+//! entry tiers: the `simap` CLI wraps it for one-shot processes, this
+//! API embeds it in long-running programs, and the `simap-serve` crate
+//! hosts one shared engine behind an HTTP service (`simap serve`) so
+//! many clients reuse the same warm cache — all three produce identical
+//! reports for identical requests (the service byte-compares against
+//! `simap map --json` in CI):
 //!
 //! ```
 //! use simap_core::{Config, Engine};
@@ -89,6 +95,15 @@
 //! # Ok::<(), simap_core::Error>(())
 //! ```
 //!
+//! Progress hooks ([`FlowObserver`], [`pipeline::Synthesis::observer`])
+//! have a serializable form — [`FlowEvent`] with a stable one-line JSON
+//! rendering, adapted by [`EventObserver`] — which is what `simap-serve`
+//! streams to NDJSON clients. Reports render through [`report`]
+//! (markdown / CSV / JSON, including [`report::benchmarks_json`], the
+//! registry listing the CLI and the service share) on the hand-rolled
+//! [`json`] module, whose recursive-descent [`json::parse`] is the other
+//! half of the service's wire protocol.
+//!
 //! ## Deprecation policy
 //!
 //! Configuration spread across per-stage setters
@@ -112,6 +127,7 @@ pub mod engine;
 pub mod error;
 pub mod flow;
 pub mod insertion;
+pub mod json;
 pub mod mc;
 pub mod observer;
 pub mod pipeline;
@@ -139,7 +155,9 @@ pub use mc::{
     synthesize_mc, synthesize_signal, validate_mc, McError, McImpl, RegionCover, SignalBody,
     SignalImpl,
 };
-pub use observer::{FlowObserver, NullObserver, RecordingObserver, StderrObserver};
+pub use observer::{
+    EventObserver, FlowEvent, FlowObserver, NullObserver, RecordingObserver, StderrObserver,
+};
 pub use pipeline::{Batch, Covers, Decomposed, Elaborated, Mapped, Synthesis, Verified};
 pub use progress::{estimate_progress, replaces_trigger, ProgressEstimate};
-pub use report::{dossier, report_json, to_csv, to_json, to_markdown, BatchRow};
+pub use report::{benchmarks_json, dossier, report_json, to_csv, to_json, to_markdown, BatchRow};

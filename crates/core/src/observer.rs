@@ -7,10 +7,18 @@
 //! `--verbose` attaches a [`StderrObserver`], and future progress UIs or
 //! batch schedulers can attach their own implementation through
 //! [`crate::pipeline::Synthesis::observer`].
+//!
+//! For consumers that forward progress across a process or wire boundary
+//! — the `simap-serve` NDJSON streaming mode in particular — every
+//! callback also has a serializable value form, [`FlowEvent`], with a
+//! stable one-line JSON rendering ([`FlowEvent::to_json`]);
+//! [`EventObserver`] adapts any `FnMut(FlowEvent)` sink into a
+//! [`FlowObserver`].
 
 use crate::csc::CscConflict;
 use crate::decompose::DecomposeStep;
 use crate::error::Stage;
+use crate::json;
 
 /// Callbacks fired as a synthesis run progresses. All methods have empty
 /// default bodies: implement only what you need.
@@ -44,6 +52,123 @@ pub trait FlowObserver {
     /// The final verification verdict (`None` = skipped or inconclusive).
     fn on_verdict(&mut self, verified: Option<bool>) {
         let _ = verified;
+    }
+}
+
+/// One observer callback as a serializable value: what happened, with
+/// the same payload the corresponding [`FlowObserver`] method receives.
+#[derive(Debug, Clone)]
+pub enum FlowEvent {
+    /// A stage started for the named specification.
+    StageStart {
+        /// The stage that started.
+        stage: Stage,
+        /// The specification it runs on.
+        spec: String,
+    },
+    /// A stage finished successfully.
+    StageEnd {
+        /// The stage that finished.
+        stage: Stage,
+    },
+    /// The elaborated specification has CSC conflicts.
+    CscConflicts {
+        /// How many conflicting state pairs were found.
+        count: usize,
+    },
+    /// CSC repair inserted a state signal.
+    CscRepair {
+        /// Name of the inserted state signal.
+        signal: String,
+    },
+    /// The decomposition loop committed one insertion.
+    Step {
+        /// The committed step.
+        step: DecomposeStep,
+    },
+    /// The final verification verdict.
+    Verdict {
+        /// `Some(true)` verified, `Some(false)` refuted, `None` skipped
+        /// or inconclusive.
+        verified: Option<bool>,
+    },
+}
+
+impl FlowEvent {
+    /// Renders the event as one line of JSON (no trailing newline): a
+    /// `{"event":...}` object whose remaining keys depend on the variant.
+    /// This is the NDJSON wire form `simap serve` streams to clients.
+    pub fn to_json(&self) -> String {
+        match self {
+            FlowEvent::StageStart { stage, spec } => format!(
+                "{{\"event\":\"stage_start\",\"stage\":{},\"spec\":{}}}",
+                json::quote(&stage.to_string()),
+                json::quote(spec)
+            ),
+            FlowEvent::StageEnd { stage } => {
+                format!("{{\"event\":\"stage_end\",\"stage\":{}}}", json::quote(&stage.to_string()))
+            }
+            FlowEvent::CscConflicts { count } => {
+                format!("{{\"event\":\"csc_conflicts\",\"count\":{count}}}")
+            }
+            FlowEvent::CscRepair { signal } => {
+                format!("{{\"event\":\"csc_repair\",\"signal\":{}}}", json::quote(signal))
+            }
+            FlowEvent::Step { step } => format!(
+                "{{\"event\":\"step\",\"signal\":{},\"divisor\":{},\"target\":{},\
+                 \"excess_before\":{},\"excess_after\":{}}}",
+                json::quote(&step.signal),
+                json::quote(&step.divisor),
+                json::quote(&step.target),
+                step.excess.0,
+                step.excess.1
+            ),
+            FlowEvent::Verdict { verified } => {
+                format!("{{\"event\":\"verdict\",\"verified\":{}}}", json::opt(*verified))
+            }
+        }
+    }
+}
+
+/// Adapts a `FnMut(FlowEvent)` sink into a [`FlowObserver`]: every
+/// callback is forwarded as the corresponding [`FlowEvent`] value. The
+/// sink decides what to do with it — send it over a channel, write it to
+/// a socket, collect it in a vector.
+#[derive(Debug)]
+pub struct EventObserver<F: FnMut(FlowEvent)> {
+    sink: F,
+}
+
+impl<F: FnMut(FlowEvent)> EventObserver<F> {
+    /// An observer forwarding every callback to `sink`.
+    pub fn new(sink: F) -> Self {
+        EventObserver { sink }
+    }
+}
+
+impl<F: FnMut(FlowEvent)> FlowObserver for EventObserver<F> {
+    fn on_stage_start(&mut self, stage: Stage, spec: &str) {
+        (self.sink)(FlowEvent::StageStart { stage, spec: spec.to_string() });
+    }
+
+    fn on_stage_end(&mut self, stage: Stage) {
+        (self.sink)(FlowEvent::StageEnd { stage });
+    }
+
+    fn on_csc_conflicts(&mut self, conflicts: &[CscConflict]) {
+        (self.sink)(FlowEvent::CscConflicts { count: conflicts.len() });
+    }
+
+    fn on_csc_repair(&mut self, signal: &str) {
+        (self.sink)(FlowEvent::CscRepair { signal: signal.to_string() });
+    }
+
+    fn on_decompose_step(&mut self, step: &DecomposeStep) {
+        (self.sink)(FlowEvent::Step { step: step.clone() });
+    }
+
+    fn on_verdict(&mut self, verified: Option<bool>) {
+        (self.sink)(FlowEvent::Verdict { verified });
     }
 }
 
@@ -125,5 +250,48 @@ impl FlowObserver for RecordingObserver {
 
     fn on_verdict(&mut self, verified: Option<bool>) {
         self.verdict = Some(verified);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_observer_forwards_a_full_run_as_json_lines() {
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = events.clone();
+        let report = crate::pipeline::Synthesis::from_benchmark("hazard")
+            .observer(EventObserver::new(move |e: FlowEvent| {
+                sink.lock().unwrap().push(e.to_json());
+            }))
+            .run()
+            .unwrap();
+        let lines = events.lock().unwrap();
+        assert_eq!(
+            lines.first().map(String::as_str),
+            Some("{\"event\":\"stage_start\",\"stage\":\"load\",\"spec\":\"hazard\"}")
+        );
+        let steps = lines.iter().filter(|l| l.starts_with("{\"event\":\"step\"")).count();
+        assert_eq!(steps, report.inserted.unwrap());
+        assert!(
+            lines.contains(&"{\"event\":\"verdict\",\"verified\":true}".to_string()),
+            "{lines:?}"
+        );
+        // Every streamed line is a parseable JSON object with an `event` key.
+        for line in lines.iter() {
+            let parsed = crate::json::parse(line).expect("event lines are valid JSON");
+            assert!(parsed.get("event").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn event_json_escapes_payloads() {
+        let event = FlowEvent::CscRepair { signal: "a\"b".into() };
+        assert_eq!(event.to_json(), "{\"event\":\"csc_repair\",\"signal\":\"a\\\"b\"}");
+        assert_eq!(
+            FlowEvent::Verdict { verified: None }.to_json(),
+            "{\"event\":\"verdict\",\"verified\":null}"
+        );
     }
 }

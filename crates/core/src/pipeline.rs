@@ -531,6 +531,7 @@ impl Elaborated {
             ctx: self.ctx,
             sg: self.sg,
             repaired: self.repaired,
+            reach: self.reach,
             mc,
             initial_histogram,
             non_si,
@@ -543,6 +544,7 @@ pub struct Covers {
     ctx: Ctx,
     sg: Arc<StateGraph>,
     repaired: Vec<String>,
+    reach: Option<ReachStats>,
     mc: McImpl,
     initial_histogram: Vec<usize>,
     non_si: Cost,
@@ -589,6 +591,7 @@ impl Covers {
         Ok(Decomposed {
             ctx: self.ctx,
             repaired: self.repaired,
+            reach: self.reach,
             outcome,
             initial_histogram: self.initial_histogram,
             non_si: self.non_si,
@@ -601,6 +604,7 @@ impl Covers {
 pub struct Decomposed {
     ctx: Ctx,
     repaired: Vec<String>,
+    reach: Option<ReachStats>,
     outcome: DecomposeResult,
     initial_histogram: Vec<usize>,
     non_si: Cost,
@@ -647,6 +651,7 @@ impl Decomposed {
         Mapped {
             ctx: self.ctx,
             repaired: self.repaired,
+            reach: self.reach,
             outcome: self.outcome,
             initial_histogram: self.initial_histogram,
             non_si: self.non_si,
@@ -660,6 +665,7 @@ impl Decomposed {
 pub struct Mapped {
     ctx: Ctx,
     repaired: Vec<String>,
+    reach: Option<ReachStats>,
     outcome: DecomposeResult,
     initial_histogram: Vec<usize>,
     non_si: Cost,
@@ -766,6 +772,7 @@ impl Mapped {
             si_cost: self.si,
             non_si_cost: self.non_si,
             verified,
+            reach: self.reach,
             outcome: self.outcome,
         };
         Verified { repaired: self.repaired, circuit: self.circuit, report }

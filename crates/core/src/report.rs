@@ -1,13 +1,20 @@
 //! Structured emitters for flow results: markdown, CSV and JSON
-//! renderings of Table 1-style batches, plus a per-circuit synthesis
-//! dossier.
+//! renderings of Table 1-style batches, a machine-readable benchmark
+//! registry listing, plus a per-circuit synthesis dossier.
 //!
-//! The JSON emitters are hand-rolled (no serde — the build environment is
-//! offline): deterministic key order, RFC 8259-compliant string escaping,
-//! `null` for "not implementable" / "unverified".
+//! The JSON emitters are hand-rolled on [`crate::json`] (no serde — the
+//! build environment is offline): deterministic key order, RFC
+//! 8259-compliant string escaping, `null` for "not implementable" /
+//! "unverified". Every document they produce parses with
+//! [`crate::json::parse`], which is how the `simap-serve` wire protocol
+//! reads them back.
 
+use crate::engine::Engine;
+use crate::error::Error;
 use crate::flow::FlowReport;
+use crate::json;
 use simap_netlist::Cost;
+use simap_stg::ReachStats;
 use std::fmt::Write as _;
 
 /// One row of a batch report (a named flow result at several limits).
@@ -91,63 +98,41 @@ pub fn to_csv(limits: &[usize], rows: &[BatchRow]) -> String {
     out
 }
 
-/// Escapes a string for inclusion in a JSON document (RFC 8259 §7).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_string_array(items: &[String]) -> String {
-    let quoted: Vec<String> = items.iter().map(|s| json_string(s)).collect();
-    format!("[{}]", quoted.join(","))
-}
-
-fn json_usize_array(items: &[usize]) -> String {
-    let rendered: Vec<String> = items.iter().map(usize::to_string).collect();
-    format!("[{}]", rendered.join(","))
-}
-
 fn json_cost(cost: Cost) -> String {
     format!("{{\"literals\":{},\"c_elements\":{}}}", cost.literals, cost.c_elements)
 }
 
-fn json_opt<T: std::fmt::Display>(value: Option<T>) -> String {
-    match value {
-        Some(v) => v.to_string(),
+fn json_reach(stats: Option<ReachStats>) -> String {
+    match stats {
+        Some(s) => format!(
+            "{{\"visited\":{},\"interned\":{},\"edges\":{},\"strategy\":{}}}",
+            s.visited,
+            s.interned,
+            s.edges,
+            json::quote(&s.strategy.to_string())
+        ),
         None => "null".to_string(),
     }
 }
 
 /// Renders one flow report as a JSON object (what `simap map --json`
-/// prints). `inserted` is `null` when not implementable at the limit, and
-/// `verified` is `null` when verification was skipped or inconclusive.
+/// prints). `inserted` is `null` when not implementable at the limit,
+/// `verified` is `null` when verification was skipped or inconclusive,
+/// and `reach` is `null` when the flow started from an already-elaborated
+/// state graph (no reachability ran).
 pub fn report_json(report: &FlowReport) -> String {
     format!(
         "{{\"name\":{},\"initial_histogram\":{},\"implementable\":{},\"inserted\":{},\
-         \"inserted_names\":{},\"si_cost\":{},\"non_si_cost\":{},\"verified\":{}}}",
-        json_string(&report.name),
-        json_usize_array(&report.initial_histogram),
+         \"inserted_names\":{},\"si_cost\":{},\"non_si_cost\":{},\"verified\":{},\"reach\":{}}}",
+        json::quote(&report.name),
+        json::usize_array(&report.initial_histogram),
         report.inserted.is_some(),
-        json_opt(report.inserted),
-        json_string_array(&report.inserted_names),
+        json::opt(report.inserted),
+        json::string_array(&report.inserted_names),
         json_cost(report.si_cost),
         json_cost(report.non_si_cost),
-        json_opt(report.verified),
+        json::opt(report.verified),
+        json_reach(report.reach),
     )
 }
 
@@ -155,7 +140,7 @@ pub fn report_json(report: &FlowReport) -> String {
 /// object per circuit whose `runs` align with `limits`.
 pub fn to_json(limits: &[usize], rows: &[BatchRow]) -> String {
     let mut out = String::from("{\"limits\":");
-    out.push_str(&json_usize_array(limits));
+    out.push_str(&json::usize_array(limits));
     out.push_str(",\"circuits\":[");
     for (i, row) in rows.iter().enumerate() {
         if i > 0 {
@@ -164,7 +149,7 @@ pub fn to_json(limits: &[usize], rows: &[BatchRow]) -> String {
         let _ = write!(
             out,
             "{{\"name\":{},\"states\":{},\"runs\":[",
-            json_string(&row.name),
+            json::quote(&row.name),
             row.states
         );
         for (j, (limit, report)) in limits.iter().zip(&row.reports).enumerate() {
@@ -177,6 +162,37 @@ pub fn to_json(limits: &[usize], rows: &[BatchRow]) -> String {
     }
     out.push_str("]}");
     out
+}
+
+/// Renders the embedded benchmark registry as one machine-readable JSON
+/// document — the listing shared by `simap bench list --json` and the
+/// service's `GET /benchmarks` (both must stay byte-identical).
+///
+/// Each entry is elaborated through the engine's cache to report its
+/// signal and state counts, so a second call (or a service answering the
+/// route repeatedly) skips reachability entirely.
+///
+/// # Errors
+/// The first elaboration failure, should any embedded benchmark fail
+/// under the engine's configuration.
+pub fn benchmarks_json(engine: &Engine) -> Result<String, Error> {
+    let mut out = String::from("{\"benchmarks\":[");
+    for (i, name) in engine.registry().names().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let elaborated = engine.benchmark(*name).elaborate()?;
+        let sg = elaborated.state_graph();
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"signals\":{},\"states\":{}}}",
+            json::quote(name),
+            sg.signal_count(),
+            sg.state_count()
+        );
+    }
+    out.push_str("]}");
+    Ok(out)
 }
 
 /// A human-readable synthesis dossier for one flow result: histogram,
@@ -260,14 +276,6 @@ mod tests {
     }
 
     #[test]
-    fn json_escaping_is_rfc8259() {
-        assert_eq!(json_string("plain"), "\"plain\"");
-        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
-        assert_eq!(json_string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
-        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
-    }
-
-    #[test]
     fn json_shape() {
         let report = handshake_report();
         let single = report_json(&report);
@@ -275,19 +283,53 @@ mod tests {
         assert!(single.contains("\"implementable\":true"));
         assert!(single.contains("\"verified\":true"));
         assert!(single.contains("\"si_cost\":{\"literals\":"));
+        // The handshake report started from a pre-elaborated state graph:
+        // no reachability ran, so the counters are null.
+        assert!(single.ends_with("\"reach\":null}"), "{single}");
 
         let rows = vec![BatchRow { name: "hs".into(), states: 4, reports: vec![report] }];
         let doc = to_json(&[2], &rows);
         assert!(doc.starts_with("{\"limits\":[2],\"circuits\":["), "{doc}");
         assert!(doc.contains("\"runs\":[{\"literal_limit\":2,\"report\":{"));
         assert!(doc.ends_with("]}"));
-        // Balanced braces/brackets (a cheap well-formedness proxy, since
-        // no JSON parser is available offline).
-        for (open, close) in [('{', '}'), ('[', ']')] {
-            let opens = doc.matches(open).count();
-            let closes = doc.matches(close).count();
-            assert_eq!(opens, closes, "unbalanced {open}{close} in {doc}");
-        }
+        // The emitted document must parse with the crate's own parser and
+        // carry the expected structure.
+        let parsed = crate::json::parse(&doc).expect("emitters produce valid JSON");
+        let circuits = parsed.get("circuits").and_then(crate::json::Json::as_array).unwrap();
+        assert_eq!(circuits.len(), 1);
+        assert_eq!(
+            circuits[0].get("name").and_then(crate::json::Json::as_str),
+            Some("hs"),
+            "{doc}"
+        );
+    }
+
+    #[test]
+    fn json_reach_counters_for_elaborated_sources() {
+        let config = crate::Config::builder().build().unwrap();
+        let report = Synthesis::from_benchmark("half").config(&config).run().unwrap();
+        let single = report_json(&report);
+        assert!(single.contains("\"reach\":{\"visited\":6,\"interned\":6,\"edges\":"), "{single}");
+        assert!(single.contains("\"strategy\":\"packed\""), "{single}");
+    }
+
+    #[test]
+    fn benchmarks_json_lists_the_registry() {
+        let engine = Engine::default();
+        let doc = benchmarks_json(&engine).unwrap();
+        let parsed = crate::json::parse(&doc).expect("valid JSON");
+        let entries = parsed.get("benchmarks").and_then(crate::json::Json::as_array).unwrap();
+        assert_eq!(entries.len(), engine.registry().names().len());
+        let half = entries
+            .iter()
+            .find(|e| e.get("name").and_then(crate::json::Json::as_str) == Some("half"))
+            .expect("half is embedded");
+        assert_eq!(half.get("states").and_then(crate::json::Json::as_usize), Some(6));
+        // The listing elaborated through the engine cache: a second call
+        // is answered from it.
+        let misses = engine.cache_stats().misses;
+        assert_eq!(benchmarks_json(&engine).unwrap(), doc);
+        assert_eq!(engine.cache_stats().misses, misses);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Wire-protocol request bodies: strict JSON parsing of `POST
+//! /synthesize` and `POST /batch` payloads into typed [`Work`] plus a
+//! validated [`simap_core::Config`].
+//!
+//! Parsing mirrors the CLI's strict flag handling: unknown fields,
+//! wrong types and invalid knob values are all rejected with a message
+//! (the router responds `400`), never silently ignored.
+
+use simap_core::json::{self, Json};
+use simap_core::{Config, ConfigBuilder};
+use simap_stg::ReachStrategy;
+
+/// How the client wants the response delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Wait for the job and answer with its result.
+    Sync,
+    /// Answer `202` with a job id immediately; poll `GET /jobs/{id}`.
+    Async,
+    /// Answer with an NDJSON stream of [`simap_core::FlowEvent`]s as the
+    /// flow progresses, ending in the report (synthesize only).
+    Stream,
+}
+
+/// Where a synthesize job gets its specification.
+#[derive(Debug, Clone)]
+pub(crate) enum WorkSource {
+    /// A named circuit of the embedded Table 1 suite.
+    Benchmark(String),
+    /// Ad-hoc `.g` source text.
+    GSource(String),
+}
+
+/// One unit of work for the worker pool.
+#[derive(Debug, Clone)]
+pub(crate) enum Work {
+    /// One full mapping flow; the response body is byte-identical to
+    /// `simap map --json` for the same specification and configuration.
+    Synthesize { source: WorkSource, config: Config },
+    /// A batch over benchmark names; the response body is byte-identical
+    /// to `simap bench run --json`.
+    Batch { names: Vec<String>, limits: Vec<usize>, config: Config },
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        // An absent body means "all defaults".
+        return Ok(Json::Object(Vec::new()));
+    }
+    json::parse(text).map_err(|e| e.to_string())
+}
+
+fn expect_str(key: &str, value: &Json) -> Result<String, String> {
+    value.as_str().map(str::to_string).ok_or_else(|| format!("field `{key}` must be a string"))
+}
+
+fn expect_usize(key: &str, value: &Json) -> Result<usize, String> {
+    value.as_usize().ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+}
+
+fn expect_bool(key: &str, value: &Json) -> Result<bool, String> {
+    value.as_bool().ok_or_else(|| format!("field `{key}` must be a boolean"))
+}
+
+/// Applies one shared configuration field to the builder; `Ok(None)`
+/// means the key is not a configuration field.
+fn apply_config_field(
+    builder: ConfigBuilder,
+    key: &str,
+    value: &Json,
+) -> Result<Option<ConfigBuilder>, String> {
+    Ok(Some(match key {
+        "literal_limit" => builder.literal_limit(expect_usize(key, value)?),
+        "or_limit" => builder.or_limit(expect_usize(key, value)?),
+        "csc_repair" => builder.repair_csc(expect_bool(key, value)?),
+        "verify" => builder.verify(expect_bool(key, value)?),
+        "strategy" => {
+            let strategy: ReachStrategy = expect_str(key, value)?.parse()?;
+            builder.reach_strategy(strategy)
+        }
+        "reach_jobs" => builder.reach_jobs(expect_usize(key, value)?),
+        "materialize_limit" => builder.reach_materialize_limit(expect_usize(key, value)?),
+        _ => return Ok(None),
+    }))
+}
+
+fn mode_of(asynchronous: bool, stream: bool) -> Result<Mode, String> {
+    match (asynchronous, stream) {
+        (true, true) => Err("`async` and `stream` are mutually exclusive".to_string()),
+        (true, false) => Ok(Mode::Async),
+        (false, true) => Ok(Mode::Stream),
+        (false, false) => Ok(Mode::Sync),
+    }
+}
+
+/// Parses a `POST /synthesize` body against the server's base
+/// configuration.
+pub(crate) fn parse_synthesize(body: &[u8], base: &Config) -> Result<(Work, Mode), String> {
+    let doc = parse_body(body)?;
+    let members = doc.as_object().ok_or_else(|| "body must be a JSON object".to_string())?;
+    let mut builder = base.to_builder();
+    let mut source = None;
+    let mut asynchronous = false;
+    let mut stream = false;
+    for (key, value) in members {
+        match key.as_str() {
+            "bench" => source = Some(WorkSource::Benchmark(expect_str(key, value)?)),
+            "g_source" => source = Some(WorkSource::GSource(expect_str(key, value)?)),
+            "async" => asynchronous = expect_bool(key, value)?,
+            "stream" => stream = expect_bool(key, value)?,
+            other => match apply_config_field(builder.clone(), other, value)? {
+                Some(updated) => builder = updated,
+                None => return Err(format!("unknown field `{other}`")),
+            },
+        }
+    }
+    let source = source.ok_or_else(|| "one of `bench` or `g_source` is required".to_string())?;
+    if members.iter().filter(|(k, _)| k == "bench" || k == "g_source").count() > 1 {
+        return Err("`bench` and `g_source` are mutually exclusive".to_string());
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+    Ok((Work::Synthesize { source, config }, mode_of(asynchronous, stream)?))
+}
+
+/// Parses a `POST /batch` body against the server's base configuration.
+pub(crate) fn parse_batch(body: &[u8], base: &Config) -> Result<(Work, Mode), String> {
+    let doc = parse_body(body)?;
+    let members = doc.as_object().ok_or_else(|| "body must be a JSON object".to_string())?;
+    let mut builder = base.to_builder();
+    let mut names = Vec::new();
+    let mut limits = vec![2];
+    let mut asynchronous = false;
+    for (key, value) in members {
+        match key.as_str() {
+            "names" => {
+                let items =
+                    value.as_array().ok_or_else(|| "field `names` must be an array".to_string())?;
+                names = items
+                    .iter()
+                    .map(|item| expect_str("names", item))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "limits" => {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| "field `limits` must be an array".to_string())?;
+                limits = items
+                    .iter()
+                    .map(|item| expect_usize("limits", item))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "async" => asynchronous = expect_bool(key, value)?,
+            "stream" => return Err("`stream` is not supported for batches".to_string()),
+            other => match apply_config_field(builder.clone(), other, value)? {
+                Some(updated) => builder = updated,
+                None => return Err(format!("unknown field `{other}`")),
+            },
+        }
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+    Ok((Work::Batch { names, limits, config }, mode_of(asynchronous, false)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesize_defaults_and_knobs() {
+        let base = Config::default();
+        let (work, mode) = parse_synthesize(br#"{"bench":"half"}"#, &base).unwrap();
+        assert_eq!(mode, Mode::Sync);
+        match work {
+            Work::Synthesize { source: WorkSource::Benchmark(name), config } => {
+                assert_eq!(name, "half");
+                assert_eq!(config.literal_limit(), 2);
+                assert!(config.verify());
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let (work, mode) = parse_synthesize(
+            br#"{"g_source":".model x\n.end","literal_limit":3,"verify":false,
+                 "strategy":"symbolic","async":true}"#,
+            &base,
+        )
+        .unwrap();
+        assert_eq!(mode, Mode::Async);
+        match work {
+            Work::Synthesize { source: WorkSource::GSource(_), config } => {
+                assert_eq!(config.literal_limit(), 3);
+                assert!(!config.verify());
+                assert_eq!(config.reach_config().strategy, ReachStrategy::Symbolic);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn synthesize_rejections() {
+        let base = Config::default();
+        for (body, fragment) in [
+            (&br#"{"unknown":1,"bench":"half"}"#[..], "unknown field `unknown`"),
+            (br#"{}"#, "`bench` or `g_source` is required"),
+            (br#"{"bench":"a","g_source":"b"}"#, "mutually exclusive"),
+            (br#"{"bench":"a","async":true,"stream":true}"#, "mutually exclusive"),
+            (br#"{"bench":"a","literal_limit":1}"#, "literal_limit"),
+            (br#"{"bench":"a","strategy":"warp"}"#, "unknown reachability strategy"),
+            (br#"{"bench":1}"#, "must be a string"),
+            (br#"[1]"#, "must be a JSON object"),
+            (b"not json", "invalid JSON"),
+        ] {
+            let err = parse_synthesize(body, &base).unwrap_err();
+            assert!(err.contains(fragment), "{body:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn batch_fields() {
+        let base = Config::default();
+        let (work, mode) =
+            parse_batch(br#"{"names":["half","hazard"],"limits":[2,3],"verify":false}"#, &base)
+                .unwrap();
+        assert_eq!(mode, Mode::Sync);
+        match work {
+            Work::Batch { names, limits, config } => {
+                assert_eq!(names, ["half", "hazard"]);
+                assert_eq!(limits, [2, 3]);
+                assert!(!config.verify());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Empty body: all benchmarks at the default limit.
+        let (work, _) = parse_batch(b"", &base).unwrap();
+        match work {
+            Work::Batch { names, limits, .. } => {
+                assert!(names.is_empty());
+                assert_eq!(limits, [2]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_batch(br#"{"stream":true}"#, &base).unwrap_err().contains("not supported"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal HTTP/1.1 message handling over `std::net::TcpStream`: just
+//! enough of RFC 9112 for the wire protocol in the [crate docs](crate) —
+//! request-line + headers + `Content-Length` bodies in, fixed-length or
+//! close-delimited (NDJSON streaming) responses out. Every response
+//! carries `Connection: close`; a connection serves exactly one request.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Header section cap: a request line plus headers larger than this is
+/// rejected ([`ReadError::TooLarge`], answered as `413` by the router).
+pub(crate) const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Body cap (ad-hoc `.g` sources are the largest legitimate payload).
+pub(crate) const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed request.
+pub(crate) struct Request {
+    /// Upper-case method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+pub(crate) enum ReadError {
+    /// The peer closed (or broke) the connection before a full request
+    /// arrived; nothing to respond to.
+    Disconnected,
+    /// Malformed request — respond `400` with this message.
+    Bad(String),
+    /// The headers or declared body exceed the caps — respond `413`.
+    TooLarge(String),
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads one full request (headers + body) from the stream.
+pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ReadError::TooLarge(format!(
+                "header section exceeds {MAX_HEADER_BYTES} bytes"
+            )));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return Err(ReadError::Disconnected),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| ReadError::Bad("header section is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Bad(format!("malformed request line `{request_line}`")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    let mut expects_continue = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Bad(format!("malformed header line `{line}`")));
+        };
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ReadError::Bad(format!("bad Content-Length `{}`", value.trim())))?;
+        } else if name.eq_ignore_ascii_case("expect")
+            && value.trim().eq_ignore_ascii_case("100-continue")
+        {
+            expects_continue = true;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge(format!("body of {content_length} bytes exceeds the cap")));
+    }
+    // curl sends `Expect: 100-continue` for POST bodies over 1KB and
+    // stalls ~1s waiting for this interim response before transmitting
+    // the body; acknowledge it unless the body already arrived.
+    if expects_continue && buf.len() < header_end + 4 + content_length {
+        let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+        let _ = stream.flush();
+    }
+
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return Err(ReadError::Disconnected),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes one complete JSON response and flushes it.
+pub(crate) fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Starts a close-delimited NDJSON response: status line and headers
+/// only; the caller streams newline-terminated JSON lines afterwards and
+/// ends the body by closing the connection.
+pub(crate) fn start_ndjson(stream: &mut TcpStream) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}

@@ -1,0 +1,742 @@
+//! # simap-serve
+//!
+//! A dependency-free HTTP/1.1 synthesis service over the shared
+//! [`Engine`]: the long-running third entry tier next to the one-shot
+//! CLI and the library API. One process hosts one engine, so the
+//! benchmark registry is built once and the elaboration cache stays warm
+//! across every client — exactly what [`Engine`] was made cheaply
+//! cloneable and thread-safe for.
+//!
+//! Everything is `std`: `TcpListener` for transport, a hand-rolled
+//! HTTP/1.1 reader/writer, [`simap_core::json`] for bodies, a bounded
+//! job queue drained by a `std::thread` worker pool for execution, and
+//! atomics for metrics. There is deliberately no async runtime: one
+//! thread per in-flight connection parses and waits, while the *work* is
+//! bounded by the worker pool and the queue — the queue, not the thread
+//! count, is the backpressure surface.
+//!
+//! ## Wire protocol
+//!
+//! Every response carries `Connection: close` (one request per
+//! connection) and a JSON body terminated by a newline. Errors are
+//! `{"error":"..."}` objects with the status codes below.
+//!
+//! | Route | Behavior |
+//! |---|---|
+//! | `POST /synthesize` | Runs one mapping flow. Body fields: exactly one of `bench` (embedded benchmark name) or `g_source` (ad-hoc `.g` text); optional `literal_limit`, `or_limit`, `csc_repair`, `verify`, `strategy` (`packed`\|`explicit`\|`symbolic`), `reach_jobs`, `materialize_limit`; optional `async` or `stream` booleans. The `200` body is **byte-identical** to `simap map --json` for the same spec/config. With `"async":true` answers `202 {"job":"jN","status":"queued"}` immediately. With `"stream":true` answers `application/x-ndjson`: one [`simap_core::FlowEvent`] JSON line per observer callback as stages complete, ending with `{"event":"report","report":{...}}` (or `{"event":"error",...}`). |
+//! | `POST /batch` | Runs many benchmarks through one configuration. Body fields: `names` (array, empty/absent = the whole embedded suite), `limits` (array of literal limits, default `[2]`), the shared configuration fields, `async`. The `200` body is byte-identical to `simap bench run --json`. |
+//! | `GET /jobs/{id}` | Polls an async job: `{"job":"jN","status":"queued"\|"running"\|"done"\|"failed"}` plus `result` (the full response document) when done or `error` when failed. `404` for unknown/evicted ids. |
+//! | `GET /benchmarks` | The embedded registry with signal/state counts — byte-identical to `simap bench list --json`. |
+//! | `GET /healthz` | `{"status":"ok"}` — liveness only, never queues. |
+//! | `GET /metrics` | Request/response tallies, queue depth and job accounting, the engine's elaboration [`simap_core::CacheStats`], and per-stage latency histograms (power-of-two µs buckets). |
+//!
+//! Status codes: `400` malformed request/body, `404` unknown route or
+//! job, `405` wrong method, `413` oversized request, `422` the flow
+//! itself failed (unknown benchmark, CSC violation, …), `429` the job
+//! queue is full — the backpressure signal, `500` a server-side bug (a
+//! worker panic, isolated so the pool survives), `503` shutting down.
+//!
+//! ## Backpressure and shutdown
+//!
+//! Work is admitted through a bounded queue ([`ServeConfig::queue_limit`]);
+//! when it is full the server answers `429` immediately instead of
+//! accepting unbounded work. On shutdown ([`ServerHandle::shutdown`], or
+//! SIGTERM/ctrl-c via [`shutdown_signal`] in the CLI) the listener stops
+//! accepting, accepted jobs drain to completion, workers join, and
+//! [`Server::run`] returns — in-flight synchronous clients get their
+//! responses.
+//!
+//! ```
+//! use simap_serve::{ServeConfig, Server};
+//! use std::io::{Read, Write};
+//!
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:0".to_string(), // ephemeral port for the example
+//!     jobs: 1,
+//!     ..ServeConfig::default()
+//! })?;
+//! let addr = server.local_addr();
+//! let handle = server.handle();
+//! let running = std::thread::spawn(move || server.run());
+//!
+//! let mut client = std::net::TcpStream::connect(addr)?;
+//! write!(client, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")?;
+//! let mut response = String::new();
+//! client.read_to_string(&mut response)?;
+//! assert!(response.starts_with("HTTP/1.1 200 OK"));
+//! assert!(response.ends_with("{\"status\":\"ok\"}\n"));
+//!
+//! handle.shutdown();
+//! running.join().unwrap()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod api;
+mod http;
+mod metrics;
+mod queue;
+
+use api::{Mode, Work, WorkSource};
+use http::{read_request, respond, start_ndjson, ReadError, Request};
+use metrics::{Endpoint, Metrics};
+use queue::{JobSpec, JobStatus, JobTable, Queue};
+use simap_core::json;
+use simap_core::{benchmarks_json, report_json, to_json, Config, Engine, EventObserver};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub use simap_core::CacheStats;
+
+/// Configuration of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`host:port`; port `0` picks an ephemeral one).
+    pub addr: String,
+    /// Worker threads draining the job queue (`0` = one per available
+    /// CPU).
+    pub jobs: usize,
+    /// Bounded job-queue capacity; a full queue answers `429`.
+    pub queue_limit: usize,
+    /// Base synthesis configuration; per-request fields override it
+    /// through [`Config::to_builder`].
+    pub config: Config,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7317".to_string(),
+            jobs: 0,
+            queue_limit: 64,
+            config: Config::default(),
+        }
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    metrics: Arc<Metrics>,
+    queue: Queue,
+    jobs: JobTable,
+    shutdown: AtomicBool,
+    open_connections: AtomicUsize,
+    addr: SocketAddr,
+    workers: usize,
+    queue_limit: usize,
+    /// `GET /benchmarks` rendered once (under this lock, so concurrent
+    /// cold requests serialize instead of each elaborating the whole
+    /// registry on its own connection thread — the one route that could
+    /// otherwise trigger heavy work without passing the bounded queue).
+    benchmarks: std::sync::Mutex<Option<String>>,
+}
+
+impl Shared {
+    /// The cached registry listing, computed on first use (errors are
+    /// not cached, so a transient failure is retried).
+    fn benchmarks_listing(&self) -> Result<String, simap_core::Error> {
+        let mut cached = self.benchmarks.lock().expect("benchmarks lock");
+        if let Some(listing) = cached.as_ref() {
+            return Ok(listing.clone());
+        }
+        let listing = benchmarks_json(&self.engine)?;
+        *cached = Some(listing.clone());
+        Ok(listing)
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks until
+/// shutdown; grab a [`ServerHandle`] first to stop it.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A cheap handle to a running (or bound) server, used to stop it.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The address the server is bound to.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests a graceful shutdown: stop accepting, drain accepted
+    /// jobs, join workers. Idempotent; returns immediately ([`Server::run`]
+    /// returns once the drain completes).
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.queue.wake_all();
+        // Unblock the accept loop with a throwaway connection. A
+        // wildcard bind (0.0.0.0 / [::]) is not connectable on every
+        // platform, so aim at the loopback of the same family instead.
+        let mut wake = self.shared.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+    }
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state (engine, queue,
+    /// metrics). No thread is spawned yet.
+    ///
+    /// # Errors
+    /// Address parse/bind failures.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if config.jobs == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            config.jobs
+        };
+        let shared = Arc::new(Shared {
+            engine: Engine::new(config.config),
+            metrics: Arc::new(Metrics::default()),
+            queue: Queue::new(config.queue_limit.max(1)),
+            jobs: JobTable::new(),
+            shutdown: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+            addr,
+            workers,
+            queue_limit: config.queue_limit.max(1),
+            benchmarks: std::sync::Mutex::new(None),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle for stopping the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: self.shared.clone() }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`]: spawns the worker pool,
+    /// accepts connections (one thread per in-flight request), then
+    /// drains jobs and joins workers on shutdown.
+    ///
+    /// # Errors
+    /// Worker-thread spawn failures; accept errors are retried.
+    pub fn run(self) -> std::io::Result<()> {
+        let shared = self.shared;
+        let mut workers = Vec::with_capacity(shared.workers);
+        for i in 0..shared.workers {
+            let shared = shared.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("simap-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        for stream in self.listener.incoming() {
+            if shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else {
+                // Persistent accept errors (fd exhaustion, EMFILE) would
+                // otherwise busy-spin this loop at 100% CPU, starving the
+                // very connection threads that must finish to free fds.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            };
+            let guard = ConnGuard::new(shared.clone());
+            let shared = shared.clone();
+            let spawned =
+                std::thread::Builder::new().name("simap-serve-conn".to_string()).spawn(move || {
+                    let _guard = guard;
+                    handle_connection(&shared, stream);
+                });
+            if spawned.is_err() {
+                // Thread exhaustion: shed the connection (the guard of
+                // the failed spawn already decremented on drop).
+                continue;
+            }
+        }
+
+        // Drain: workers finish the accepted queue, then exit.
+        shared.queue.wake_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        // Give in-flight connection threads (writing final responses) a
+        // bounded window to finish.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while shared.open_connections.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+}
+
+/// RAII open-connection counter (so shutdown can wait for responses).
+struct ConnGuard {
+    shared: Arc<Shared>,
+}
+
+impl ConnGuard {
+    fn new(shared: Arc<Shared>) -> Self {
+        shared.open_connections.fetch_add(1, Ordering::AcqRel);
+        ConnGuard { shared }
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.shared.open_connections.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\":{}}}\n", json::quote(message))
+}
+
+/// Sends a response and tallies its status.
+fn send(shared: &Shared, stream: &mut TcpStream, status: u16, body: &str) {
+    shared.metrics.count_status(status);
+    let _ = respond(stream, status, body);
+}
+
+fn endpoint_of(request: &Request) -> Endpoint {
+    match request.path.as_str() {
+        "/synthesize" => Endpoint::Synthesize,
+        "/batch" => Endpoint::Batch,
+        "/benchmarks" => Endpoint::Benchmarks,
+        "/healthz" => Endpoint::Healthz,
+        "/metrics" => Endpoint::Metrics,
+        path if path.starts_with("/jobs/") => Endpoint::Jobs,
+        _ => Endpoint::Other,
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_nodelay(true);
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        // Malformed requests still count (as `other`) so that
+        // `sum(by_status) <= requests.total` holds for every dashboard
+        // computing error rates off /metrics. Disconnects get neither a
+        // request nor a status tally — nothing was answered.
+        Err(ReadError::Disconnected) => return,
+        Err(ReadError::Bad(message)) => {
+            shared.metrics.count_request(Endpoint::Other);
+            send(shared, &mut stream, 400, &error_body(&message));
+            return;
+        }
+        Err(ReadError::TooLarge(message)) => {
+            shared.metrics.count_request(Endpoint::Other);
+            send(shared, &mut stream, 413, &error_body(&message));
+            return;
+        }
+    };
+    shared.metrics.count_request(endpoint_of(&request));
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => send(shared, &mut stream, 200, "{\"status\":\"ok\"}\n"),
+        ("GET", "/metrics") => {
+            let body = shared.metrics.render(
+                shared.engine.cache_stats(),
+                shared.queue.depth(),
+                shared.queue_limit,
+                shared.workers,
+            );
+            send(shared, &mut stream, 200, &body);
+        }
+        ("GET", "/benchmarks") => match shared.benchmarks_listing() {
+            Ok(doc) => send(shared, &mut stream, 200, &format!("{doc}\n")),
+            Err(e) => send(shared, &mut stream, 500, &error_body(&e.to_string())),
+        },
+        ("GET", path) if path.starts_with("/jobs/") => job_status(shared, &mut stream, path),
+        ("POST", "/synthesize") => {
+            match api::parse_synthesize(&request.body, shared.engine.config()) {
+                Ok((work, mode)) => submit(shared, &mut stream, work, mode),
+                Err(message) => send(shared, &mut stream, 400, &error_body(&message)),
+            }
+        }
+        ("POST", "/batch") => match api::parse_batch(&request.body, shared.engine.config()) {
+            Ok((work, mode)) => submit(shared, &mut stream, work, mode),
+            Err(message) => send(shared, &mut stream, 400, &error_body(&message)),
+        },
+        (_, "/healthz" | "/metrics" | "/benchmarks" | "/synthesize" | "/batch") => {
+            send(shared, &mut stream, 405, &error_body("method not allowed"));
+        }
+        (_, path) if path.starts_with("/jobs/") => {
+            send(shared, &mut stream, 405, &error_body("method not allowed"));
+        }
+        _ => send(shared, &mut stream, 404, &error_body("not found")),
+    }
+}
+
+fn job_status(shared: &Shared, stream: &mut TcpStream, path: &str) {
+    let id = path
+        .strip_prefix("/jobs/")
+        .and_then(|rest| rest.strip_prefix('j'))
+        .and_then(|digits| digits.parse::<u64>().ok());
+    let Some((status, result, error)) = id.and_then(|id| shared.jobs.status(id)) else {
+        send(shared, stream, 404, &error_body("unknown job"));
+        return;
+    };
+    let id = id.expect("status implies a parsed id");
+    let body = match (status, result, error) {
+        (JobStatus::Done, Some(result), _) => {
+            format!("{{\"job\":\"j{id}\",\"status\":\"done\",\"result\":{}}}\n", result.trim_end())
+        }
+        (JobStatus::Failed, _, Some(failure)) => format!(
+            "{{\"job\":\"j{id}\",\"status\":\"failed\",\"error\":{}}}\n",
+            json::quote(&failure.message)
+        ),
+        (status, _, _) => format!("{{\"job\":\"j{id}\",\"status\":\"{}\"}}\n", status.as_str()),
+    };
+    send(shared, stream, 200, &body);
+}
+
+fn submit(shared: &Shared, stream: &mut TcpStream, work: Work, mode: Mode) {
+    let (stream_tx, stream_rx) = match mode {
+        Mode::Stream => {
+            let (tx, rx) = std::sync::mpsc::channel();
+            (Some(tx), Some(rx))
+        }
+        _ => (None, None),
+    };
+    let id = shared.jobs.create(stream_tx);
+    // The shutdown flag is checked inside `submit`, under the queue lock,
+    // so an accepted job is guaranteed a worker (no submit-after-drain
+    // race; see `Queue::submit`).
+    match shared.queue.submit(JobSpec { id, work }, &shared.shutdown) {
+        Ok(()) => {}
+        Err(queue::SubmitError::ShuttingDown) => {
+            shared.jobs.discard(id);
+            send(shared, stream, 503, &error_body("shutting down"));
+            return;
+        }
+        Err(queue::SubmitError::Full) => {
+            shared.jobs.discard(id);
+            shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            let body = format!(
+                "{{\"error\":\"queue full\",\"queue_depth\":{},\"queue_limit\":{}}}\n",
+                shared.queue.depth(),
+                shared.queue_limit
+            );
+            send(shared, stream, 429, &body);
+            return;
+        }
+    }
+    shared.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+
+    match mode {
+        Mode::Async => {
+            send(shared, stream, 202, &format!("{{\"job\":\"j{id}\",\"status\":\"queued\"}}\n"));
+        }
+        Mode::Sync => {
+            let (status, result, error) = shared.jobs.wait_done(id);
+            match (status, result) {
+                (JobStatus::Done, Some(body)) => send(shared, stream, 200, &body),
+                _ => {
+                    // 422 = the flow rejected this request; 500 = a
+                    // server-side bug (worker panic) — keep the split so
+                    // error-rate dashboards classify correctly.
+                    let failure = error.unwrap_or_else(|| queue::JobFailure {
+                        message: "job failed".to_string(),
+                        internal: true,
+                    });
+                    let status = if failure.internal { 500 } else { 422 };
+                    send(shared, stream, status, &error_body(&failure.message));
+                }
+            }
+        }
+        Mode::Stream => {
+            shared.metrics.count_status(200);
+            if start_ndjson(stream).is_err() {
+                return;
+            }
+            let _ = writeln!(stream, "{{\"event\":\"job\",\"job\":\"j{id}\"}}");
+            let _ = stream.flush();
+            let rx = stream_rx.expect("stream mode created a channel");
+            // Lines arrive until the worker completes the job and the
+            // table drops the sender.
+            for line in rx {
+                if writeln!(stream, "{line}").and_then(|()| stream.flush()).is_err() {
+                    // Client went away; the worker keeps running (its
+                    // sends just fail) and the job record stays pollable.
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(JobSpec { id, work }) = shared.queue.pop(&shared.shutdown) {
+        let stream = shared.jobs.mark_running(id);
+        // Panic isolation: `g_source` bodies are untrusted network input,
+        // and a panicking job must neither kill the worker (permanently
+        // shrinking the pool) nor leave its synchronous client blocked in
+        // `wait_done` forever.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_work(shared, work, stream.as_ref())
+        }))
+        .unwrap_or_else(|panic| {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".to_string());
+            Err(queue::JobFailure { message: format!("internal error: {message}"), internal: true })
+        });
+        match &outcome {
+            Ok(body) => {
+                if let Some(tx) = &stream {
+                    let _ =
+                        tx.send(format!("{{\"event\":\"report\",\"report\":{}}}", body.trim_end()));
+                }
+                shared.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(failure) => {
+                if let Some(tx) = &stream {
+                    let _ = tx.send(format!(
+                        "{{\"event\":\"error\",\"error\":{}}}",
+                        json::quote(&failure.message)
+                    ));
+                }
+                shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shared.jobs.complete(id, outcome);
+    }
+}
+
+/// Executes one unit of work on the shared engine. The success body is
+/// byte-identical to the corresponding CLI `--json` output (including the
+/// trailing newline `println!` appends).
+fn run_work(
+    shared: &Shared,
+    work: Work,
+    stream: Option<&Sender<String>>,
+) -> Result<String, queue::JobFailure> {
+    // Flow failures are the *request's* fault (422), never internal.
+    let flow_error =
+        |e: simap_core::Error| queue::JobFailure { message: e.to_string(), internal: false };
+    match work {
+        Work::Synthesize { source, config } => {
+            let engine = shared.engine.with_config(config.clone());
+            let synthesis = match source {
+                WorkSource::Benchmark(name) => engine.benchmark(name),
+                WorkSource::GSource(text) => engine.g_source(text),
+            };
+            let metrics = shared.metrics.clone();
+            let forward = stream.cloned();
+            let mut starts: [Option<Instant>; 7] = [None; 7];
+            let synthesis = synthesis.observer(EventObserver::new(move |event| {
+                match &event {
+                    simap_core::FlowEvent::StageStart { stage, .. } => {
+                        starts[metrics::stage_index(*stage)] = Some(Instant::now());
+                    }
+                    simap_core::FlowEvent::StageEnd { stage } => {
+                        if let Some(start) = starts[metrics::stage_index(*stage)].take() {
+                            metrics.record_stage(*stage, start.elapsed());
+                        }
+                    }
+                    _ => {}
+                }
+                if let Some(tx) = &forward {
+                    let _ = tx.send(event.to_json());
+                }
+            }));
+            // Mirror the CLI's `map` driver exactly: refutation is data
+            // (`verified: false`), not an error.
+            let mapped = (|| {
+                Ok::<_, simap_core::Error>(synthesis.elaborate()?.covers()?.decompose()?.map())
+            })()
+            .map_err(flow_error)?;
+            let verified =
+                if config.verify() { mapped.verify_compat() } else { mapped.skip_verify() };
+            Ok(format!("{}\n", report_json(verified.report())))
+        }
+        Work::Batch { names, limits, config } => {
+            let engine = shared.engine.with_config(config);
+            let batch = if names.is_empty() { engine.batch_all() } else { engine.batch(names) };
+            let rows = batch.limits(limits.clone()).run().map_err(flow_error)?;
+            Ok(format!("{}\n", to_json(&limits, &rows)))
+        }
+    }
+}
+
+/// Process-level SIGTERM / SIGINT latch for CLI front-ends.
+///
+/// The runtime has no dependency to install signal handlers with, so this
+/// registers a minimal POSIX `signal(2)` handler (through the C runtime
+/// `std` already links) that flips an atomic flag — the only
+/// async-signal-safe thing a handler may do here. Front-ends poll
+/// [`shutdown_signal::requested`] and call [`ServerHandle::shutdown`]
+/// when it flips; see `simap serve`.
+pub mod shutdown_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe operations are allowed here; an atomic
+        // store qualifies.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs handlers for SIGINT (ctrl-c) and SIGTERM that latch
+    /// [`requested`]. A no-op on non-Unix targets.
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `signal` is the POSIX C function (the C runtime is
+        // already linked by std on unix); the handler only performs an
+        // atomic store, which is async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// Installs handlers for SIGINT/SIGTERM (no-op off Unix).
+    #[cfg(not(unix))]
+    pub fn install() {}
+
+    /// Whether a termination signal has been received since [`install`].
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let status: u16 =
+            response.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("status line");
+        let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    }
+
+    fn test_server(
+        jobs: usize,
+        queue_limit: usize,
+    ) -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs,
+            queue_limit,
+            config: Config::default(),
+        })
+        .expect("bind");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        (handle, join)
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let (handle, join) = test_server(1, 4);
+        let addr = handle.addr();
+        assert_eq!(request(addr, "GET", "/healthz", ""), (200, "{\"status\":\"ok\"}\n".into()));
+        let (status, _) = request(addr, "GET", "/nope", "");
+        assert_eq!(status, 404);
+        let (status, _) = request(addr, "DELETE", "/healthz", "");
+        assert_eq!(status, 405);
+        let (status, body) = request(addr, "POST", "/synthesize", "{\"bogus\":1}");
+        assert_eq!(status, 400, "{body}");
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn synthesize_and_job_polling() {
+        let (handle, join) = test_server(2, 8);
+        let addr = handle.addr();
+        let (status, body) = request(addr, "POST", "/synthesize", "{\"bench\":\"half\"}");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.starts_with("{\"name\":\"half\""), "{body}");
+        assert!(body.ends_with('\n'));
+
+        let (status, accepted) =
+            request(addr, "POST", "/synthesize", "{\"bench\":\"half\",\"async\":true}");
+        assert_eq!(status, 202, "{accepted}");
+        let id = json::parse(accepted.trim_end())
+            .unwrap()
+            .get("job")
+            .and_then(json::Json::as_str)
+            .unwrap()
+            .to_string();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let done = loop {
+            let (status, poll) = request(addr, "GET", &format!("/jobs/{id}"), "");
+            assert_eq!(status, 200, "{poll}");
+            let doc = json::parse(poll.trim_end()).unwrap();
+            match doc.get("status").and_then(json::Json::as_str) {
+                Some("done") => break doc,
+                Some("failed") => panic!("job failed: {poll}"),
+                _ => {
+                    assert!(Instant::now() < deadline, "job never finished");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        };
+        assert_eq!(
+            done.get("result").unwrap().emit() + "\n",
+            body,
+            "polled result matches the synchronous body"
+        );
+        let (status, _) = request(addr, "GET", "/jobs/j999999", "");
+        assert_eq!(status, 404);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn unknown_benchmark_is_422() {
+        let (handle, join) = test_server(1, 4);
+        let addr = handle.addr();
+        let (status, body) = request(addr, "POST", "/synthesize", "{\"bench\":\"nope\"}");
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("unknown benchmark"), "{body}");
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,222 @@
+//! Service metrics: lock-free counters behind `GET /metrics` — request
+//! and response tallies, job-queue accounting, the shared engine's
+//! elaboration-cache statistics and per-stage latency histograms.
+//!
+//! Everything is an atomic, so observers on worker threads and the
+//! render path on connection threads never contend on a lock. The
+//! histogram buckets are powers of two in microseconds: bucket `i`
+//! counts stage executions with `2^(i-1) <= elapsed_us < 2^i` (bucket 0
+//! holds sub-microsecond runs), rendered as `[upper_bound_us, count]`
+//! pairs for the nonzero buckets only.
+
+use simap_core::{CacheStats, Stage};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The service endpoints tallied individually (anything else lands in
+/// `Other`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Endpoint {
+    Synthesize,
+    Batch,
+    Benchmarks,
+    Jobs,
+    Healthz,
+    Metrics,
+    Other,
+}
+
+const ENDPOINTS: [(Endpoint, &str); 7] = [
+    (Endpoint::Synthesize, "synthesize"),
+    (Endpoint::Batch, "batch"),
+    (Endpoint::Benchmarks, "benchmarks"),
+    (Endpoint::Jobs, "jobs"),
+    (Endpoint::Healthz, "healthz"),
+    (Endpoint::Metrics, "metrics"),
+    (Endpoint::Other, "other"),
+];
+
+const STATUSES: [u16; 10] = [200, 202, 400, 404, 405, 413, 422, 429, 500, 503];
+
+/// The pipeline stages, in flow order, for histogram indexing.
+const STAGES: [(Stage, &str); 7] = [
+    (Stage::Configure, "configure"),
+    (Stage::Load, "load"),
+    (Stage::Elaborate, "elaborate"),
+    (Stage::Covers, "covers"),
+    (Stage::Decompose, "decompose"),
+    (Stage::Map, "map"),
+    (Stage::Verify, "verify"),
+];
+
+pub(crate) fn stage_index(stage: Stage) -> usize {
+    STAGES.iter().position(|(s, _)| *s == stage).expect("every stage is listed")
+}
+
+const BUCKETS: usize = 32;
+
+#[derive(Default)]
+struct StageHist {
+    count: AtomicU64,
+    total_us: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// All counters of one server instance.
+#[derive(Default)]
+pub(crate) struct Metrics {
+    requests_total: AtomicU64,
+    endpoints: [AtomicU64; ENDPOINTS.len()],
+    statuses: [AtomicU64; STATUSES.len()],
+    pub(crate) jobs_submitted: AtomicU64,
+    pub(crate) jobs_completed: AtomicU64,
+    pub(crate) jobs_failed: AtomicU64,
+    pub(crate) jobs_rejected: AtomicU64,
+    stages: [StageHist; STAGES.len()],
+}
+
+impl Metrics {
+    pub(crate) fn count_request(&self, endpoint: Endpoint) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let i = ENDPOINTS.iter().position(|(e, _)| *e == endpoint).expect("listed");
+        self.endpoints[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_status(&self, status: u16) {
+        if let Some(i) = STATUSES.iter().position(|&s| s == status) {
+            self.statuses[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one completed stage execution in its latency histogram.
+    pub(crate) fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        let hist = &self.stages[stage_index(stage)];
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        hist.count.fetch_add(1, Ordering::Relaxed);
+        hist.total_us.fetch_add(us, Ordering::Relaxed);
+        let bucket = if us == 0 { 0 } else { (64 - us.leading_zeros() as usize).min(BUCKETS - 1) };
+        hist.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the full metrics document (one line, trailing newline).
+    pub(crate) fn render(
+        &self,
+        engine: CacheStats,
+        queue_depth: usize,
+        queue_limit: usize,
+        workers: usize,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"requests\":{\"total\":");
+        let _ = write!(out, "{}", self.requests_total.load(Ordering::Relaxed));
+        out.push_str(",\"by_endpoint\":{");
+        for (i, (_, name)) in ENDPOINTS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{}", self.endpoints[i].load(Ordering::Relaxed));
+        }
+        out.push_str("},\"by_status\":{");
+        for (i, status) in STATUSES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{status}\":{}", self.statuses[i].load(Ordering::Relaxed));
+        }
+        let _ = write!(
+            out,
+            "}}}},\"queue\":{{\"depth\":{queue_depth},\"limit\":{queue_limit},\
+             \"workers\":{workers},\"submitted\":{},\"completed\":{},\"failed\":{},\
+             \"rejected\":{}}}",
+            self.jobs_submitted.load(Ordering::Relaxed),
+            self.jobs_completed.load(Ordering::Relaxed),
+            self.jobs_failed.load(Ordering::Relaxed),
+            self.jobs_rejected.load(Ordering::Relaxed),
+        );
+        let _ = write!(
+            out,
+            ",\"engine\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}",
+            engine.hits, engine.misses, engine.entries
+        );
+        out.push_str(",\"stage_latency_us\":{");
+        let mut first = true;
+        for (i, (_, name)) in STAGES.iter().enumerate() {
+            let hist = &self.stages[i];
+            let count = hist.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{count},\"total\":{},\"histogram\":[",
+                hist.total_us.load(Ordering::Relaxed)
+            );
+            let mut first_bucket = true;
+            for (b, counter) in hist.buckets.iter().enumerate() {
+                let n = counter.load(Ordering::Relaxed);
+                if n == 0 {
+                    continue;
+                }
+                if !first_bucket {
+                    out.push(',');
+                }
+                first_bucket = false;
+                let bound = 1u64.checked_shl(b as u32).unwrap_or(u64::MAX);
+                let _ = write!(out, "[{bound},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_valid_json_and_counts_tally() {
+        let m = Metrics::default();
+        m.count_request(Endpoint::Synthesize);
+        m.count_request(Endpoint::Synthesize);
+        m.count_request(Endpoint::Healthz);
+        m.count_status(200);
+        m.count_status(429);
+        m.record_stage(Stage::Elaborate, Duration::from_micros(100));
+        m.record_stage(Stage::Elaborate, Duration::from_micros(3));
+        m.record_stage(Stage::Verify, Duration::from_secs(1));
+        let doc = m.render(CacheStats { hits: 5, misses: 2, entries: 2 }, 1, 8, 4);
+        let parsed = simap_core::json::parse(doc.trim_end()).expect("valid JSON");
+        let requests = parsed.get("requests").unwrap();
+        assert_eq!(requests.get("total").unwrap().as_usize(), Some(3));
+        assert_eq!(
+            requests.get("by_endpoint").unwrap().get("synthesize").unwrap().as_usize(),
+            Some(2)
+        );
+        assert_eq!(requests.get("by_status").unwrap().get("429").unwrap().as_usize(), Some(1));
+        assert_eq!(parsed.get("queue").unwrap().get("limit").unwrap().as_usize(), Some(8));
+        assert_eq!(parsed.get("engine").unwrap().get("hits").unwrap().as_usize(), Some(5));
+        let elaborate = parsed.get("stage_latency_us").unwrap().get("elaborate").unwrap();
+        assert_eq!(elaborate.get("count").unwrap().as_usize(), Some(2));
+        assert_eq!(elaborate.get("total").unwrap().as_usize(), Some(103));
+        assert_eq!(elaborate.get("histogram").unwrap().as_array().unwrap().len(), 2);
+        assert!(parsed.get("stage_latency_us").unwrap().get("decompose").is_none());
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        let m = Metrics::default();
+        // 100us lands in the bucket with upper bound 128.
+        m.record_stage(Stage::Map, Duration::from_micros(100));
+        let doc = m.render(CacheStats { hits: 0, misses: 0, entries: 0 }, 0, 1, 1);
+        assert!(
+            doc.contains("\"map\":{\"count\":1,\"total\":100,\"histogram\":[[128,1]]}"),
+            "{doc}"
+        );
+    }
+}

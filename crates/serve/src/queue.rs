@@ -1,0 +1,332 @@
+//! The bounded job queue and the job table.
+//!
+//! Submission is non-blocking: a full queue rejects immediately (the
+//! router turns that into `429`), which is the service's backpressure
+//! mechanism. Workers block on a condvar until a job (or shutdown)
+//! arrives; at shutdown the queue is drained — every accepted job still
+//! runs — and only then do workers exit.
+//!
+//! The [`JobTable`] tracks each job from `queued` through
+//! `running` to `done`/`failed`, keeps the rendered response body of
+//! finished jobs for `GET /jobs/{id}` polling, and caps its memory by
+//! evicting the oldest *finished* records beyond a fixed window.
+
+use crate::api::Work;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+
+/// Finished-job records kept for polling before eviction kicks in.
+const MAX_FINISHED_JOBS: usize = 1024;
+
+/// One queued unit of work.
+pub(crate) struct JobSpec {
+    pub id: u64,
+    pub work: Work,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubmitError {
+    /// The queue was at its limit (the router answers `429`).
+    Full,
+    /// Shutdown is in progress — workers may already have drained and
+    /// exited, so an accepted job could never run (the router answers
+    /// `503`).
+    ShuttingDown,
+}
+
+/// The bounded FIFO feeding the worker pool.
+pub(crate) struct Queue {
+    state: Mutex<VecDeque<JobSpec>>,
+    limit: usize,
+    available: Condvar,
+}
+
+impl Queue {
+    pub(crate) fn new(limit: usize) -> Self {
+        Queue { state: Mutex::new(VecDeque::new()), limit, available: Condvar::new() }
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").len()
+    }
+
+    /// Enqueues a job; a queue at its limit rejects (and drops) it.
+    ///
+    /// The shutdown flag is re-checked **under the queue lock** — the
+    /// same lock [`Queue::pop`] holds for its own shutdown check — so a
+    /// job accepted here is guaranteed to be observed by a worker: every
+    /// worker exit happens in a pop critical section that saw both an
+    /// empty queue and the flag, which this section is ordered against.
+    pub(crate) fn submit(&self, job: JobSpec, shutdown: &AtomicBool) -> Result<(), SubmitError> {
+        let mut q = self.state.lock().expect("queue lock");
+        if shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if q.len() >= self.limit {
+            return Err(SubmitError::Full);
+        }
+        q.push_back(job);
+        drop(q);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available; `None` once shutdown is flagged
+    /// *and* the queue has drained.
+    pub(crate) fn pop(&self, shutdown: &AtomicBool) -> Option<JobSpec> {
+        let mut q = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.available.wait(q).expect("queue lock");
+        }
+    }
+
+    /// Wakes every blocked worker (used at shutdown). The notification
+    /// is issued **while holding the queue mutex**: a worker that has
+    /// checked the shutdown flag but not yet entered `wait` still holds
+    /// that mutex, so an unlocked `notify_all` could fire inside that
+    /// window and be lost — the worker would then sleep forever and
+    /// [`crate::Server::run`] would hang in `join`. Taking the lock
+    /// first serializes against every such window: either the worker is
+    /// already waiting (and is woken), or it has not re-locked yet (and
+    /// its next in-lock flag check observes the shutdown).
+    pub(crate) fn wake_all(&self) {
+        let _guard = self.state.lock().expect("queue lock");
+        self.available.notify_all();
+    }
+}
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JobStatus {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobStatus {
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// How a job failed: the message, and whether the failure was a server
+/// bug (a panic — the router answers `500`) rather than a flow error on
+/// the request itself (`422`).
+#[derive(Debug, Clone)]
+pub(crate) struct JobFailure {
+    pub message: String,
+    pub internal: bool,
+}
+
+pub(crate) struct JobRecord {
+    pub status: JobStatus,
+    /// Rendered response body (with trailing newline) once done.
+    pub result: Option<String>,
+    /// Failure once failed.
+    pub error: Option<JobFailure>,
+    /// NDJSON line sink while a streaming client is attached. Dropped at
+    /// completion so the streaming connection sees end-of-events.
+    stream: Option<Sender<String>>,
+}
+
+struct TableInner {
+    map: HashMap<u64, JobRecord>,
+    /// Insertion order, for bounded eviction of finished records.
+    order: VecDeque<u64>,
+}
+
+/// All jobs the server has accepted, keyed by numeric id (rendered as
+/// `jN` on the wire).
+pub(crate) struct JobTable {
+    inner: Mutex<TableInner>,
+    done: Condvar,
+    next: AtomicU64,
+}
+
+impl JobTable {
+    pub(crate) fn new() -> Self {
+        JobTable {
+            inner: Mutex::new(TableInner { map: HashMap::new(), order: VecDeque::new() }),
+            done: Condvar::new(),
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Registers a new queued job (optionally with a streaming sink) and
+    /// returns its id.
+    pub(crate) fn create(&self, stream: Option<Sender<String>>) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("job table lock");
+        // Evict the oldest finished records beyond the window; queued and
+        // running jobs are never evicted (their count is bounded by the
+        // queue limit plus the worker count).
+        {
+            let TableInner { map, order } = &mut *inner;
+            while order.len() >= MAX_FINISHED_JOBS {
+                let Some(pos) = order.iter().position(|id| {
+                    matches!(
+                        map.get(id).map(|r| r.status),
+                        Some(JobStatus::Done | JobStatus::Failed) | None
+                    )
+                }) else {
+                    break;
+                };
+                let evicted = order.remove(pos).expect("position is in range");
+                map.remove(&evicted);
+            }
+        }
+        inner.order.push_back(id);
+        inner
+            .map
+            .insert(id, JobRecord { status: JobStatus::Queued, result: None, error: None, stream });
+        id
+    }
+
+    /// Drops a job that was registered but never made it into the queue
+    /// (submission rejected).
+    pub(crate) fn discard(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("job table lock");
+        inner.map.remove(&id);
+        inner.order.retain(|&j| j != id);
+    }
+
+    /// Marks a job running and hands the worker its streaming sink.
+    pub(crate) fn mark_running(&self, id: u64) -> Option<Sender<String>> {
+        let mut inner = self.inner.lock().expect("job table lock");
+        let record = inner.map.get_mut(&id)?;
+        record.status = JobStatus::Running;
+        record.stream.clone()
+    }
+
+    /// Records the outcome, drops the streaming sink (ending any attached
+    /// NDJSON response) and wakes synchronous waiters.
+    pub(crate) fn complete(&self, id: u64, outcome: Result<String, JobFailure>) {
+        let mut inner = self.inner.lock().expect("job table lock");
+        if let Some(record) = inner.map.get_mut(&id) {
+            match outcome {
+                Ok(body) => {
+                    record.status = JobStatus::Done;
+                    record.result = Some(body);
+                }
+                Err(failure) => {
+                    record.status = JobStatus::Failed;
+                    record.error = Some(failure);
+                }
+            }
+            record.stream = None;
+        }
+        drop(inner);
+        self.done.notify_all();
+    }
+
+    /// A point-in-time view of a job: status plus result/error when
+    /// finished.
+    pub(crate) fn status(
+        &self,
+        id: u64,
+    ) -> Option<(JobStatus, Option<String>, Option<JobFailure>)> {
+        let inner = self.inner.lock().expect("job table lock");
+        inner.map.get(&id).map(|r| (r.status, r.result.clone(), r.error.clone()))
+    }
+
+    /// Blocks until the job finishes; returns its outcome.
+    pub(crate) fn wait_done(&self, id: u64) -> (JobStatus, Option<String>, Option<JobFailure>) {
+        let mut inner = self.inner.lock().expect("job table lock");
+        loop {
+            match inner.map.get(&id) {
+                None => {
+                    return (
+                        JobStatus::Failed,
+                        None,
+                        Some(JobFailure { message: "job evicted".to_string(), internal: true }),
+                    );
+                }
+                Some(r) if matches!(r.status, JobStatus::Done | JobStatus::Failed) => {
+                    return (r.status, r.result.clone(), r.error.clone());
+                }
+                Some(_) => inner = self.done.wait(inner).expect("job table lock"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simap_core::Config;
+
+    fn job(id: u64) -> JobSpec {
+        JobSpec {
+            id,
+            work: Work::Synthesize {
+                source: crate::api::WorkSource::Benchmark("half".to_string()),
+                config: Config::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn queue_rejects_beyond_limit_and_drains_in_order() {
+        let queue = Queue::new(2);
+        let shutdown = AtomicBool::new(false);
+        assert!(queue.submit(job(1), &shutdown).is_ok());
+        assert!(queue.submit(job(2), &shutdown).is_ok());
+        assert!(matches!(queue.submit(job(3), &shutdown), Err(SubmitError::Full)));
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.pop(&shutdown).unwrap().id, 1);
+        assert_eq!(queue.pop(&shutdown).unwrap().id, 2);
+        shutdown.store(true, Ordering::Release);
+        assert!(queue.pop(&shutdown).is_none());
+        // A submission during shutdown can never be drained: rejected.
+        assert!(matches!(queue.submit(job(4), &shutdown), Err(SubmitError::ShuttingDown)));
+    }
+
+    #[test]
+    fn job_lifecycle_and_waiting() {
+        let table = JobTable::new();
+        let id = table.create(None);
+        assert_eq!(table.status(id).unwrap().0, JobStatus::Queued);
+        assert!(table.mark_running(id).is_none());
+        assert_eq!(table.status(id).unwrap().0, JobStatus::Running);
+        table.complete(id, Ok("{}\n".to_string()));
+        let (status, result, error) = table.wait_done(id);
+        assert_eq!(status, JobStatus::Done);
+        assert_eq!(result.as_deref(), Some("{}\n"));
+        assert!(error.is_none());
+        assert!(table.status(9999).is_none());
+    }
+
+    #[test]
+    fn completion_drops_the_stream_sender() {
+        let table = JobTable::new();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let id = table.create(Some(tx));
+        let worker_tx = table.mark_running(id).expect("sink is attached");
+        worker_tx.send("line".to_string()).unwrap();
+        drop(worker_tx);
+        table.complete(id, Err(JobFailure { message: "boom".to_string(), internal: false }));
+        // Both senders are gone: the receiver drains then disconnects.
+        assert_eq!(rx.recv().unwrap(), "line");
+        assert!(rx.recv().is_err(), "channel must close at completion");
+        let (status, _, error) = table.wait_done(id);
+        assert_eq!(status, JobStatus::Failed);
+        let failure = error.expect("failure recorded");
+        assert_eq!(failure.message, "boom");
+        assert!(!failure.internal);
+    }
+}

@@ -4,8 +4,9 @@
 //! ```text
 //! simap check <spec.g> [options]      verify the specification's properties
 //! simap map   <spec.g> [options]      run the full mapping flow
-//! simap bench list                     list the embedded Table 1 circuits
+//! simap bench list [--json]            list the embedded Table 1 circuits
 //! simap bench run [name ...] [opts]   batch the suite through one config
+//! simap serve [options]               host the flow as an HTTP service
 //!
 //! check options:
 //!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic
@@ -36,12 +37,22 @@
 //!       --no-verify      skip speed-independence verification
 //!       --json|--csv     emit JSON / CSV instead of the markdown table
 //!   -v, --verbose        report elaboration-cache statistics to stderr
+//!
+//! serve options:
+//!       --addr <a>       address to bind (default 127.0.0.1:7317)
+//!   -j, --jobs <n>       synthesis worker threads (default: CPU count)
+//!       --queue-limit <n> bounded job queue; full => 429 (default 64)
 //! ```
+//!
+//! `simap serve` hosts the same flow as a long-running HTTP/1.1 service
+//! over one shared engine (warm elaboration cache across clients); see
+//! the `simap_serve` crate docs for the wire protocol. It shuts down
+//! gracefully — draining accepted jobs — on SIGTERM or ctrl-c.
 //!
 //! Unknown flags and flags missing their value are rejected with an
 //! error (exit code 1) instead of being silently ignored.
 
-use simap::core::{dossier, report_json, to_csv, to_json, to_markdown};
+use simap::core::{benchmarks_json, dossier, report_json, to_csv, to_json, to_markdown};
 use simap::netlist::to_verilog;
 use simap::sg::DotOptions;
 use simap::{Config, Engine, StderrObserver, Synthesis};
@@ -64,8 +75,9 @@ fn run() -> Result<ExitCode, Box<dyn Error>> {
         Some("check") => check(&args[1..]),
         Some("map") => map(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         _ => {
-            eprintln!("usage: simap <check|map|bench> ...   (see --help in the README)");
+            eprintln!("usage: simap <check|map|bench|serve> ...   (see --help in the README)");
             Ok(ExitCode::FAILURE)
         }
     }
@@ -274,8 +286,14 @@ fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
 fn bench(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     match args.first().map(String::as_str) {
         Some("list") => {
-            parse_flags(&args[1..], &[])?;
+            let parsed = parse_flags(&args[1..], &[flag("--json")])?;
             let engine = Engine::default();
+            if parsed.has("--json") {
+                // The same machine-readable listing `simap serve` answers
+                // on GET /benchmarks (byte-identical by construction).
+                println!("{}", benchmarks_json(&engine)?);
+                return Ok(ExitCode::SUCCESS);
+            }
             for name in engine.registry().names() {
                 let sg = engine.benchmark(*name).elaborate()?;
                 let sg = sg.state_graph();
@@ -349,5 +367,49 @@ fn bench_run(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             stats.hits, stats.misses, stats.entries
         );
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn serve(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let parsed = parse_flags(
+        args,
+        &[valued("--addr"), aliased(valued("--jobs"), "-j"), valued("--queue-limit")],
+    )?;
+    if let Some(extra) = parsed.positionals.first() {
+        return Err(format!("serve takes no positional argument (got `{extra}`)").into());
+    }
+    // Flags override the library defaults; anything not given keeps
+    // `ServeConfig::default()` so the CLI and library never diverge.
+    let defaults = simap::serve::ServeConfig::default();
+    let config = simap::serve::ServeConfig {
+        addr: parsed.value("--addr").map(str::to_string).unwrap_or(defaults.addr),
+        jobs: parsed.value("--jobs").map(str::parse).transpose()?.unwrap_or(defaults.jobs),
+        queue_limit: parsed
+            .value("--queue-limit")
+            .map(str::parse)
+            .transpose()?
+            .unwrap_or(defaults.queue_limit),
+        config: defaults.config,
+    };
+    let server = simap::serve::Server::bind(config)?;
+    let handle = server.handle();
+    eprintln!("simap serve: listening on http://{}", server.local_addr());
+
+    // Signal handling: the handler only latches a flag (the only
+    // async-signal-safe option); this watcher turns the latch into a
+    // graceful drain. It also exits if the server stops some other way.
+    simap::serve::shutdown_signal::install();
+    let watcher = std::thread::spawn({
+        let handle = handle.clone();
+        move || {
+            while !simap::serve::shutdown_signal::requested() && !handle.is_shutdown() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            handle.shutdown();
+        }
+    });
+    server.run()?;
+    let _ = watcher.join();
+    eprintln!("simap serve: drained and shut down cleanly");
     Ok(ExitCode::SUCCESS)
 }

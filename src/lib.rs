@@ -7,7 +7,26 @@
 //! speed-independent circuits targeting bounded-fanin standard-cell
 //! libraries.
 //!
-//! ## Quickstart
+//! ## Three entry tiers
+//!
+//! The same flow is reachable at three altitudes — pick by how long your
+//! process lives:
+//!
+//! 1. **One-shot CLI** — `simap map spec.g --json`, `simap check`,
+//!    `simap bench run`: parse, synthesize, print, exit. Each invocation
+//!    is a fresh process; nothing is shared.
+//! 2. **Library [`Engine`]** — embed the flow in your own long-running
+//!    program: one validated [`Config`], one thread-safe engine, a warm
+//!    elaboration cache across every run (the quickstart below).
+//! 3. **`simap serve`** — host the flow as an HTTP/1.1 service
+//!    ([`serve`], `simap serve --addr --jobs --queue-limit`): many
+//!    clients share ONE engine through a bounded job queue with
+//!    backpressure (`429`), async polling (`GET /jobs/{id}`), NDJSON
+//!    progress streaming and `/metrics`. Responses are byte-identical
+//!    to the CLI's `--json` output for the same request, so tiers 1 and
+//!    3 are interchangeable for consumers.
+//!
+//! ## Quickstart (tier 2: the library)
 //!
 //! Describe a run with one validated [`Config`], then execute it through
 //! an [`Engine`] — the thread-safe, cheaply-cloneable front door that
@@ -26,6 +45,23 @@
 //! engine.synthesize("hazard")?;
 //! assert_eq!(engine.cache_stats().hits, 1);
 //! # Ok::<(), simap::Error>(())
+//! ```
+//!
+//! The service tier (3) is the same engine behind a socket — a client
+//! POSTing `{"bench":"hazard"}` to `/synthesize` gets exactly the bytes
+//! `simap map --bench hazard --json` prints, and repeated requests hit
+//! the shared cache:
+//!
+//! ```
+//! use simap::serve::{ServeConfig, Server};
+//!
+//! let server = Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), ..Default::default() })?;
+//! let handle = server.handle();
+//! let running = std::thread::spawn(move || server.run());
+//! // ... serve traffic ...
+//! handle.shutdown(); // graceful: accepted jobs drain first
+//! running.join().unwrap()?;
+//! # Ok::<(), std::io::Error>(())
 //! ```
 //!
 //! Cold elaboration runs on one of three reachability strategies (see
@@ -124,7 +160,9 @@
 //!   and the semi-modularity verifier ([`simap_netlist`]);
 //! * [`core`] — monotonous covers, SIP event insertion, progress analysis,
 //!   the decomposition loop, the [`pipeline`] and the [`Engine`]
-//!   ([`simap_core`]).
+//!   ([`simap_core`]);
+//! * [`serve`] — the dependency-free HTTP/1.1 synthesis service: job
+//!   queue, worker pool, metrics, NDJSON streaming ([`simap_serve`]).
 //!
 //! ## Deprecation policy
 //!
@@ -143,6 +181,7 @@
 pub use simap_boolean as boolean;
 pub use simap_core as core;
 pub use simap_netlist as netlist;
+pub use simap_serve as serve;
 pub use simap_sg as sg;
 pub use simap_stg as stg;
 

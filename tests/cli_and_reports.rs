@@ -75,7 +75,8 @@ fn json_emitters_match_golden_output() {
         "{\"name\":\"half\",\"initial_histogram\":[0,2,1],\"implementable\":true,\
          \"inserted\":0,\"inserted_names\":[],\
          \"si_cost\":{\"literals\":4,\"c_elements\":1},\
-         \"non_si_cost\":{\"literals\":4,\"c_elements\":1},\"verified\":true}"
+         \"non_si_cost\":{\"literals\":4,\"c_elements\":1},\"verified\":true,\
+         \"reach\":{\"visited\":6,\"interned\":6,\"edges\":6,\"strategy\":\"packed\"}}"
     );
 
     let rows = Batch::over_benchmarks(["half"]).limits([2]).run().expect("batch");
@@ -85,7 +86,8 @@ fn json_emitters_match_golden_output() {
          {\"literal_limit\":2,\"report\":{\"name\":\"half\",\
          \"initial_histogram\":[0,2,1],\"implementable\":true,\"inserted\":0,\
          \"inserted_names\":[],\"si_cost\":{\"literals\":4,\"c_elements\":1},\
-         \"non_si_cost\":{\"literals\":4,\"c_elements\":1},\"verified\":true}}]}]}"
+         \"non_si_cost\":{\"literals\":4,\"c_elements\":1},\"verified\":true,\
+         \"reach\":{\"visited\":6,\"interned\":6,\"edges\":6,\"strategy\":\"packed\"}}}]}]}"
     );
 }
 
@@ -156,6 +158,19 @@ fn cli_json_stdout_stays_pure_with_exports() {
     );
     assert!(String::from_utf8_lossy(&out.stderr).contains("wrote"), "confirmation on stderr");
     assert!(verilog.exists());
+}
+
+#[test]
+fn cli_bench_list_json_matches_shared_registry_listing() {
+    let out = simap(&["bench", "list", "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let expected = simap::core::benchmarks_json(&simap::Engine::default()).expect("listing");
+    assert_eq!(stdout.trim_end(), expected, "CLI and library listing must be byte-identical");
+    // And it is machine-readable with the crate's own parser.
+    let parsed = simap::core::json::parse(stdout.trim_end()).expect("valid JSON");
+    let entries = parsed.get("benchmarks").and_then(simap::core::json::Json::as_array).unwrap();
+    assert_eq!(entries.len(), simap::Engine::default().registry().names().len());
 }
 
 #[test]
