@@ -36,6 +36,7 @@ pub struct Config {
     pub(crate) or_limit: Option<usize>,
     pub(crate) csc_repair: CscRepairConfig,
     pub(crate) reach: ReachConfig,
+    pub(crate) cache_capacity: Option<usize>,
 }
 
 impl Default for Config {
@@ -45,6 +46,7 @@ impl Default for Config {
             or_limit: None,
             csc_repair: CscRepairConfig::default(),
             reach: ReachConfig::default(),
+            cache_capacity: None,
         }
     }
 }
@@ -118,6 +120,11 @@ impl Config {
     /// The STG reachability limits.
     pub fn reach_config(&self) -> &ReachConfig {
         &self.reach
+    }
+
+    /// Entry cap of the engine's elaboration cache (`None` = unbounded).
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.cache_capacity
     }
 }
 
@@ -233,6 +240,38 @@ impl ConfigBuilder {
         self
     }
 
+    /// Resident-memory budget in bytes of the spill strategy's working
+    /// set (shorthand for [`Self::reach_config`]; ignored by the
+    /// in-memory strategies; must be at least 1).
+    pub fn reach_memory_budget(mut self, bytes: usize) -> Self {
+        self.config.reach.memory_budget = bytes;
+        self
+    }
+
+    /// Directory the spill strategy keeps its run-scoped scratch files
+    /// in (`None`: the system temp dir; shorthand for
+    /// [`Self::reach_config`]).
+    pub fn reach_spill_dir(mut self, dir: Option<std::path::PathBuf>) -> Self {
+        self.config.reach.spill_dir = dir;
+        self
+    }
+
+    /// Hash-partition count of the spill strategy's intern table and
+    /// marking arena (shorthand for [`Self::reach_config`]; must be at
+    /// least 1).
+    pub fn reach_shards(mut self, shards: usize) -> Self {
+        self.config.reach.shards = shards;
+        self
+    }
+
+    /// Bounds the engine's elaboration cache to `n` entries with
+    /// least-recently-used eviction (default: unbounded; must be at
+    /// least 1).
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.config.cache_capacity = Some(n);
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
@@ -262,6 +301,15 @@ impl ConfigBuilder {
         }
         if c.reach.materialize_limit == 0 {
             return fail("reachability materialize_limit must be at least 1");
+        }
+        if c.reach.memory_budget == 0 {
+            return fail("reachability memory_budget must be at least 1 byte");
+        }
+        if c.reach.shards == 0 {
+            return fail("reachability shards must be at least 1");
+        }
+        if c.cache_capacity == Some(0) {
+            return fail("cache_capacity must be at least 1 (omit it for an unbounded cache)");
         }
         Ok(self.config)
     }
@@ -295,6 +343,10 @@ mod tests {
             .reach_strategy(ReachStrategy::Explicit)
             .reach_jobs(4)
             .reach_materialize_limit(4321)
+            .reach_memory_budget(9 * 1024 * 1024)
+            .reach_spill_dir(Some(std::path::PathBuf::from("/tmp/simap-test")))
+            .reach_shards(3)
+            .cache_capacity(7)
             .build()
             .unwrap();
         assert_eq!(config.literal_limit(), 4);
@@ -308,6 +360,13 @@ mod tests {
         assert_eq!(config.reach_config().strategy, ReachStrategy::Explicit);
         assert_eq!(config.reach_config().jobs, 4);
         assert_eq!(config.reach_config().materialize_limit, 4321);
+        assert_eq!(config.reach_config().memory_budget, 9 * 1024 * 1024);
+        assert_eq!(
+            config.reach_config().spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/simap-test"))
+        );
+        assert_eq!(config.reach_config().shards, 3);
+        assert_eq!(config.cache_capacity(), Some(7));
     }
 
     #[test]
@@ -319,6 +378,9 @@ mod tests {
             Config::builder().verify_max_states(0),
             Config::builder().reach_max_states(0),
             Config::builder().reach_materialize_limit(0),
+            Config::builder().reach_memory_budget(0),
+            Config::builder().reach_shards(0),
+            Config::builder().cache_capacity(0),
         ] {
             let err = builder.build().unwrap_err();
             assert!(matches!(err, Error::InvalidConfig { .. }), "{err}");

@@ -43,6 +43,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct (source, configuration) entries currently cached.
     pub entries: usize,
+    /// Entries evicted by the [`Config::cache_capacity`] bound (0 when
+    /// the cache is unbounded).
+    pub evicted: u64,
 }
 
 /// Cache key: the specification's identity plus the configuration subset
@@ -71,6 +74,15 @@ pub(crate) struct ElabKey {
     /// engines ignore the knob, and keying it would cost them spurious
     /// cache misses (normalized to 0 there).
     reach_materialize_limit: usize,
+    /// The spill engine's knobs, participating only under
+    /// [`simap_stg::ReachStrategy::Spill`] for the same reason: graphs
+    /// are byte-identical whatever the budget, but cached entries carry
+    /// the run's [`simap_stg::SpillCounters`], which the budget, shard
+    /// count and scratch directory all shape (normalized to `0`/`None`
+    /// under the in-memory strategies).
+    reach_memory_budget: usize,
+    reach_shards: usize,
+    reach_spill_dir: Option<std::path::PathBuf>,
 }
 
 /// The source component of an [`ElabKey`].
@@ -97,9 +109,14 @@ pub(crate) struct CachedElaboration {
 
 struct Shared {
     registry: Arc<BenchmarkRegistry>,
-    cache: Mutex<HashMap<ElabKey, CachedElaboration>>,
+    /// Entries tagged with their last-used tick (for LRU eviction when a
+    /// [`Config::cache_capacity`] bound is set).
+    cache: Mutex<HashMap<ElabKey, (CachedElaboration, u64)>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evicted: AtomicU64,
+    /// Monotonic use counter driving the LRU ordering.
+    tick: AtomicU64,
 }
 
 /// The thread-safe, reusable front door to the synthesis pipeline.
@@ -142,6 +159,8 @@ impl Engine {
                 cache: Mutex::new(HashMap::new()),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                evicted: AtomicU64::new(0),
+                tick: AtomicU64::new(0),
             }),
             library: Arc::new(library_for_limit(config.literal_limit())),
             config,
@@ -230,6 +249,7 @@ impl Engine {
             hits: self.shared.hits.load(Ordering::Relaxed),
             misses: self.shared.misses.load(Ordering::Relaxed),
             entries: self.shared.cache.lock().expect("cache lock").len(),
+            evicted: self.shared.evicted.load(Ordering::Relaxed),
         }
     }
 
@@ -252,22 +272,57 @@ impl Engine {
                 simap_stg::ReachStrategy::Symbolic => config.reach.materialize_limit,
                 _ => 0,
             },
+            reach_memory_budget: match config.reach.strategy {
+                simap_stg::ReachStrategy::Spill => config.reach.memory_budget,
+                _ => 0,
+            },
+            reach_shards: match config.reach.strategy {
+                simap_stg::ReachStrategy::Spill => config.reach.shards,
+                _ => 0,
+            },
+            reach_spill_dir: match config.reach.strategy {
+                simap_stg::ReachStrategy::Spill => config.reach.spill_dir.clone(),
+                _ => None,
+            },
         }
     }
 
-    /// Cache lookup; counts a hit when present.
+    /// Cache lookup; counts a hit (and refreshes the entry's LRU tick)
+    /// when present.
     pub(crate) fn lookup(&self, key: &ElabKey) -> Option<CachedElaboration> {
-        let hit = self.shared.cache.lock().expect("cache lock").get(key).cloned();
+        let mut cache = self.shared.cache.lock().expect("cache lock");
+        let hit = cache.get_mut(key).map(|slot| {
+            slot.1 = self.shared.tick.fetch_add(1, Ordering::Relaxed) + 1;
+            slot.0.clone()
+        });
+        drop(cache);
         if hit.is_some() {
             self.shared.hits.fetch_add(1, Ordering::Relaxed);
         }
         hit
     }
 
-    /// Stores a freshly computed elaboration; counts a miss.
+    /// Stores a freshly computed elaboration; counts a miss. When this
+    /// handle's [`Config::cache_capacity`] bounds the cache, the
+    /// least-recently-used entries are evicted to fit (siblings created
+    /// by [`Engine::with_config`] share the cache but enforce their own
+    /// capacity at their own stores).
     pub(crate) fn store(&self, key: ElabKey, entry: CachedElaboration) {
         self.shared.misses.fetch_add(1, Ordering::Relaxed);
-        self.shared.cache.lock().expect("cache lock").insert(key, entry);
+        let tick = self.shared.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut cache = self.shared.cache.lock().expect("cache lock");
+        cache.insert(key, (entry, tick));
+        if let Some(capacity) = self.config.cache_capacity() {
+            while cache.len() > capacity {
+                let victim = cache
+                    .iter()
+                    .min_by_key(|(_, (_, used))| *used)
+                    .map(|(k, _)| k.clone())
+                    .expect("over-capacity cache is non-empty");
+                cache.remove(&victim);
+                self.shared.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -337,6 +392,66 @@ mod tests {
         engine.state_graph(sg).elaborate().unwrap();
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses), (0, 1), "only the benchmark elaboration counted");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let engine = Engine::new(Config::builder().cache_capacity(2).build().unwrap());
+        engine.benchmark("half").elaborate().unwrap();
+        engine.benchmark("hazard").elaborate().unwrap();
+        engine.benchmark("converta").elaborate().unwrap(); // evicts "half"
+        let stats = engine.cache_stats();
+        assert_eq!((stats.entries, stats.evicted, stats.misses), (2, 1, 3));
+        // "half" was evicted: elaborating it again misses and in turn
+        // evicts "hazard" (the least recently used of the survivors).
+        engine.benchmark("half").elaborate().unwrap();
+        engine.benchmark("converta").elaborate().unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.entries, stats.evicted), (2, 2));
+        assert_eq!((stats.hits, stats.misses), (1, 4), "converta survived, hazard did not");
+        engine.benchmark("hazard").elaborate().unwrap();
+        assert_eq!(engine.cache_stats().misses, 5);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let engine = Engine::default();
+        for name in ["half", "hazard", "converta", "alloc-outbound"] {
+            engine.benchmark(name).elaborate().unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert_eq!((stats.entries, stats.evicted), (4, 0));
+    }
+
+    #[test]
+    fn spill_knobs_key_the_cache_only_under_spill() {
+        let engine = Engine::default();
+        engine.benchmark("half").elaborate().unwrap();
+        // The spill knobs are inert under the packed default: still a hit.
+        let other_budget = engine.with_config(
+            Config::builder().reach_memory_budget(123 * 1024).reach_shards(2).build().unwrap(),
+        );
+        other_budget.benchmark("half").elaborate().unwrap();
+        assert_eq!(engine.cache_stats().hits, 1);
+        // Under the spill strategy they shape the cached spill counters,
+        // so they participate in the key.
+        let spill = engine.with_config(
+            Config::builder().reach_strategy(simap_stg::ReachStrategy::Spill).build().unwrap(),
+        );
+        spill.benchmark("half").elaborate().unwrap();
+        assert_eq!(engine.cache_stats().misses, 2, "strategy + budget key a fresh entry");
+        let spill_small = engine.with_config(
+            Config::builder()
+                .reach_strategy(simap_stg::ReachStrategy::Spill)
+                .reach_memory_budget(64 * 1024)
+                .build()
+                .unwrap(),
+        );
+        spill_small.benchmark("half").elaborate().unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 3), "budget changes miss under spill");
+        spill.benchmark("half").elaborate().unwrap();
+        assert_eq!(engine.cache_stats().hits, 2, "each spill configuration hits its own entry");
     }
 
     #[test]

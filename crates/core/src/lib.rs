@@ -44,7 +44,7 @@
 //! # Ok::<(), simap_core::Error>(())
 //! ```
 //!
-//! Elaboration runs on one of **three reachability strategies** selected
+//! Elaboration runs on one of **four reachability strategies** selected
 //! through [`ConfigBuilder::reach_strategy`]:
 //!
 //! * [`simap_stg::ReachStrategy::Packed`] (default) — bit-packed
@@ -62,12 +62,28 @@
 //!   graph (byte-identical to the other strategies, with the symbolic
 //!   count cross-checked) is materialized only up to
 //!   [`ConfigBuilder::reach_materialize_limit`].
+//! * [`simap_stg::ReachStrategy::Spill`] — the packed engine with an
+//!   external-memory working set ([`simap_stg::extmem`]): marking pages,
+//!   frontier runs and the edge log cycle through scratch files so the
+//!   resident set stays under [`ConfigBuilder::reach_memory_budget`]
+//!   (placement via [`ConfigBuilder::reach_spill_dir`], dedup
+//!   partitioning via [`ConfigBuilder::reach_shards`]). It wins when the
+//!   graph itself is needed — synthesis, not just analysis — and the
+//!   state space is larger than RAM; expect scratch traffic on the
+//!   order of the arena plus 16 bytes per edge.
 //!
-//! All three produce the same graphs and agree on error families; the
-//! strategy — and the materialization threshold — are part of the
+//! All four produce the same graphs and agree on error families; the
+//! strategy — and its strategy-specific knobs — are part of the
 //! elaboration cache key. [`Elaborated::reach_stats`] exposes the
 //! visited/interned/edge counters of the run that produced a graph
-//! (cache hits replay the cold run's counters).
+//! (cache hits replay the cold run's counters), plus per-run spill
+//! counters under the spill strategy.
+//!
+//! The elaboration cache itself is unbounded by default; long-running
+//! hosts (the HTTP service) can cap it with
+//! [`ConfigBuilder::cache_capacity`] — least-recently-used entries are
+//! evicted past the cap, and [`Engine::cache_stats`] reports the
+//! eviction count alongside hits and misses.
 //!
 //! [`Batch`] drives many specifications through one configuration —
 //! sequentially or on a worker pool with deterministic, order-preserving

@@ -104,13 +104,31 @@ fn json_cost(cost: Cost) -> String {
 
 fn json_reach(stats: Option<ReachStats>) -> String {
     match stats {
-        Some(s) => format!(
-            "{{\"visited\":{},\"interned\":{},\"edges\":{},\"strategy\":{}}}",
-            s.visited,
-            s.interned,
-            s.edges,
-            json::quote(&s.strategy.to_string())
-        ),
+        Some(s) => {
+            // Spill counters appear only for spill-strategy runs, so
+            // documents from the in-memory strategies keep their exact
+            // historical bytes.
+            let spill = match s.spill {
+                Some(c) => format!(
+                    ",\"spill\":{{\"spilled_bytes\":{},\"files_created\":{},\
+                     \"resident_peak\":{},\"table_bytes\":{},\"budget\":{},\"shards\":{}}}",
+                    c.spilled_bytes,
+                    c.files_created,
+                    c.resident_peak,
+                    c.table_bytes,
+                    c.budget,
+                    c.shards
+                ),
+                None => String::new(),
+            };
+            format!(
+                "{{\"visited\":{},\"interned\":{},\"edges\":{},\"strategy\":{}{spill}}}",
+                s.visited,
+                s.interned,
+                s.edges,
+                json::quote(&s.strategy.to_string())
+            )
+        }
         None => "null".to_string(),
     }
 }

@@ -81,6 +81,18 @@ fn apply_config_field(
         }
         "reach_jobs" => builder.reach_jobs(expect_usize(key, value)?),
         "materialize_limit" => builder.reach_materialize_limit(expect_usize(key, value)?),
+        "memory_budget" => builder.reach_memory_budget(expect_usize(key, value)?),
+        "shards" => builder.reach_shards(expect_usize(key, value)?),
+        // Scratch placement is an operator decision: clients must not
+        // name paths on the server's filesystem. The spill strategy is
+        // still available — it uses the server's temp directory.
+        "spill_dir" => {
+            return Err(
+                "field `spill_dir` is not accepted over the API: spill scratch files go to \
+                 the server's temp directory"
+                    .to_string(),
+            )
+        }
         _ => return Ok(None),
     }))
 }
@@ -195,6 +207,21 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+
+        let (work, _) = parse_synthesize(
+            br#"{"bench":"half","strategy":"spill","memory_budget":1048576,"shards":4}"#,
+            &base,
+        )
+        .unwrap();
+        match work {
+            Work::Synthesize { config, .. } => {
+                assert_eq!(config.reach_config().strategy, ReachStrategy::Spill);
+                assert_eq!(config.reach_config().memory_budget, 1048576);
+                assert_eq!(config.reach_config().shards, 4);
+                assert_eq!(config.reach_config().spill_dir, None, "server default placement");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -207,6 +234,9 @@ mod tests {
             (br#"{"bench":"a","async":true,"stream":true}"#, "mutually exclusive"),
             (br#"{"bench":"a","literal_limit":1}"#, "literal_limit"),
             (br#"{"bench":"a","strategy":"warp"}"#, "unknown reachability strategy"),
+            (br#"{"bench":"a","spill_dir":"/etc"}"#, "not accepted over the API"),
+            (br#"{"bench":"a","memory_budget":0}"#, "memory_budget"),
+            (br#"{"bench":"a","shards":0}"#, "shards"),
             (br#"{"bench":1}"#, "must be a string"),
             (br#"[1]"#, "must be a JSON object"),
             (b"not json", "invalid JSON"),

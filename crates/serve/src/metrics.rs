@@ -135,8 +135,8 @@ impl Metrics {
         );
         let _ = write!(
             out,
-            ",\"engine\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}",
-            engine.hits, engine.misses, engine.entries
+            ",\"engine\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evicted\":{}}}",
+            engine.hits, engine.misses, engine.entries, engine.evicted
         );
         out.push_str(",\"stage_latency_us\":{");
         let mut first = true;
@@ -190,7 +190,7 @@ mod tests {
         m.record_stage(Stage::Elaborate, Duration::from_micros(100));
         m.record_stage(Stage::Elaborate, Duration::from_micros(3));
         m.record_stage(Stage::Verify, Duration::from_secs(1));
-        let doc = m.render(CacheStats { hits: 5, misses: 2, entries: 2 }, 1, 8, 4);
+        let doc = m.render(CacheStats { hits: 5, misses: 2, entries: 2, evicted: 1 }, 1, 8, 4);
         let parsed = simap_core::json::parse(doc.trim_end()).expect("valid JSON");
         let requests = parsed.get("requests").unwrap();
         assert_eq!(requests.get("total").unwrap().as_usize(), Some(3));
@@ -201,6 +201,7 @@ mod tests {
         assert_eq!(requests.get("by_status").unwrap().get("429").unwrap().as_usize(), Some(1));
         assert_eq!(parsed.get("queue").unwrap().get("limit").unwrap().as_usize(), Some(8));
         assert_eq!(parsed.get("engine").unwrap().get("hits").unwrap().as_usize(), Some(5));
+        assert_eq!(parsed.get("engine").unwrap().get("evicted").unwrap().as_usize(), Some(1));
         let elaborate = parsed.get("stage_latency_us").unwrap().get("elaborate").unwrap();
         assert_eq!(elaborate.get("count").unwrap().as_usize(), Some(2));
         assert_eq!(elaborate.get("total").unwrap().as_usize(), Some(103));
@@ -213,7 +214,7 @@ mod tests {
         let m = Metrics::default();
         // 100us lands in the bucket with upper bound 128.
         m.record_stage(Stage::Map, Duration::from_micros(100));
-        let doc = m.render(CacheStats { hits: 0, misses: 0, entries: 0 }, 0, 1, 1);
+        let doc = m.render(CacheStats { hits: 0, misses: 0, entries: 0, evicted: 0 }, 0, 1, 1);
         assert!(
             doc.contains("\"map\":{\"count\":1,\"total\":100,\"histogram\":[[128,1]]}"),
             "{doc}"

@@ -1,0 +1,298 @@
+//! A file-backed append-only record arena with a bounded page cache.
+//!
+//! Records are fixed-stride `u64` slices grouped into fixed-size pages.
+//! Pages past the resident budget are written back to a scratch file and
+//! reloaded on demand (clock eviction, second-chance bit). Pages are
+//! immutable once full, so a page written back once is never re-written
+//! — eviction of an already-persisted page is free.
+
+use super::manifest::SpillManifest;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::rc::Rc;
+
+/// Bytes per arena page. Small enough that modest test budgets force
+/// real evictions, large enough that write-back stays sequential-ish.
+pub(crate) const PAGE_BYTES: usize = 4096;
+
+/// Converts `words` to little-endian bytes and writes them at `pos`
+/// (a byte offset); returns the bytes written.
+pub(crate) fn write_words_at(mut file: &File, pos: u64, words: &[u64]) -> std::io::Result<u64> {
+    file.seek(SeekFrom::Start(pos))?;
+    let mut tmp = [0u8; 4096];
+    for chunk in words.chunks(512) {
+        let bytes = &mut tmp[..chunk.len() * 8];
+        for (i, w) in chunk.iter().enumerate() {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        file.write_all(bytes)?;
+    }
+    Ok(words.len() as u64 * 8)
+}
+
+/// Reads `words.len()` little-endian `u64`s starting at byte offset
+/// `pos`.
+pub(crate) fn read_words_at(mut file: &File, pos: u64, words: &mut [u64]) -> std::io::Result<()> {
+    file.seek(SeekFrom::Start(pos))?;
+    let mut tmp = [0u8; 4096];
+    for chunk in words.chunks_mut(512) {
+        let bytes = &mut tmp[..chunk.len() * 8];
+        file.read_exact(bytes)?;
+        for (i, w) in chunk.iter_mut().enumerate() {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes[i * 8..i * 8 + 8]);
+            *w = u64::from_le_bytes(raw);
+        }
+    }
+    Ok(())
+}
+
+/// One page slot: the data when resident, otherwise a marker that the
+/// page lives (persisted) in the scratch file.
+enum PageSlot {
+    Resident { words: Box<[u64]>, persisted: bool, referenced: bool },
+    Evicted,
+}
+
+/// The file-backed record arena.
+pub(crate) struct PagedArena {
+    /// `u64` words per record.
+    stride: usize,
+    /// Records per page (≥ 1).
+    per_page: usize,
+    /// `per_page * stride`.
+    page_words: usize,
+    /// Total records appended.
+    len: u64,
+    pages: Vec<PageSlot>,
+    /// Resident pages right now / at peak.
+    resident: usize,
+    resident_peak: usize,
+    /// Resident-page budget (≥ 2: the mutable tail plus one readable).
+    max_resident: usize,
+    /// Clock hand for second-chance eviction.
+    hand: usize,
+    /// Scratch file, created on first eviction only.
+    file: Option<File>,
+    file_name: String,
+    manifest: Rc<SpillManifest>,
+}
+
+impl PagedArena {
+    /// An arena for `stride`-word records whose resident pages fit in
+    /// roughly `budget_bytes` (floored at two pages).
+    pub(crate) fn new(
+        stride: usize,
+        budget_bytes: usize,
+        file_name: String,
+        manifest: Rc<SpillManifest>,
+    ) -> PagedArena {
+        let stride = stride.max(1);
+        let per_page = (PAGE_BYTES / (stride * 8)).max(1);
+        let page_words = per_page * stride;
+        let max_resident = (budget_bytes / (page_words * 8)).max(2);
+        PagedArena {
+            stride,
+            per_page,
+            page_words,
+            len: 0,
+            pages: Vec::new(),
+            resident: 0,
+            resident_peak: 0,
+            max_resident,
+            hand: 0,
+            file: None,
+            file_name,
+            manifest,
+        }
+    }
+
+    /// Records appended so far.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Peak resident page-cache footprint in bytes.
+    pub(crate) fn resident_peak_bytes(&self) -> u64 {
+        self.resident_peak as u64 * self.page_words as u64 * 8
+    }
+
+    /// Appends one record, evicting a cold page first if the cache is at
+    /// budget; returns the record's index.
+    pub(crate) fn push(&mut self, record: &[u64]) -> std::io::Result<u64> {
+        debug_assert_eq!(record.len(), self.stride);
+        let idx = self.len;
+        let slot_in_page = (idx % self.per_page as u64) as usize;
+        if slot_in_page == 0 {
+            // Starting a fresh tail page: make room, then allocate it.
+            if self.resident >= self.max_resident {
+                self.evict_one()?;
+            }
+            self.pages.push(PageSlot::Resident {
+                words: vec![0u64; self.page_words].into_boxed_slice(),
+                persisted: false,
+                referenced: false,
+            });
+            self.resident += 1;
+            self.resident_peak = self.resident_peak.max(self.resident);
+        }
+        let tail = self.pages.len() - 1;
+        match &mut self.pages[tail] {
+            PageSlot::Resident { words, .. } => {
+                let off = slot_in_page * self.stride;
+                words[off..off + self.stride].copy_from_slice(record);
+            }
+            PageSlot::Evicted => unreachable!("tail page is never evicted"),
+        }
+        self.len = idx + 1;
+        Ok(idx)
+    }
+
+    /// Compares record `idx` against `needle` without copying it out,
+    /// faulting the page in if needed.
+    pub(crate) fn record_eq(&mut self, idx: u64, needle: &[u64]) -> std::io::Result<bool> {
+        debug_assert_eq!(needle.len(), self.stride);
+        let page = (idx / self.per_page as u64) as usize;
+        let off = (idx % self.per_page as u64) as usize * self.stride;
+        self.ensure_resident(page)?;
+        match &mut self.pages[page] {
+            PageSlot::Resident { words, referenced, .. } => {
+                *referenced = true;
+                Ok(&words[off..off + self.stride] == needle)
+            }
+            PageSlot::Evicted => unreachable!("ensure_resident loaded the page"),
+        }
+    }
+
+    /// Copies record `idx` into `out`, faulting the page in if needed.
+    #[cfg(test)]
+    pub(crate) fn read_record(&mut self, idx: u64, out: &mut [u64]) -> std::io::Result<()> {
+        let page = (idx / self.per_page as u64) as usize;
+        let off = (idx % self.per_page as u64) as usize * self.stride;
+        self.ensure_resident(page)?;
+        match &mut self.pages[page] {
+            PageSlot::Resident { words, referenced, .. } => {
+                *referenced = true;
+                out.copy_from_slice(&words[off..off + self.stride]);
+                Ok(())
+            }
+            PageSlot::Evicted => unreachable!("ensure_resident loaded the page"),
+        }
+    }
+
+    fn ensure_resident(&mut self, page: usize) -> std::io::Result<()> {
+        if matches!(self.pages[page], PageSlot::Resident { .. }) {
+            return Ok(());
+        }
+        if self.resident >= self.max_resident {
+            self.evict_one()?;
+        }
+        let mut words = vec![0u64; self.page_words].into_boxed_slice();
+        let file = self.file.as_ref().expect("evicted pages imply a scratch file");
+        read_words_at(file, page as u64 * self.page_words as u64 * 8, &mut words)?;
+        self.pages[page] = PageSlot::Resident { words, persisted: true, referenced: false };
+        self.resident += 1;
+        self.resident_peak = self.resident_peak.max(self.resident);
+        Ok(())
+    }
+
+    /// Evicts one resident non-tail page, chosen by the clock hand
+    /// (skipping pages whose reference bit grants a second chance),
+    /// writing it back first if it was never persisted.
+    fn evict_one(&mut self) -> std::io::Result<()> {
+        let n = self.pages.len();
+        debug_assert!(n > 1, "eviction needs a non-tail page");
+        let tail = n - 1;
+        // Two sweeps suffice: the first clears reference bits, the second
+        // finds a victim.
+        let mut victim = None;
+        for _ in 0..2 * n {
+            let p = self.hand % n;
+            self.hand = self.hand.wrapping_add(1);
+            if p == tail {
+                continue;
+            }
+            match &mut self.pages[p] {
+                PageSlot::Resident { referenced, .. } if *referenced => *referenced = false,
+                PageSlot::Resident { .. } => {
+                    victim = Some(p);
+                    break;
+                }
+                PageSlot::Evicted => {}
+            }
+        }
+        let p = victim.expect("clock sweep finds a victim among resident non-tail pages");
+        let slot = std::mem::replace(&mut self.pages[p], PageSlot::Evicted);
+        if let PageSlot::Resident { words, persisted: false, .. } = slot {
+            if self.file.is_none() {
+                self.file = Some(self.manifest.create_file(&self.file_name)?);
+            }
+            let file = self.file.as_ref().expect("just created");
+            let bytes = write_words_at(file, p as u64 * self.page_words as u64 * 8, &words)?;
+            self.manifest.note_spilled(bytes);
+        }
+        self.resident -= 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_arena(stride: usize, budget: usize) -> (PagedArena, Rc<SpillManifest>) {
+        let manifest = Rc::new(SpillManifest::create(None).unwrap());
+        let arena = PagedArena::new(stride, budget, "test.arena".into(), Rc::clone(&manifest));
+        (arena, manifest)
+    }
+
+    #[test]
+    fn records_survive_eviction_and_reload() {
+        // Budget of 2 pages with stride 4 ⇒ 128 records per page; push
+        // enough for many pages so most live on disk at any moment.
+        let (mut arena, manifest) = tiny_arena(4, 2 * PAGE_BYTES);
+        let n: u64 = 2000;
+        for i in 0..n {
+            let rec = [i, i.wrapping_mul(7), !i, i ^ 0xdead];
+            assert_eq!(arena.push(&rec).unwrap(), i);
+        }
+        assert!(manifest.bytes_spilled() > 0, "small budget must spill");
+        let mut out = [0u64; 4];
+        // Read back in a hostile order (alternating ends) to force
+        // faults both directions.
+        for k in 0..n {
+            let i = if k % 2 == 0 { k / 2 } else { n - 1 - k / 2 };
+            arena.read_record(i, &mut out).unwrap();
+            assert_eq!(out, [i, i.wrapping_mul(7), !i, i ^ 0xdead]);
+            assert!(arena.record_eq(i, &out).unwrap());
+            assert!(!arena.record_eq(i, &[u64::MAX; 4]).unwrap());
+        }
+        assert!(
+            arena.resident_peak_bytes() <= 2 * PAGE_BYTES as u64,
+            "resident pages stayed within budget"
+        );
+    }
+
+    #[test]
+    fn generous_budget_never_touches_disk() {
+        let (mut arena, manifest) = tiny_arena(2, 64 * 1024 * 1024);
+        for i in 0..5000u64 {
+            arena.push(&[i, i + 1]).unwrap();
+        }
+        assert_eq!(manifest.bytes_spilled(), 0);
+        assert_eq!(manifest.files_created(), 0);
+        assert_eq!(arena.len(), 5000);
+    }
+
+    #[test]
+    fn word_io_roundtrips() {
+        let manifest = SpillManifest::create(None).unwrap();
+        let file = manifest.create_file("io.bin").unwrap();
+        let words: Vec<u64> = (0..1500u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        write_words_at(&file, 24, &words).unwrap();
+        let mut back = vec![0u64; 1500];
+        read_words_at(&file, 24, &mut back).unwrap();
+        assert_eq!(words, back);
+    }
+}

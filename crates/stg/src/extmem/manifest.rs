@@ -1,0 +1,149 @@
+//! The spill run's scratch directory: creation, file registry, byte
+//! accounting, and — critically — RAII cleanup.
+//!
+//! Every spill exploration owns exactly one [`SpillManifest`]. All
+//! scratch files (arena segments, frontier runs, the edge log) are
+//! created through it, inside one run-scoped directory, and the
+//! manifest's `Drop` removes the whole directory — so the cleanup runs
+//! on success, on every error path, and during a panic unwind alike.
+
+use crate::reach::ReachError;
+use std::cell::Cell;
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide sequence number making concurrent runs' directories
+/// distinct even under the same pid.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The run-scoped scratch directory of one spill exploration.
+///
+/// Dropping the manifest removes the directory and everything in it;
+/// callers keep it alive (e.g. behind an `Rc`) for as long as any
+/// component holds an open scratch file.
+pub(crate) struct SpillManifest {
+    dir: PathBuf,
+    files_created: Cell<u32>,
+    bytes_spilled: Cell<u64>,
+}
+
+impl SpillManifest {
+    /// Creates a fresh `simap-spill-<pid>-<seq>` directory under `base`
+    /// (the system temp dir when `None`).
+    pub(crate) fn create(base: Option<&Path>) -> Result<SpillManifest, ReachError> {
+        let base = base.map(Path::to_path_buf).unwrap_or_else(std::env::temp_dir);
+        std::fs::create_dir_all(&base).map_err(|e| ReachError::Spill {
+            detail: format!("cannot create spill base directory `{}`: {e}", base.display()),
+        })?;
+        let pid = std::process::id();
+        loop {
+            let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir = base.join(format!("simap-spill-{pid}-{seq}"));
+            match std::fs::create_dir(&dir) {
+                Ok(()) => {
+                    return Ok(SpillManifest {
+                        dir,
+                        files_created: Cell::new(0),
+                        bytes_spilled: Cell::new(0),
+                    })
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => {
+                    return Err(ReachError::Spill {
+                        detail: format!("cannot create spill directory `{}`: {e}", dir.display()),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Creates (exclusively) a named scratch file inside the run
+    /// directory, open for reading and writing.
+    pub(crate) fn create_file(&self, name: &str) -> std::io::Result<File> {
+        let file =
+            OpenOptions::new().read(true).write(true).create_new(true).open(self.dir.join(name))?;
+        self.files_created.set(self.files_created.get() + 1);
+        Ok(file)
+    }
+
+    /// Records `bytes` written to a scratch file.
+    pub(crate) fn note_spilled(&self, bytes: u64) {
+        self.bytes_spilled.set(self.bytes_spilled.get() + bytes);
+    }
+
+    /// Scratch files created so far.
+    pub(crate) fn files_created(&self) -> u32 {
+        self.files_created.get()
+    }
+
+    /// Total bytes written to scratch files so far.
+    pub(crate) fn bytes_spilled(&self) -> u64 {
+        self.bytes_spilled.get()
+    }
+
+    /// The run directory (for diagnostics and tests).
+    #[cfg(test)]
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for SpillManifest {
+    fn drop(&mut self) {
+        // Open handles don't block unlinking on POSIX, so the directory
+        // goes away even while components still hold their files. Errors
+        // are deliberately swallowed: cleanup must never turn a
+        // successful elaboration (or an unwind) into a second failure.
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_is_removed_on_drop() {
+        let manifest = SpillManifest::create(None).unwrap();
+        let dir = manifest.dir().to_path_buf();
+        manifest.create_file("probe.bin").unwrap();
+        assert!(dir.join("probe.bin").exists());
+        assert_eq!(manifest.files_created(), 1);
+        drop(manifest);
+        assert!(!dir.exists(), "drop must remove the run directory");
+    }
+
+    #[test]
+    fn directory_is_removed_during_panic_unwind() {
+        let captured = std::sync::Mutex::new(PathBuf::new());
+        let result = std::panic::catch_unwind(|| {
+            let manifest = SpillManifest::create(None).unwrap();
+            *captured.lock().unwrap() = manifest.dir().to_path_buf();
+            let mut file = manifest.create_file("half-written.run").unwrap();
+            use std::io::Write as _;
+            file.write_all(b"partial").unwrap();
+            panic!("simulated exploration panic");
+        });
+        assert!(result.is_err());
+        let dir = captured.lock().unwrap().clone();
+        assert!(!dir.exists(), "unwind must remove the run directory");
+    }
+
+    #[test]
+    fn concurrent_runs_get_distinct_directories() {
+        let a = SpillManifest::create(None).unwrap();
+        let b = SpillManifest::create(None).unwrap();
+        assert_ne!(a.dir(), b.dir());
+    }
+
+    #[test]
+    fn missing_base_directory_is_created() {
+        let base = std::env::temp_dir().join(format!("simap-spill-base-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let manifest = SpillManifest::create(Some(&base)).unwrap();
+        assert!(manifest.dir().starts_with(&base));
+        drop(manifest);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

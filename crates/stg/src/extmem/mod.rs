@@ -1,0 +1,265 @@
+//! External-memory sharded reachability —
+//! [`ReachStrategy::Spill`](crate::reach::ReachStrategy::Spill).
+//!
+//! The spill engine runs the *same* token game as the packed engine
+//! (same mask-compiled transition net, same narrow-width speculation,
+//! same BFS discovery order, same error semantics) but bounds peak
+//! resident memory by [`ReachConfig::memory_budget`] instead of by the
+//! state count:
+//!
+//! * **Paged state arena** (`arena`): packed markings live in
+//!   fixed-stride pages; pages past the resident budget are written
+//!   back to scratch files and faulted in on demand (clock eviction).
+//! * **Hash-partitioned shards** (`shard`): the marking hash selects
+//!   a shard; each shard owns its intern table and arena segment.
+//!   Global state ids are assigned in BFS discovery order at intern
+//!   time, so the merged graph's numbering — and therefore its bytes —
+//!   are identical to the packed engine's.
+//! * **Spill frontier and edge log** (`frontier`): the
+//!   level-synchronized BFS frontier and the fired-edge log keep
+//!   bounded in-memory buffers and overflow to sequential run files.
+//! * **RAII manifest** (`manifest`): every scratch file lives in one
+//!   run-scoped directory removed on drop — success, error and panic
+//!   paths alike.
+//!
+//! What stays in memory regardless of the budget: the per-shard intern
+//! tables and local→global maps (16–24 bytes per distinct state) and
+//! the `O(states + edges)` outputs the caller asked for (BFS parents,
+//! CSR offsets, the final materialized graph). The budget governs the
+//! *working set* — marking storage, frontier, edge buffering — which is
+//! what otherwise dwarfs the rest on token-game state explosions.
+
+mod arena;
+mod frontier;
+mod manifest;
+mod shard;
+
+use crate::petri::{Stg, TransitionId};
+use crate::reach::{
+    full_width, narrow_width, Abort, Exploration, FireFault, PackedNet, ReachConfig, ReachError,
+};
+use frontier::{EdgeLog, SpillFrontier};
+use manifest::SpillManifest;
+use shard::{hash_words, shard_of, Interned, Shard};
+use simap_sg::{Event, SignalId, StateId};
+use std::rc::Rc;
+
+/// Disk and memory counters of one spill exploration, reported through
+/// [`crate::reach::ReachStats::spill`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillCounters {
+    /// Total bytes written to scratch files (arena pages, frontier runs,
+    /// edge log). Zero when the whole run fit in the budget.
+    pub spilled_bytes: u64,
+    /// Scratch files created (all inside the run directory, all removed
+    /// when the exploration ends).
+    pub files_created: u32,
+    /// Peak resident bytes of the budgeted working set: arena page
+    /// caches plus frontier and edge-log buffers. At most
+    /// [`SpillCounters::budget`], up to small per-component floors (two
+    /// pages per shard, one record per frontier buffer).
+    pub resident_peak: u64,
+    /// In-memory index bytes outside the budgeted working set (intern
+    /// tables, local→global maps): `O(distinct states)`.
+    pub table_bytes: u64,
+    /// The effective memory budget the run was held to.
+    pub budget: u64,
+    /// The effective shard count.
+    pub shards: u32,
+}
+
+/// Smallest honored budget (one arena page): below this the component
+/// floors (two arena pages per shard, one frontier record per buffer,
+/// one buffered edge) dominate anyway.
+const MIN_BUDGET: usize = 4096;
+
+/// Shard-count ceiling (each shard pins up to two arena pages).
+const MAX_SHARDS: usize = 512;
+
+/// Runs the token game with the external-memory engine. Graphs — and
+/// errors — are byte-identical to [`crate::reach::explore_packed`] on
+/// every net both can elaborate.
+pub(crate) fn explore_spill(stg: &Stg, config: &ReachConfig) -> Result<Exploration, ReachError> {
+    // Same narrow-width speculation as the packed engine: restart once
+    // at full width if a field overflows. Both attempts explore in
+    // identical BFS order, so the restart is invisible in the output.
+    let narrow = narrow_width(stg);
+    let full = full_width(stg, config.max_tokens);
+    match explore_spill_at(stg, config, narrow.min(full)) {
+        Err(Abort::Widen) => match explore_spill_at(stg, config, full) {
+            Ok(exploration) => Ok(exploration),
+            Err(Abort::Error(e)) => Err(e),
+            Err(Abort::Widen) => unreachable!("full-width runs cannot ask to widen"),
+        },
+        Ok(exploration) => Ok(exploration),
+        Err(Abort::Error(e)) => Err(e),
+    }
+}
+
+fn io_abort(context: &str, e: std::io::Error) -> Abort {
+    Abort::Error(ReachError::Spill { detail: format!("{context}: {e}") })
+}
+
+fn explore_spill_at(stg: &Stg, config: &ReachConfig, width: u32) -> Result<Exploration, Abort> {
+    let net = PackedNet::compile(stg, config.max_tokens, width);
+    let stride = net.words;
+    let t_words = net.t_words;
+    let n_transitions = stg.transition_count();
+
+    let budget = config.memory_budget.max(MIN_BUDGET);
+    let nshards = config.shards.clamp(1, MAX_SHARDS);
+    // Working-set split: half to the sharded arena page caches, a
+    // quarter to the frontier buffers, the rest to the edge log.
+    let arena_share = budget / 2;
+    let frontier_share = budget / 4;
+    let edge_share = budget - arena_share - frontier_share;
+
+    let manifest = Rc::new(SpillManifest::create(config.spill_dir.as_deref())?);
+    let mut shards: Vec<Shard> = (0..nshards)
+        .map(|i| {
+            Shard::new(
+                stride,
+                arena_share / nshards,
+                format!("shard-{i}.arena"),
+                Rc::clone(&manifest),
+            )
+        })
+        .collect();
+    let mut frontier = SpillFrontier::new(stride + t_words, frontier_share, Rc::clone(&manifest));
+    let mut edges = EdgeLog::new(edge_share, Rc::clone(&manifest));
+
+    // Event code per transition: `(signal << 1) | rising` — decoded back
+    // when the edge log is replayed.
+    let events: Vec<u64> = stg
+        .transitions()
+        .iter()
+        .map(|t| ((t.event.signal.0 as u64) << 1) | u64::from(t.event.rising))
+        .collect();
+
+    let mut initial = vec![0u64; stride];
+    net.pack_into(stg.initial_marking(), &mut initial);
+    let mut safe = net.multi.iter().zip(&initial).all(|(&m, &w)| w & m == 0);
+
+    // The initial state's enabled set is the one full per-transition
+    // scan; every other state derives its set incrementally from its
+    // BFS parent's (carried through the frontier records).
+    let mut mask0 = vec![0u64; t_words];
+    for t in 0..n_transitions {
+        if net.enabled(&initial, TransitionId(t)) {
+            mask0[t / 64] |= 1u64 << (t % 64);
+        }
+    }
+
+    let h0 = hash_words(&initial);
+    match shards[shard_of(h0, nshards)].intern(&initial, h0).map_err(|e| io_abort("intern", e))? {
+        Interned::New => shards[shard_of(h0, nshards)]
+            .commit(&initial, 0)
+            .map_err(|e| io_abort("arena append", e))?,
+        Interned::Existing(_) => unreachable!("empty shard cannot know the initial marking"),
+    }
+    frontier.push(&initial, &mask0).map_err(|e| io_abort("frontier write", e))?;
+
+    let mut count: usize = 1;
+    let mut parent: Vec<Option<(usize, TransitionId)>> = vec![None];
+    let mut fired = vec![false; n_transitions];
+    let mut edge_off: Vec<usize> = Vec::new();
+    let mut rec = vec![0u64; stride + t_words];
+    let mut next = vec![0u64; stride];
+    let mut succ_mask = vec![0u64; t_words];
+    let mut src = 0usize;
+
+    loop {
+        if frontier.begin_level() == 0 {
+            break;
+        }
+        while frontier.next(&mut rec).map_err(|e| io_abort("frontier read", e))? {
+            let (cur, cur_mask) = rec.split_at(stride);
+            edge_off.push(edges.len());
+            for (w, &bits) in cur_mask.iter().enumerate() {
+                let mut bits = bits;
+                while bits != 0 {
+                    let t = TransitionId(w * 64 + bits.trailing_zeros() as usize);
+                    bits &= bits - 1;
+                    fired[t.0] = true;
+                    if let Some(f) = net.fire(stg, cur, t, &mut next) {
+                        return Err(match f {
+                            FireFault::Unbounded(p) => Abort::Error(ReachError::Unbounded {
+                                place: stg.places()[p.0].name.clone(),
+                                max_tokens: config.max_tokens,
+                                visited: src,
+                            }),
+                            FireFault::Widen => Abort::Widen,
+                        });
+                    }
+                    let h = hash_words(&next);
+                    let sh = shard_of(h, nshards);
+                    let dst =
+                        match shards[sh].intern(&next, h).map_err(|e| io_abort("intern", e))? {
+                            Interned::Existing(g) => g,
+                            Interned::New => {
+                                let candidate = count;
+                                if candidate >= config.max_states {
+                                    return Err(Abort::Error(ReachError::StateLimit {
+                                        limit: config.max_states,
+                                        visited: src,
+                                    }));
+                                }
+                                if safe && net.multi.iter().zip(&next).any(|(&m, &v)| v & m != 0) {
+                                    safe = false;
+                                }
+                                // Incremental enabled set, exactly as packed:
+                                // carry over what `t` cannot affect, recheck
+                                // its neighborhood.
+                                let keep = &net.keep[t.0 * t_words..(t.0 + 1) * t_words];
+                                for (s, (&e, &k)) in
+                                    succ_mask.iter_mut().zip(cur_mask.iter().zip(keep))
+                                {
+                                    *s = e & k;
+                                }
+                                let (rs, re) = net.recheck_range[t.0];
+                                for &u in &net.recheck[rs as usize..re as usize] {
+                                    if net.enabled(&next, TransitionId(u as usize)) {
+                                        succ_mask[u as usize / 64] |= 1u64 << (u % 64);
+                                    }
+                                }
+                                shards[sh]
+                                    .commit(&next, candidate as u64)
+                                    .map_err(|e| io_abort("arena append", e))?;
+                                parent.push(Some((src, t)));
+                                frontier
+                                    .push(&next, &succ_mask)
+                                    .map_err(|e| io_abort("frontier write", e))?;
+                                count += 1;
+                                candidate as u64
+                            }
+                        };
+                    edges.push(events[t.0], dst).map_err(|e| io_abort("edge log write", e))?;
+                }
+            }
+            src += 1;
+        }
+    }
+    edge_off.push(edges.len());
+
+    let resident_peak = shards.iter().map(Shard::arena_peak_bytes).sum::<u64>()
+        + frontier.peak_bytes()
+        + edges.peak_bytes();
+    let table_bytes = shards.iter().map(Shard::table_bytes).sum::<u64>();
+    let mut edge_arcs: Vec<(Event, StateId)> = Vec::with_capacity(edges.len());
+    edges
+        .replay(|code, dst| {
+            let event = Event { signal: SignalId((code >> 1) as usize), rising: code & 1 == 1 };
+            edge_arcs.push((event, StateId(dst as usize)));
+        })
+        .map_err(|e| io_abort("edge log read", e))?;
+
+    let counters = SpillCounters {
+        spilled_bytes: manifest.bytes_spilled(),
+        files_created: manifest.files_created(),
+        resident_peak,
+        table_bytes,
+        budget: budget as u64,
+        shards: nshards as u32,
+    };
+    Ok(Exploration { count, parent, edge_off, edge_arcs, fired, safe, spill: Some(counters) })
+}

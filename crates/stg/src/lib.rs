@@ -18,7 +18,7 @@
 //!
 //! ## Reachability strategies
 //!
-//! Elaboration runs on one of three engines selected by
+//! Elaboration runs on one of four engines selected by
 //! [`ReachConfig::strategy`]:
 //!
 //! * [`ReachStrategy::Packed`] (default) — markings are bit-packed `u64`
@@ -42,6 +42,18 @@
 //!   (byte-identical to the other strategies, with the symbolic count
 //!   cross-checked against the packed core) is materialized only up to
 //!   [`ReachConfig::materialize_limit`].
+//! * [`ReachStrategy::Spill`] — the external-memory engine ([`extmem`]):
+//!   the packed token game with a file-backed sharded state arena, a
+//!   spill-to-disk BFS frontier and a spilled edge log, so peak resident
+//!   memory is bounded by [`ReachConfig::memory_budget`] instead of by
+//!   the state count. Reach for it when a net you need *materialized*
+//!   (regions, CSC, mapping — not just counted) outgrows RAM or the
+//!   symbolic engine's [`ReachConfig::materialize_limit`]; expect
+//!   scratch-disk usage in [`ReachConfig::spill_dir`] on the order of
+//!   `states × (marking + enabled-mask bytes)` plus two words per edge,
+//!   all removed when the run ends. Knobs:
+//!   [`ReachConfig::memory_budget`] (default 256 MiB),
+//!   [`ReachConfig::spill_dir`], [`ReachConfig::shards`].
 //!
 //! The enumerative strategies explore in the same BFS order, so graphs,
 //! state numbering and [`ReachError`] values never depend on the engine
@@ -59,6 +71,7 @@
 
 pub mod analysis;
 pub mod benchmarks;
+pub mod extmem;
 pub mod parse;
 pub mod patterns;
 pub mod petri;
@@ -68,6 +81,7 @@ pub mod write;
 
 pub use analysis::{analyze, StgAnalysis};
 pub use benchmarks::{all_benchmarks, benchmark, benchmark_names, Benchmark, BenchmarkRegistry};
+pub use extmem::SpillCounters;
 pub use parse::{parse_g, ParseStgError};
 pub use petri::{Place, PlaceId, Stg, StgError, Transition, TransitionId};
 pub use reach::{

@@ -55,6 +55,8 @@ use simap_sg::{check_consistency, StateGraph, StateId};
 use std::collections::HashMap;
 use std::fmt;
 
+pub use crate::extmem::SpillCounters;
+
 /// How reachable markings are represented and explored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ReachStrategy {
@@ -73,6 +75,13 @@ pub enum ReachStrategy {
     /// materialized (byte-identically to the other strategies) only up to
     /// [`ReachConfig::materialize_limit`].
     Symbolic,
+    /// External-memory sharded reachability ([`crate::extmem`]): the
+    /// packed engine's marking layout over a file-backed paged arena,
+    /// hash-partitioned intern shards, and a spill-to-disk frontier and
+    /// edge log, so peak resident memory is bounded by
+    /// [`ReachConfig::memory_budget`] instead of the state count. Graphs
+    /// and errors are byte-identical to [`ReachStrategy::Packed`].
+    Spill,
 }
 
 impl fmt::Display for ReachStrategy {
@@ -81,6 +90,7 @@ impl fmt::Display for ReachStrategy {
             ReachStrategy::Packed => "packed",
             ReachStrategy::Explicit => "explicit",
             ReachStrategy::Symbolic => "symbolic",
+            ReachStrategy::Spill => "spill",
         })
     }
 }
@@ -93,9 +103,10 @@ impl std::str::FromStr for ReachStrategy {
             "packed" => Ok(ReachStrategy::Packed),
             "explicit" => Ok(ReachStrategy::Explicit),
             "symbolic" => Ok(ReachStrategy::Symbolic),
-            other => {
-                Err(format!("unknown reachability strategy `{other}` (packed|explicit|symbolic)"))
-            }
+            "spill" => Ok(ReachStrategy::Spill),
+            other => Err(format!(
+                "unknown reachability strategy `{other}` (packed|explicit|symbolic|spill)"
+            )),
         }
     }
 }
@@ -120,6 +131,20 @@ pub struct ReachConfig {
     /// and the CSC verdict. The enumerative strategies ignore this knob
     /// (their [`ReachConfig::max_states`] plays the same guarding role).
     pub materialize_limit: usize,
+    /// Resident-memory budget in bytes for the spill strategy's working
+    /// set (arena page cache, frontier buffers, edge log buffer). When
+    /// the working set would exceed the budget, pages and run files move
+    /// to [`ReachConfig::spill_dir`]. Ignored by the in-memory
+    /// strategies. Default: 256 MiB.
+    pub memory_budget: usize,
+    /// Directory the spill strategy creates its run-scoped scratch
+    /// directory in (`None`: the system temp dir). Every file is removed
+    /// when the exploration ends — on success, error and panic alike.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Number of hash partitions of the spill strategy's intern table
+    /// and marking arena. More shards spread the arena page cache
+    /// thinner but shrink each intern table. Default: 8.
+    pub shards: usize,
 }
 
 impl Default for ReachConfig {
@@ -130,6 +155,9 @@ impl Default for ReachConfig {
             strategy: ReachStrategy::default(),
             jobs: 1,
             materialize_limit: 1_000_000,
+            memory_budget: 256 * 1024 * 1024,
+            spill_dir: None,
+            shards: 8,
         }
     }
 }
@@ -146,6 +174,9 @@ pub struct ReachStats {
     pub edges: usize,
     /// The strategy that produced these counters.
     pub strategy: ReachStrategy,
+    /// Disk-spill counters ([`ReachStrategy::Spill`] only; `None` for
+    /// the in-memory strategies).
+    pub spill: Option<SpillCounters>,
 }
 
 /// Errors during elaboration.
@@ -193,6 +224,12 @@ pub enum ReachError {
     },
     /// The underlying state-graph builder failed (e.g. > 64 signals).
     Build(String),
+    /// The spill strategy could not read or write its scratch files
+    /// (disk full, permissions, a vanished [`ReachConfig::spill_dir`]).
+    Spill {
+        /// Description of the failed filesystem operation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ReachError {
@@ -221,6 +258,11 @@ impl fmt::Display for ReachError {
                  (simap_stg::symbolic::reach_symbolic) for counts without a graph"
             ),
             ReachError::Build(msg) => write!(f, "state graph construction failed: {msg}"),
+            ReachError::Spill { detail } => write!(
+                f,
+                "spill storage failure: {detail} (check ReachConfig::spill_dir and free disk \
+                 space)"
+            ),
         }
     }
 }
@@ -269,6 +311,7 @@ pub fn elaborate_with_stats(
         interned: n,
         edges: exploration.edge_arcs.len(),
         strategy: config.strategy,
+        spill: exploration.spill,
     };
 
     // Infer initial signal values: the first BFS marking enabling each
@@ -359,6 +402,8 @@ pub(crate) struct Exploration {
     pub(crate) fired: Vec<bool>,
     /// Whether every reachable marking keeps at most one token per place.
     pub(crate) safe: bool,
+    /// Disk-spill counters (set by the spill strategy only).
+    pub(crate) spill: Option<SpillCounters>,
 }
 
 /// Runs the token game with the configured strategy.
@@ -367,6 +412,7 @@ pub(crate) fn explore(stg: &Stg, config: &ReachConfig) -> Result<Exploration, Re
         ReachStrategy::Packed => explore_packed(stg, config),
         ReachStrategy::Explicit => explore_explicit(stg, config),
         ReachStrategy::Symbolic => crate::symbolic::explore_symbolic(stg, config),
+        ReachStrategy::Spill => crate::extmem::explore_spill(stg, config),
     }
 }
 
@@ -441,7 +487,7 @@ fn explore_explicit(stg: &Stg, config: &ReachConfig) -> Result<Exploration, Reac
     }
     edge_off.push(edge_arcs.len());
 
-    Ok(Exploration { count: markings.len(), parent, edge_off, edge_arcs, fired, safe })
+    Ok(Exploration { count: markings.len(), parent, edge_off, edge_arcs, fired, safe, spill: None })
 }
 
 // ---------------------------------------------------------------------
@@ -477,16 +523,16 @@ struct FireOp {
 /// list of words its pre/post places actually touch — `enabled()` and
 /// firing cost a handful of word operations each, independent of the
 /// total place count.
-struct PackedNet {
+pub(crate) struct PackedNet {
     /// `u64` words per marking (at least 1 so empty nets still intern).
-    words: usize,
+    pub(crate) words: usize,
     /// Bits per place field (value range plus one SWAR guard bit).
     width: u32,
     /// The configured token bound (for the cold error path).
     max_tokens: u8,
     /// Per word: bits 1.. of every field (a field holds > 1 token iff it
     /// intersects this mask) — the safety observation.
-    multi: Vec<u64>,
+    pub(crate) multi: Vec<u64>,
     /// Flattened per-transition enable probes; `enable_range[t]` indexes
     /// this transition's slice.
     enable: Vec<EnableCheck>,
@@ -495,23 +541,23 @@ struct PackedNet {
     fire: Vec<FireOp>,
     fire_range: Vec<(u32, u32)>,
     /// `u64` words of one enabled-transition bitmask (at least 1).
-    t_words: usize,
+    pub(crate) t_words: usize,
     /// Per transition, `t_words` words: the transitions whose enabledness
     /// *cannot* change when it fires (their pre-sets are disjoint from
     /// the fired transition's pre∪post places) — the incremental
     /// enabled-set carry-over mask.
-    keep: Vec<u64>,
+    pub(crate) keep: Vec<u64>,
     /// Per transition: the (ascending) transitions to recheck after it
     /// fires, complementing `keep`.
-    recheck: Vec<u32>,
-    recheck_range: Vec<(u32, u32)>,
+    pub(crate) recheck: Vec<u32>,
+    pub(crate) recheck_range: Vec<(u32, u32)>,
 }
 
 /// The narrowest field width able to hold the initial marking plus one
 /// guard bit: the speculative first-attempt layout (1-safe nets — the
 /// overwhelmingly common case — fit 2-bit fields, quartering the arena
 /// against the worst-case layout).
-fn narrow_width(stg: &Stg) -> u32 {
+pub(crate) fn narrow_width(stg: &Stg) -> u32 {
     let initial_max = stg.initial_marking().iter().copied().max().unwrap_or(0).max(1);
     64 - u64::from(initial_max).leading_zeros() + 1
 }
@@ -519,14 +565,14 @@ fn narrow_width(stg: &Stg) -> u32 {
 /// The field width that can represent every legal token count up to
 /// `max_tokens` (plus the transient `max_tokens + 1` the bound check
 /// inspects) — the layout [`FireFault::Widen`] restarts with.
-fn full_width(stg: &Stg, max_tokens: u8) -> u32 {
+pub(crate) fn full_width(stg: &Stg, max_tokens: u8) -> u32 {
     let initial_max = stg.initial_marking().iter().copied().max().unwrap_or(0);
     let max_value = (u64::from(max_tokens) + 1).max(u64::from(initial_max));
     64 - max_value.leading_zeros() + 1
 }
 
 /// Why a firing could not complete.
-enum FireFault {
+pub(crate) enum FireFault {
     /// A post place truly exceeded `max_tokens`.
     Unbounded(PlaceId),
     /// A post place overflowed the speculative narrow field layout while
@@ -536,7 +582,7 @@ enum FireFault {
 }
 
 impl PackedNet {
-    fn compile(stg: &Stg, max_tokens: u8, width: u32) -> PackedNet {
+    pub(crate) fn compile(stg: &Stg, max_tokens: u8, width: u32) -> PackedNet {
         let n_places = stg.place_count();
         // Every field carries one SWAR guard bit above the value range,
         // so probe additions never carry across fields. `width` comes
@@ -662,7 +708,7 @@ impl PackedNet {
         }
     }
 
-    fn pack_into(&self, marking: &[u8], out: &mut [u64]) {
+    pub(crate) fn pack_into(&self, marking: &[u8], out: &mut [u64]) {
         let per_word = (64 / self.width) as usize;
         for w in out.iter_mut() {
             *w = 0;
@@ -686,7 +732,7 @@ impl PackedNet {
     /// Sparse word-wise enabledness: every pre field non-zero, checked
     /// only on the words `t`'s pre places live in.
     #[inline]
-    fn enabled(&self, m: &[u64], t: TransitionId) -> bool {
+    pub(crate) fn enabled(&self, m: &[u64], t: TransitionId) -> bool {
         self.checks(t)
             .iter()
             .all(|c| ((m[c.word as usize] & c.select).wrapping_add(c.probe)) & c.high == c.high)
@@ -698,7 +744,13 @@ impl PackedNet {
     /// order, exactly as the explicit oracle reports it), or an overflow
     /// of the speculative narrow field layout.
     #[inline]
-    fn fire(&self, stg: &Stg, m: &[u64], t: TransitionId, out: &mut [u64]) -> Option<FireFault> {
+    pub(crate) fn fire(
+        &self,
+        stg: &Stg,
+        m: &[u64],
+        t: TransitionId,
+        out: &mut [u64],
+    ) -> Option<FireFault> {
         out.copy_from_slice(m);
         let (start, end) = self.fire_range[t.0];
         let mut over = false;
@@ -834,7 +886,7 @@ struct ChunkOut {
 }
 
 /// Why one packed exploration attempt stopped.
-enum Abort {
+pub(crate) enum Abort {
     /// A real reachability error — propagate it.
     Error(ReachError),
     /// The speculative narrow field layout overflowed: restart the whole
@@ -1094,6 +1146,7 @@ fn explore_packed_at(stg: &Stg, config: &ReachConfig, width: u32) -> Result<Expl
         edge_arcs: explorer.edge_arcs,
         fired: explorer.fired,
         safe: explorer.safe,
+        spill: None,
     })
 }
 
@@ -1399,9 +1452,11 @@ a- p
         assert_eq!("packed".parse::<ReachStrategy>().unwrap(), ReachStrategy::Packed);
         assert_eq!("explicit".parse::<ReachStrategy>().unwrap(), ReachStrategy::Explicit);
         assert_eq!("symbolic".parse::<ReachStrategy>().unwrap(), ReachStrategy::Symbolic);
+        assert_eq!("spill".parse::<ReachStrategy>().unwrap(), ReachStrategy::Spill);
         assert!("fancy".parse::<ReachStrategy>().is_err());
         assert_eq!(ReachStrategy::Packed.to_string(), "packed");
         assert_eq!(ReachStrategy::Symbolic.to_string(), "symbolic");
+        assert_eq!(ReachStrategy::Spill.to_string(), "spill");
         assert_eq!(ReachStrategy::default(), ReachStrategy::Packed);
     }
 

@@ -748,6 +748,7 @@ pub fn reach_symbolic(stg: &Stg, config: &ReachConfig) -> Result<SymbolicReach, 
             interned: saturate(states),
             edges: saturate(edges),
             strategy: ReachStrategy::Symbolic,
+            spill: None,
         };
         (None, stats)
     };

@@ -9,8 +9,11 @@
 //! simap serve [options]               host the flow as an HTTP service
 //!
 //! check options:
-//!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic
+//!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic | spill
 //!       --materialize-limit <n>  symbolic: largest state space built explicitly
+//!       --memory-budget <b>  spill: resident working-set cap (e.g. 256MiB)
+//!       --spill-dir <d>  spill: scratch directory (default: system temp)
+//!       --shards <n>     spill: hash partitions of the intern table
 //!       --bench <name>   use an embedded benchmark instead of a file
 //!
 //! map options:
@@ -18,9 +21,12 @@
 //!       --csc-repair     repair CSC violations by state-signal insertion
 //!       --no-verify      skip the final speed-independence verification
 //!       --or-limit <n>   split second-level OR gates to <= n inputs
-//!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic
+//!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic | spill
 //!       --reach-jobs <n> frontier-expansion threads (packed; same output)
 //!       --materialize-limit <n>  symbolic: largest state space built explicitly
+//!       --memory-budget <b>  spill: resident working-set cap (e.g. 256MiB)
+//!       --spill-dir <d>  spill: scratch directory (default: system temp)
+//!       --shards <n>     spill: hash partitions of the intern table
 //!   -v, --verbose        narrate stages and insertions to stderr
 //!       --json           print the report as JSON instead of the dossier
 //!       --verilog <f>    write the mapped netlist as structural Verilog
@@ -30,13 +36,22 @@
 //! bench run options:
 //!       --limits <a,b>   literal limits (default 2)
 //!   -j, --jobs <n>       worker threads (default 1; results identical)
-//!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic
+//!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic | spill
 //!       --reach-jobs <n> frontier-expansion threads (packed; same output)
 //!       --materialize-limit <n>  symbolic: largest state space built explicitly
+//!       --memory-budget <b>  spill: resident working-set cap (e.g. 256MiB)
+//!       --spill-dir <d>  spill: scratch directory (default: system temp)
+//!       --shards <n>     spill: hash partitions of the intern table
 //!       --csc-repair     repair CSC violations by state-signal insertion
 //!       --no-verify      skip speed-independence verification
+//!       --record <f>     also write a machine-readable snapshot (JSON)
 //!       --json|--csv     emit JSON / CSV instead of the markdown table
 //!   -v, --verbose        report elaboration-cache statistics to stderr
+//!
+//! bench compare options:
+//!       simap bench compare <old.json> <new.json> [--max-regress <pct>]
+//!       exits 1 when any benchmark's states/s regressed by more than
+//!       <pct> percent (default 25) beyond the noise floor
 //!
 //! serve options:
 //!       --addr <a>       address to bind (default 127.0.0.1:7317)
@@ -164,8 +179,29 @@ fn synthesis(parsed: &Parsed) -> Result<Synthesis, Box<dyn Error>> {
     Ok(Synthesis::from_g_source(std::fs::read_to_string(path)?))
 }
 
+/// Parses a byte-size value: a plain integer (bytes) optionally suffixed
+/// with `K`/`KiB`, `M`/`MiB` or `G`/`GiB` (binary multiples; `KB`-style
+/// decimal suffixes are accepted as their binary cousins for
+/// forgiveness, since a memory *budget* is a bound, not a measurement).
+fn parse_bytes(spec: &str) -> Result<usize, String> {
+    let s = spec.trim();
+    let split = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    let (digits, suffix) = s.split_at(split);
+    let value: usize =
+        digits.parse().map_err(|_| format!("bad byte size `{spec}`: expected digits"))?;
+    let shift = match suffix.trim().to_ascii_lowercase().as_str() {
+        "" | "b" => 0,
+        "k" | "kb" | "kib" => 10,
+        "m" | "mb" | "mib" => 20,
+        "g" | "gb" | "gib" => 30,
+        other => return Err(format!("bad byte size `{spec}`: unknown suffix `{other}`")),
+    };
+    value.checked_shl(shift).ok_or_else(|| format!("byte size `{spec}` overflows"))
+}
+
 /// Applies the shared reachability flags (`--strategy`, `--reach-jobs`,
-/// `--materialize-limit`) to a configuration builder.
+/// `--materialize-limit`, and the spill knobs `--memory-budget`,
+/// `--spill-dir`, `--shards`) to a configuration builder.
 fn reach_flags(
     parsed: &Parsed,
     mut builder: simap::ConfigBuilder,
@@ -179,13 +215,29 @@ fn reach_flags(
     if let Some(limit) = parsed.value("--materialize-limit") {
         builder = builder.reach_materialize_limit(limit.parse()?);
     }
+    if let Some(budget) = parsed.value("--memory-budget") {
+        builder = builder.reach_memory_budget(parse_bytes(budget)?);
+    }
+    if let Some(dir) = parsed.value("--spill-dir") {
+        builder = builder.reach_spill_dir(Some(std::path::PathBuf::from(dir)));
+    }
+    if let Some(shards) = parsed.value("--shards") {
+        builder = builder.reach_shards(shards.parse()?);
+    }
     Ok(builder)
 }
 
 fn check(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     let parsed = parse_flags(
         args,
-        &[valued("--bench"), valued("--strategy"), valued("--materialize-limit")],
+        &[
+            valued("--bench"),
+            valued("--strategy"),
+            valued("--materialize-limit"),
+            valued("--memory-budget"),
+            valued("--spill-dir"),
+            valued("--shards"),
+        ],
     )?;
     let config = reach_flags(&parsed, Config::builder())?.build()?;
     let elaborated = synthesis(&parsed)?.config(&config).elaborate()?;
@@ -197,6 +249,16 @@ fn check(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             "  elaboration: {} markings visited, {} interned, {} edges ({})",
             stats.visited, stats.interned, stats.edges, stats.strategy
         );
+        if let Some(spill) = stats.spill {
+            println!(
+                "  spill: {} bytes spilled, {} files, resident peak {} of {} budget, {} shards",
+                spill.spilled_bytes,
+                spill.files_created,
+                spill.resident_peak,
+                spill.budget,
+                spill.shards
+            );
+        }
     }
     println!("  speed-independent: {}", report.is_speed_independent());
     println!("  complete state coding: {}", report.has_csc());
@@ -218,6 +280,9 @@ fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             valued("--strategy"),
             valued("--reach-jobs"),
             valued("--materialize-limit"),
+            valued("--memory-budget"),
+            valued("--spill-dir"),
+            valued("--shards"),
             flag("--csc-repair"),
             flag("--no-verify"),
             flag("--json"),
@@ -302,11 +367,144 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             Ok(ExitCode::SUCCESS)
         }
         Some("run") => bench_run(&args[1..]),
+        Some("compare") => bench_compare(&args[1..]),
         _ => {
-            eprintln!("usage: simap bench <list|run> ...");
+            eprintln!("usage: simap bench <list|run|compare> ...");
             Ok(ExitCode::FAILURE)
         }
     }
+}
+
+/// Records a machine-readable performance snapshot to `path`: for each
+/// benchmark, the state/arc counts plus elaboration wall-clock per
+/// reachability strategy and the full mapping flow's wall-clock, closed
+/// by the batch engine's elaboration-cache statistics. The schema is
+/// stable so snapshots from different commits diff cleanly (`simap bench
+/// compare`); the timings themselves are machine- and load-dependent.
+fn record_snapshot(
+    path: &str,
+    names: &[String],
+    config: &Config,
+    cache: simap::CacheStats,
+) -> Result<(), Box<dyn Error>> {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+    let strategies = [
+        simap::ReachStrategy::Explicit,
+        simap::ReachStrategy::Packed,
+        simap::ReachStrategy::Symbolic,
+        simap::ReachStrategy::Spill,
+    ];
+    let mut out = String::from("{\"version\":1,\"benchmarks\":[");
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut states = 0;
+        let mut arcs = 0;
+        let _ = write!(out, "{{\"name\":\"{name}\",\"elaborate_us\":{{");
+        for (j, strategy) in strategies.iter().enumerate() {
+            let config = config.to_builder().reach_strategy(*strategy).build()?;
+            let start = Instant::now();
+            let elaborated = Synthesis::from_benchmark(name).config(&config).elaborate()?;
+            let elapsed = start.elapsed().as_micros();
+            let sg = elaborated.state_graph();
+            states = sg.state_count();
+            arcs = sg.arc_count();
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{strategy}\":{elapsed}");
+        }
+        let start = Instant::now();
+        let _ = Synthesis::from_benchmark(name)
+            .config(config)
+            .elaborate()?
+            .covers()?
+            .decompose()?
+            .map();
+        let map_us = start.elapsed().as_micros();
+        let _ = write!(out, "}},\"map_us\":{map_us},\"states\":{states},\"arcs\":{arcs}}}");
+    }
+    let _ = writeln!(
+        out,
+        "],\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evicted\":{}}}}}",
+        cache.hits, cache.misses, cache.entries, cache.evicted
+    );
+    std::fs::write(path, out)?;
+    Ok(())
+}
+
+/// Absolute noise floor for `bench compare`: wall-clock deltas under
+/// this many microseconds are never regressions, whatever the ratio —
+/// tiny benchmarks elaborate in tens of microseconds, where scheduler
+/// jitter alone exceeds any percentage gate.
+const COMPARE_NOISE_FLOOR_US: u64 = 20_000;
+
+/// Compares two `bench run --record` snapshots; exits 1 when any shared
+/// timing regressed by more than `--max-regress` percent (default 25)
+/// beyond the noise floor.
+fn bench_compare(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let parsed = parse_flags(args, &[valued("--max-regress")])?;
+    let [old_path, new_path] = parsed.positionals.as_slice() else {
+        return Err("usage: simap bench compare <old.json> <new.json> [--max-regress <pct>]".into());
+    };
+    let max_regress: f64 =
+        parsed.value("--max-regress").map(str::parse).transpose()?.unwrap_or(25.0);
+    let old = simap::core::json::parse(&std::fs::read_to_string(old_path)?)?;
+    let new = simap::core::json::parse(&std::fs::read_to_string(new_path)?)?;
+    let benches = |doc: &simap::core::json::Json| -> Result<Vec<simap::core::json::Json>, String> {
+        doc.get("benchmarks")
+            .and_then(|b| b.as_array().map(<[_]>::to_vec))
+            .ok_or_else(|| "snapshot has no `benchmarks` array".to_string())
+    };
+    let name_of = |b: &simap::core::json::Json| {
+        b.get("name").and_then(|n| n.as_str().map(str::to_string)).unwrap_or_default()
+    };
+    let old_benches = benches(&old)?;
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    let mut check = |label: String, old_us: u64, new_us: u64| {
+        compared += 1;
+        let delta = new_us.saturating_sub(old_us);
+        let pct = if old_us == 0 { 0.0 } else { delta as f64 * 100.0 / old_us as f64 };
+        if pct > max_regress && delta > COMPARE_NOISE_FLOOR_US {
+            regressions += 1;
+            println!("REGRESSION {label}: {old_us}us -> {new_us}us (+{pct:.0}%)");
+        }
+    };
+    for bench in benches(&new)? {
+        let name = name_of(&bench);
+        let Some(old_bench) = old_benches.iter().find(|b| name_of(b) == name) else {
+            println!("note: `{name}` is new, nothing to compare against");
+            continue;
+        };
+        let lookup_us = |doc: &simap::core::json::Json, keys: &[&str]| -> Option<u64> {
+            let mut node = doc;
+            for key in keys {
+                node = node.get(key)?;
+            }
+            node.as_usize().map(|v| v as u64)
+        };
+        for strategy in ["explicit", "packed", "symbolic", "spill"] {
+            if let (Some(o), Some(n)) = (
+                lookup_us(old_bench, &["elaborate_us", strategy]),
+                lookup_us(&bench, &["elaborate_us", strategy]),
+            ) {
+                check(format!("{name} elaborate[{strategy}]"), o, n);
+            }
+        }
+        if let (Some(o), Some(n)) =
+            (lookup_us(old_bench, &["map_us"]), lookup_us(&bench, &["map_us"]))
+        {
+            check(format!("{name} map"), o, n);
+        }
+    }
+    println!(
+        "compared {compared} timings, {regressions} regressions \
+         (gate: >{max_regress}% and >{COMPARE_NOISE_FLOOR_US}us)"
+    );
+    Ok(if regressions == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
 fn bench_run(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
@@ -318,6 +516,10 @@ fn bench_run(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             valued("--strategy"),
             valued("--reach-jobs"),
             valued("--materialize-limit"),
+            valued("--memory-budget"),
+            valued("--spill-dir"),
+            valued("--shards"),
+            valued("--record"),
             flag("--csc-repair"),
             flag("--no-verify"),
             flag("--json"),
@@ -344,7 +546,7 @@ fn bench_run(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
         Config::builder().repair_csc(parsed.has("--csc-repair")).verify(!parsed.has("--no-verify")),
     )?
     .build()?;
-    let engine = Engine::new(config);
+    let engine = Engine::new(config.clone());
 
     let batch = if parsed.positionals.is_empty() {
         engine.batch_all()
@@ -363,9 +565,18 @@ fn bench_run(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     if parsed.has("--verbose") {
         let stats = engine.cache_stats();
         eprintln!(
-            "elaboration cache: {} hits, {} misses, {} entries",
-            stats.hits, stats.misses, stats.entries
+            "elaboration cache: {} hits, {} misses, {} entries, {} evicted",
+            stats.hits, stats.misses, stats.entries, stats.evicted
         );
+    }
+    if let Some(path) = parsed.value("--record") {
+        let names: Vec<String> = if parsed.positionals.is_empty() {
+            engine.registry().names().iter().map(|n| n.to_string()).collect()
+        } else {
+            parsed.positionals.clone()
+        };
+        record_snapshot(path, &names, &config, engine.cache_stats())?;
+        eprintln!("recorded {path}");
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -64,16 +64,23 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 //!
-//! Cold elaboration runs on one of three reachability strategies (see
-//! [`simap_stg::reach`]): the packed-state default — bit-packed markings
-//! in a contiguous arena with mask-compiled transitions, plus
-//! [`ReachConfig::jobs`] parallel frontier expansion with byte-identical
-//! results; the legacy explicit BFS ([`ReachStrategy::Explicit`]), an
-//! independent differential oracle for validating changes to the hot
-//! path; and the symbolic BDD engine ([`ReachStrategy::Symbolic`]),
-//! which represents the reachable set of a 1-safe net as a Boolean
-//! function — exact state counts and CSC verdicts without enumerating a
-//! marking:
+//! Cold elaboration runs on one of four reachability strategies (see
+//! [`simap_stg::reach`] for the full selection guide): the packed-state
+//! default — bit-packed markings in a contiguous arena with
+//! mask-compiled transitions, plus [`ReachConfig::jobs`] parallel
+//! frontier expansion with byte-identical results; the legacy explicit
+//! BFS ([`ReachStrategy::Explicit`]), an independent differential
+//! oracle for validating changes to the hot path; the symbolic BDD
+//! engine ([`ReachStrategy::Symbolic`]), which represents the reachable
+//! set of a 1-safe net as a Boolean function — exact state counts and
+//! CSC verdicts without enumerating a marking; and the external-memory
+//! spill engine ([`ReachStrategy::Spill`]), which keeps the packed
+//! engine's semantics and numbering but bounds the resident working set
+//! by [`ConfigBuilder::reach_memory_budget`], cycling marking pages,
+//! frontier runs and the edge log through scratch files
+//! ([`ConfigBuilder::reach_spill_dir`]) so nets larger than RAM still
+//! *materialize* — the door to synthesizing, not just counting, huge
+//! specifications:
 //!
 //! ```
 //! use simap::{Config, Engine, ReachStrategy};
@@ -106,6 +113,27 @@
 //! assert_eq!(sym.states, 4u64.pow(10));
 //! assert!(sym.graph.is_none(), "too big to materialize, still analyzable");
 //! assert!(sym.csc_conflict_codes.is_empty());
+//! # Ok::<(), simap::stg::ReachError>(())
+//! ```
+//!
+//! When the flow needs the *graph* of such a net — synthesis does — the
+//! spill engine builds it with a bounded resident set, byte-identical
+//! to the packed default:
+//!
+//! ```
+//! use simap::stg::{benchmark, elaborate_with_stats};
+//! use simap::{ReachConfig, ReachStrategy};
+//!
+//! let stg = benchmark("mr0").expect("embedded benchmark");
+//! let config = ReachConfig {
+//!     strategy: ReachStrategy::Spill,
+//!     memory_budget: 1024 * 1024, // 1 MiB forces real disk traffic here
+//!     ..ReachConfig::default()
+//! };
+//! let (sg, stats) = elaborate_with_stats(&stg, &config)?;
+//! let spill = stats.spill.expect("spill runs report their counters");
+//! assert_eq!(sg.state_count(), 4096);
+//! assert!(spill.spilled_bytes > 0 && spill.resident_peak <= spill.budget);
 //! # Ok::<(), simap::stg::ReachError>(())
 //! ```
 //!

@@ -85,8 +85,9 @@ fn conformance_table(config: &ReachConfig) -> String {
 
 /// Golden conformance suite: every `benchmark_names()` entry must match
 /// the committed snapshot of state / arc / CSC-conflict counts — under
-/// the packed default, the explicit oracle *and* the symbolic BDD
-/// engine. Regenerate after an intentional specification change with:
+/// the packed default, the explicit oracle, the symbolic BDD engine
+/// *and* the external-memory spill engine. Regenerate after an
+/// intentional specification change with:
 ///
 /// ```text
 /// UPDATE_GOLDEN=1 cargo test --test benchmark_suite golden_conformance
@@ -110,6 +111,7 @@ fn golden_conformance_snapshot() {
             packed,
             "packed and symbolic disagree; fix that first"
         );
+        assert_eq!(with(ReachStrategy::Spill), packed, "packed and spill disagree; fix that first");
         std::fs::write(GOLDEN_PATH, &packed).expect("write golden snapshot");
         eprintln!("regenerated {GOLDEN_PATH}");
         return;
@@ -136,6 +138,21 @@ fn golden_conformance_snapshot() {
         golden,
         "the symbolic engine must match the same snapshot"
     );
+    assert_eq!(
+        with(ReachStrategy::Spill),
+        golden,
+        "the external-memory spill engine must match the same snapshot"
+    );
+    // And once more with a budget tiny enough to force real disk
+    // traffic on the larger circuits: spilling must not change a
+    // single count.
+    let tiny = conformance_table(&ReachConfig {
+        strategy: ReachStrategy::Spill,
+        memory_budget: 4096,
+        shards: 4,
+        ..ReachConfig::default()
+    });
+    assert_eq!(tiny, golden, "spilling under a 4 KiB budget must not change any count");
 }
 
 #[test]

@@ -1,8 +1,10 @@
 //! Differential testing of the reachability engines: for random safe
 //! STGs, every registry benchmark, and every error family (unbounded,
-//! state limit, inconsistency), the three strategies — `Packed` (the
-//! default, sequential and jobs=4), `Explicit` (the legacy oracle) and
-//! `Symbolic` (the BDD engine) — must agree. The enumerative pair is
+//! state limit, inconsistency), the four strategies — `Packed` (the
+//! default, sequential and jobs=4), `Explicit` (the legacy oracle),
+//! `Symbolic` (the BDD engine) and `Spill` (the external-memory engine,
+//! at the default budget and at a tiny budget that forces genuine
+//! spilling) — must agree. The enumerative strategies and Spill are
 //! held to byte-identical results; the symbolic engine materializes
 //! byte-identical graphs too, and its independently computed counts,
 //! initial code, region sizes and CSC conflict codes are cross-checked
@@ -31,6 +33,23 @@ fn explicit(config: &ReachConfig) -> ReachConfig {
 fn symbolic(config: &ReachConfig) -> ReachConfig {
     ReachConfig { strategy: ReachStrategy::Symbolic, jobs: 1, ..config.clone() }
 }
+
+/// The spill strategy at a given memory budget. Few shards so tiny
+/// budgets overflow the per-shard arena caches too, not just the
+/// frontier buffers.
+fn spill(config: &ReachConfig, memory_budget: usize) -> ReachConfig {
+    ReachConfig {
+        strategy: ReachStrategy::Spill,
+        jobs: 1,
+        memory_budget,
+        shards: 4,
+        ..config.clone()
+    }
+}
+
+/// A budget at the engine's floor: every component buffer is at its
+/// minimum, so any net with more than a few hundred edges spills.
+const TINY_BUDGET: usize = 4096;
 
 /// Structural byte-identity: same signals, state numbering, codes, arcs
 /// and initial state (and therefore the same dot rendering).
@@ -149,6 +168,26 @@ fn assert_differential(stg: &Stg, config: &ReachConfig, context: &str) {
             "{context}: strategies disagree on success:\n  packed:   {packed:?}\n  \
              parallel: {parallel:?}\n  explicit: {oracle:?}"
         ),
+    }
+
+    // The spill engine is held to the same exactness as the enumerative
+    // pair — byte-identical graphs and identical errors — at the default
+    // budget (everything resident) and at the floor budget (arena pages,
+    // frontier runs and the edge log all cycling through disk).
+    for budget in [ReachConfig::default().memory_budget, TINY_BUDGET] {
+        let spilled = elaborate_with(stg, &spill(config, budget));
+        match (&spilled, &oracle) {
+            (Ok(s), Ok(o)) => {
+                assert_same_graph(s, o, &format!("{context} [spill budget={budget}]"));
+            }
+            (Err(s), Err(o)) => {
+                assert_eq!(s, o, "{context} [spill budget={budget}]: error must equal oracle's");
+            }
+            _ => panic!(
+                "{context} [spill budget={budget}]: spill disagrees on success:\n  \
+                 spill:    {spilled:?}\n  explicit: {oracle:?}"
+            ),
+        }
     }
 
     let sym = elaborate_with(stg, &symbolic(config));
@@ -278,6 +317,32 @@ fn all_registry_benchmarks_elaborate_identically() {
             .unwrap_or_else(|e| panic!("{name} [jobs=4]: {e}"));
         assert_same_graph(&parallel, &oracle, &format!("{name} [jobs=4]"));
 
+        let (spilled, spstats) =
+            elaborate_with_stats(&stg, &spill(&config, ReachConfig::default().memory_budget))
+                .unwrap_or_else(|e| panic!("{name} [spill]: {e}"));
+        assert_same_graph(&spilled, &oracle, &format!("{name} [spill]"));
+        assert_eq!(
+            (spstats.visited, spstats.interned, spstats.edges),
+            (ostats.visited, ostats.interned, ostats.edges),
+            "{name}: spill exploration counters"
+        );
+        assert!(pstats.spill.is_none(), "{name}: packed stats must not carry spill counters");
+        let counters = spstats.spill.unwrap_or_else(|| panic!("{name}: spill counters missing"));
+        assert_eq!(counters.shards, 4, "{name}: effective shard count");
+        if !cfg!(debug_assertions) || oracle.state_count() <= 500 {
+            let tiny = elaborate_with_stats(&stg, &spill(&config, TINY_BUDGET))
+                .unwrap_or_else(|e| panic!("{name} [spill tiny]: {e}"));
+            assert_same_graph(&tiny.0, &oracle, &format!("{name} [spill tiny]"));
+            let tc = tiny.1.spill.expect("spill counters");
+            if oracle.state_count() > 200 {
+                assert!(
+                    tc.spilled_bytes > 0 && tc.files_created > 0,
+                    "{name}: a {TINY_BUDGET}-byte budget must force real spilling \
+                     (got {tc:?})"
+                );
+            }
+        }
+
         let (sym, sstats) = elaborate_with_stats(&stg, &symbolic(&config))
             .unwrap_or_else(|e| panic!("{name} [symbolic]: {e}"));
         assert_same_graph(&sym, &oracle, &format!("{name} [symbolic]"));
@@ -385,5 +450,9 @@ fn benchmark_state_limits_match() {
         assert_eq!(parallel, oracle, "{name} [jobs=4]");
         let sym = elaborate_with(&stg, &symbolic(&config)).unwrap_err();
         assert_eq!(sym, oracle, "{name} [symbolic]");
+        for budget in [ReachConfig::default().memory_budget, TINY_BUDGET] {
+            let spilled = elaborate_with(&stg, &spill(&config, budget)).unwrap_err();
+            assert_eq!(spilled, oracle, "{name} [spill budget={budget}]");
+        }
     }
 }

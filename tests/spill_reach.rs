@@ -1,0 +1,131 @@
+//! Acceptance tests for the external-memory spill engine beyond the
+//! differential harness: a pattern-composed net past the symbolic
+//! materialize limit elaborating under a bounded resident budget, and
+//! scratch-file hygiene on success, error and panic exit paths.
+
+use simap::stg::{benchmark, elaborate_with, elaborate_with_stats, patterns, ReachError};
+use simap::{ReachConfig, ReachStrategy};
+use std::path::PathBuf;
+
+fn spill_config(memory_budget: usize) -> ReachConfig {
+    ReachConfig {
+        strategy: ReachStrategy::Spill,
+        memory_budget,
+        shards: 4,
+        ..ReachConfig::default()
+    }
+}
+
+/// A scratch directory under the system temp dir, removed on drop so a
+/// failing assertion cannot leak it past the test run.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("simap-spill-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Self(dir)
+    }
+
+    fn entries(&self) -> Vec<PathBuf> {
+        std::fs::read_dir(&self.0)
+            .expect("scratch dir readable")
+            .map(|e| e.expect("entry").path())
+            .collect()
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The headline acceptance case: ten independent 4-state rings compose
+/// to 4^10 = 1,048,576 states — past `materialize_limit`, where the
+/// symbolic engine refuses to build a graph — yet the spill engine
+/// fully elaborates it under a 256 MiB budget with its tracked resident
+/// peak bounded by that budget, and the graph matches Packed's
+/// numbering state for state. Release-only: a million-state build under
+/// debug assertions takes minutes, and CI's conformance job runs
+/// release.
+#[test]
+fn million_state_net_elaborates_under_a_bounded_budget() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipped: release-mode acceptance test");
+        return;
+    }
+    let parts: Vec<_> = (0..10).map(|_| patterns::sequencer(2, None)).collect();
+    let grid = patterns::parallel("grid", &parts);
+    let budget = 256 * 1024 * 1024;
+    let config = ReachConfig { max_states: 2_000_000, ..spill_config(budget) };
+    let (spilled, stats) = elaborate_with_stats(&grid, &config).expect("spill elaborates");
+    assert_eq!(spilled.state_count(), 4usize.pow(10));
+    assert!(
+        spilled.state_count() > ReachConfig::default().materialize_limit,
+        "the point of the exercise: bigger than the symbolic materialize limit"
+    );
+    let counters = stats.spill.expect("spill counters");
+    assert!(
+        counters.resident_peak <= budget as u64,
+        "resident working set {} exceeds the {budget}-byte budget",
+        counters.resident_peak
+    );
+
+    let packed =
+        elaborate_with(&grid, &ReachConfig { max_states: 2_000_000, ..ReachConfig::default() })
+            .expect("packed elaborates");
+    assert_eq!(spilled.signals(), packed.signals());
+    assert_eq!(spilled.state_count(), packed.state_count());
+    assert_eq!(spilled.initial(), packed.initial());
+    for s in spilled.states() {
+        assert_eq!(spilled.code(s), packed.code(s), "code of state {}", s.0);
+        assert_eq!(spilled.succ(s), packed.succ(s), "successors of state {}", s.0);
+    }
+}
+
+/// Success path: after a run that demonstrably created spill files, the
+/// caller's scratch directory is left empty (the per-run subdirectory
+/// and everything in it are gone).
+#[test]
+fn spill_dir_is_empty_after_success() {
+    let scratch = ScratchDir::new("ok");
+    let stg = benchmark("mr0").expect("known benchmark");
+    let config = ReachConfig { spill_dir: Some(scratch.0.clone()), ..spill_config(1024 * 1024) };
+    let (_, stats) = elaborate_with_stats(&stg, &config).expect("elaborates");
+    let counters = stats.spill.expect("spill counters");
+    assert!(counters.files_created > 0, "mr0 at 1 MiB must spill: {counters:?}");
+    assert_eq!(scratch.entries(), Vec::<PathBuf>::new(), "scratch files leaked");
+}
+
+/// Error path: a `StateLimit` abort mid-exploration — after spill files
+/// were already written — must still tear the per-run directory down.
+/// This is the regression test for the RAII manifest guard.
+#[test]
+fn spill_dir_is_empty_after_state_limit_error() {
+    let scratch = ScratchDir::new("err");
+    let stg = benchmark("mr0").expect("known benchmark");
+    let config =
+        ReachConfig { spill_dir: Some(scratch.0.clone()), max_states: 2048, ..spill_config(4096) };
+    let err = elaborate_with(&stg, &config).expect_err("limit must trip");
+    assert!(matches!(err, ReachError::StateLimit { limit: 2048, .. }), "{err:?}");
+    assert_eq!(scratch.entries(), Vec::<PathBuf>::new(), "scratch files leaked on error");
+}
+
+/// The default placement (no `spill_dir`) works and reports counters;
+/// nothing of ours is left in the system temp dir afterwards.
+#[test]
+fn default_spill_placement_cleans_up() {
+    let stg = benchmark("mr0").expect("known benchmark");
+    let (_, stats) = elaborate_with_stats(&stg, &spill_config(1024 * 1024)).expect("elaborates");
+    let counters = stats.spill.expect("spill counters");
+    assert!(counters.spilled_bytes > 0);
+    let leftovers: Vec<_> = std::fs::read_dir(std::env::temp_dir())
+        .expect("temp dir readable")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with(&format!("simap-spill-{}-", std::process::id())))
+        .collect();
+    assert_eq!(leftovers, Vec::<String>::new(), "run directories leaked in temp");
+}
