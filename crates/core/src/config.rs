@@ -126,6 +126,66 @@ impl Config {
     pub fn cache_capacity(&self) -> Option<usize> {
         self.cache_capacity
     }
+
+    /// A stable 64-bit fingerprint of **every** knob in this
+    /// configuration, suitable as the configuration component of a
+    /// content-addressed cache key (the persistent result cache of
+    /// `simap serve` keys finished reports by it, so two serve instances
+    /// — or one instance across restarts — share warm results exactly
+    /// when their configurations agree).
+    ///
+    /// The digest is FNV-1a 64 ([`crate::digest`]) over a canonical text
+    /// rendering of the knobs, so it is identical across processes and
+    /// machines. It is deliberately *conservative*: knobs that do not
+    /// change response bytes (reachability jobs, the spill budget under
+    /// an in-memory strategy, the elaboration-cache capacity) still
+    /// participate, trading a few spurious cache misses for never having
+    /// to reason about which knob is observable where. A 64-bit digest
+    /// can collide; consumers must verify the full key on use (see
+    /// [`crate::digest`]).
+    pub fn digest(&self) -> u64 {
+        use std::fmt::Write as _;
+        let d = &self.flow.decompose;
+        let r = &self.reach;
+        let mut canon = String::with_capacity(256);
+        let _ = write!(
+            canon,
+            "config-v1;lit={};or={:?};verify={};vmax={};csc={};cscmax={};ack={};maxins={};\
+             maxcand={};div={},{},{},{};filter={};refine={};",
+            d.literal_limit,
+            self.or_limit,
+            self.flow.verify,
+            self.flow.verify_config.max_states,
+            self.flow.repair_csc,
+            self.csc_repair.max_insertions,
+            match d.ack_mode {
+                crate::decompose::AckMode::Global => "global",
+                crate::decompose::AckMode::Local => "local",
+            },
+            d.max_insertions,
+            d.max_candidates_tried,
+            d.divisors.max_candidates,
+            d.divisors.max_or_subset,
+            d.divisors.max_and_subset,
+            d.divisors.recursion_depth,
+            d.use_progress_filter,
+            d.use_boolean_refinement,
+        );
+        let _ = write!(
+            canon,
+            "reach={};rmax={};rtok={};rjobs={};rmat={};rbud={};rdir={:?};rshards={};cachecap={:?}",
+            r.strategy,
+            r.max_states,
+            r.max_tokens,
+            r.jobs,
+            r.materialize_limit,
+            r.memory_budget,
+            r.spill_dir,
+            r.shards,
+            self.cache_capacity,
+        );
+        crate::digest::fnv1a64(canon.as_bytes())
+    }
 }
 
 /// Builder for [`Config`]; see the [module docs](self) for an example.
@@ -395,6 +455,27 @@ mod tests {
         assert_eq!(derived.literal_limit(), 2);
         assert_eq!(config.literal_limit(), 3, "the original is untouched");
         assert!(config.to_builder().literal_limit(1).build().is_err());
+    }
+
+    #[test]
+    fn digest_is_stable_and_knob_sensitive() {
+        let base = Config::default();
+        assert_eq!(base.digest(), Config::default().digest(), "same knobs, same digest");
+        let mut seen = vec![base.digest()];
+        for variant in [
+            Config::builder().literal_limit(3).build().unwrap(),
+            Config::builder().verify(false).build().unwrap(),
+            Config::builder().repair_csc(true).build().unwrap(),
+            Config::builder().or_limit(2).build().unwrap(),
+            Config::builder().reach_strategy(ReachStrategy::Symbolic).build().unwrap(),
+            Config::builder().reach_max_states(9999).build().unwrap(),
+            Config::builder().reach_jobs(4).build().unwrap(),
+            Config::builder().cache_capacity(3).build().unwrap(),
+        ] {
+            let digest = variant.digest();
+            assert!(!seen.contains(&digest), "digest collision for {variant:?}");
+            seen.push(digest);
+        }
     }
 
     #[test]

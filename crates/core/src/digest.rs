@@ -1,0 +1,75 @@
+//! Small stable hashing for content-addressed keys.
+//!
+//! The persistent result cache of `simap serve` addresses finished
+//! reports by a digest of the request's identity plus the full
+//! [`crate::Config`] fingerprint. Those digests must be stable across
+//! processes, restarts and compiler versions — which rules out
+//! [`std::hash::Hasher`] implementations with randomized or unspecified
+//! state — and the build environment has no hashing crates. FNV-1a fits:
+//! a dozen lines, well-distributed for short keys, and fully specified.
+//!
+//! A 64-bit digest is *not* collision-proof; consumers that cannot
+//! tolerate a collision (the result cache) must store the full
+//! uncompressed key alongside the addressed content and verify it on
+//! read.
+
+/// Incremental FNV-1a 64-bit hasher with a stable, documented state
+/// sequence (offset basis `0xcbf29ce484222325`, prime `0x100000001b3`).
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64 { state: 0xcbf2_9ce4_8422_2325 }
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64::default()
+    }
+
+    /// Absorbs `bytes` into the running digest.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// The digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64-bit digest of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo").write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+}

@@ -139,6 +139,7 @@
 pub mod config;
 pub mod csc;
 pub mod decompose;
+pub mod digest;
 pub mod engine;
 pub mod error;
 pub mod flow;
@@ -155,6 +156,7 @@ pub use csc::{csc_conflicts, repair_csc, CscConflict, CscRepairConfig, CscRepair
 pub use decompose::{
     decompose, decompose_with, excess, AckMode, DecomposeConfig, DecomposeResult, DecomposeStep,
 };
+pub use digest::{fnv1a64, Fnv64};
 pub use engine::{CacheStats, Engine};
 pub use error::{Error, Stage};
 #[allow(deprecated)] // the shim stays reachable from its historical path

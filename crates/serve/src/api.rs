@@ -42,6 +42,37 @@ pub(crate) enum Work {
     Batch { names: Vec<String>, limits: Vec<usize>, config: Config },
 }
 
+/// The canonical identity of one unit of work, for the persistent
+/// result cache: a human-auditable key string covering the work
+/// description and the full configuration fingerprint
+/// ([`Config::digest`]), plus its FNV-1a digest (the cache file
+/// address). Two requests get the same fingerprint exactly when the
+/// service contract promises them byte-identical responses.
+///
+/// Ad-hoc `g_source` text is folded in as `length:digest` rather than
+/// verbatim, so the key stays one short line; the cache layer still
+/// stores and verifies this full canonical string, so a digest collision
+/// inside that folding is caught the same way any other collision is.
+pub(crate) fn work_fingerprint(work: &Work) -> (u64, String) {
+    let canon = match work {
+        Work::Synthesize { source, config } => {
+            let source = match source {
+                WorkSource::Benchmark(name) => format!("bench={name}"),
+                WorkSource::GSource(text) => {
+                    format!("g_source={}:{:016x}", text.len(), simap_core::fnv1a64(text.as_bytes()))
+                }
+            };
+            format!("synthesize;{source};cfg={:016x}", config.digest())
+        }
+        Work::Batch { names, limits, config } => format!(
+            "batch;names={};limits={limits:?};cfg={:016x}",
+            names.join(","),
+            config.digest()
+        ),
+    };
+    (simap_core::fnv1a64(canon.as_bytes()), canon)
+}
+
 fn parse_body(body: &[u8]) -> Result<Json, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     if text.trim().is_empty() {
@@ -271,5 +302,30 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse_batch(br#"{"stream":true}"#, &base).unwrap_err().contains("not supported"));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinguish_requests() {
+        let base = Config::default();
+        let parse = |body: &[u8]| parse_synthesize(body, &base).unwrap().0;
+        let (digest, canon) = work_fingerprint(&parse(br#"{"bench":"half"}"#));
+        // Same request, parsed again: identical fingerprint (this is what
+        // makes the cache hit across restarts).
+        assert_eq!(work_fingerprint(&parse(br#"{"bench":"half"}"#)), (digest, canon.clone()));
+        assert!(canon.starts_with("synthesize;bench=half;cfg="), "{canon}");
+        // A different benchmark, a different knob, a different endpoint:
+        // all distinct keys.
+        let mut canons = vec![
+            canon,
+            work_fingerprint(&parse(br#"{"bench":"hazard"}"#)).1,
+            work_fingerprint(&parse(br#"{"bench":"half","literal_limit":3}"#)).1,
+            work_fingerprint(&parse(br#"{"g_source":".model x\n.end"}"#)).1,
+            work_fingerprint(&parse_batch(br#"{"names":["half"]}"#, &base).unwrap().0).1,
+            work_fingerprint(&parse_batch(br#"{"names":["half"],"limits":[3]}"#, &base).unwrap().0)
+                .1,
+        ];
+        canons.sort();
+        canons.dedup();
+        assert_eq!(canons.len(), 6, "{canons:?}");
     }
 }

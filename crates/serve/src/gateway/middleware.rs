@@ -1,0 +1,176 @@
+//! The middleware vocabulary: the [`Middleware`] trait every gateway
+//! layer implements, the per-request [`RequestContext`] the chain
+//! threads through, and the [`Decision`] each layer returns.
+//!
+//! The chain itself is an ordered `Vec<Box<dyn Middleware + Send +
+//! Sync>>` owned by [`crate::gateway::Gateway`]; layers run in order and
+//! the first rejection wins. Every decision is also recorded into the
+//! context as a [`FlowEvent::Gateway`] so streaming clients can see how
+//! their request traversed the gateway.
+
+use simap_core::FlowEvent;
+
+/// Service tiers an API key can be assigned in the keyfile. Tiers scale
+/// the base `--rate-limit` / `--max-inflight` budgets; `blocked` is the
+/// authorization deny (a valid key that may not submit work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tier {
+    /// Authenticates but is denied all work routes (`403`).
+    Blocked,
+    /// The base budgets exactly as configured.
+    Free,
+    /// Four times the base budgets (also the anonymous tier when the
+    /// server runs without a keyfile).
+    Standard,
+    /// No rate or in-flight limits.
+    Unlimited,
+}
+
+impl Tier {
+    /// Parses a keyfile tier column.
+    pub(crate) fn parse(s: &str) -> Result<Tier, String> {
+        match s {
+            "blocked" => Ok(Tier::Blocked),
+            "free" => Ok(Tier::Free),
+            "standard" => Ok(Tier::Standard),
+            "unlimited" => Ok(Tier::Unlimited),
+            other => Err(format!(
+                "unknown tier `{other}` (expected blocked | free | standard | unlimited)"
+            )),
+        }
+    }
+
+    /// Budget multiplier over the base `--rate-limit`/`--max-inflight`
+    /// values; `None` means unlimited.
+    pub(crate) fn multiplier(self) -> Option<f64> {
+        match self {
+            // `Blocked` never reaches the rate limiter (auth rejects),
+            // but give it a defined value anyway.
+            Tier::Blocked => Some(0.0),
+            Tier::Free => Some(1.0),
+            Tier::Standard => Some(4.0),
+            Tier::Unlimited => None,
+        }
+    }
+
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            Tier::Blocked => "blocked",
+            Tier::Free => "free",
+            Tier::Standard => "standard",
+            Tier::Unlimited => "unlimited",
+        }
+    }
+}
+
+/// Everything a middleware may inspect or annotate about one request.
+#[derive(Debug)]
+pub(crate) struct RequestContext {
+    /// The presented API key (`Authorization: Bearer …` or `X-Api-Key`),
+    /// if any.
+    pub api_key: Option<String>,
+    /// Resolved client identity; `"anonymous"` until the auth layer
+    /// names it.
+    pub client: String,
+    /// Resolved service tier (set by the auth layer).
+    pub tier: Tier,
+    /// Whether this request submits work to the job queue (`POST
+    /// /synthesize`, `POST /batch`) — the rate limiter and the circuit
+    /// breaker only guard those.
+    pub queues_work: bool,
+    /// Whether the breaker admitted this request as its half-open probe;
+    /// the submit path reports the probe's outcome back.
+    pub breaker_probe: bool,
+    /// Gateway decisions, in chain order, as streamable events.
+    pub events: Vec<FlowEvent>,
+}
+
+impl RequestContext {
+    /// A fresh context for one request.
+    pub(crate) fn new(api_key: Option<String>, queues_work: bool) -> Self {
+        RequestContext {
+            api_key,
+            client: "anonymous".to_string(),
+            tier: Tier::Standard,
+            queues_work,
+            breaker_probe: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records one gateway decision as a [`FlowEvent::Gateway`].
+    pub(crate) fn record(&mut self, layer: &str, decision: impl Into<String>) {
+        self.events.push(FlowEvent::Gateway {
+            layer: layer.to_string(),
+            decision: decision.into(),
+            client: self.client.clone(),
+        });
+    }
+}
+
+/// A rejection: the HTTP status, a message for the structured error
+/// body, and an optional `Retry-After` value in seconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Rejection {
+    pub status: u16,
+    pub message: String,
+    pub retry_after: Option<u64>,
+}
+
+/// What one middleware layer decided about a request.
+#[derive(Debug)]
+pub(crate) enum Decision {
+    /// Pass the request to the next layer.
+    Continue,
+    /// Stop the chain and answer with this rejection.
+    Reject(Rejection),
+}
+
+/// One layer of the gateway chain. Layers are shared across connection
+/// threads, so `check` takes `&self`; all mutability is interior.
+pub(crate) trait Middleware: Send + Sync {
+    /// The layer's name, used in metrics and gateway events.
+    fn name(&self) -> &'static str;
+
+    /// Inspects (and annotates) the request; the first `Reject` in the
+    /// chain wins.
+    fn check(&self, ctx: &mut RequestContext) -> Decision;
+}
+
+/// Shared layers can sit in the chain as `Arc`s (the gateway keeps its
+/// own handle for post-admission bookkeeping: in-flight release, breaker
+/// outcome reporting).
+impl<T: Middleware> Middleware for std::sync::Arc<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn check(&self, ctx: &mut RequestContext) -> Decision {
+        (**self).check(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_parsing_round_trips() {
+        for tier in [Tier::Blocked, Tier::Free, Tier::Standard, Tier::Unlimited] {
+            assert_eq!(Tier::parse(tier.as_str()), Ok(tier));
+        }
+        assert!(Tier::parse("gold").unwrap_err().contains("unknown tier `gold`"));
+    }
+
+    #[test]
+    fn context_records_streamable_events() {
+        let mut ctx = RequestContext::new(None, true);
+        ctx.client = "alice".to_string();
+        ctx.record("auth", "allow");
+        assert_eq!(
+            ctx.events[0].to_json(),
+            "{\"event\":\"gateway\",\"layer\":\"auth\",\"decision\":\"allow\",\
+             \"client\":\"alice\"}"
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Persistent content-addressed result cache.
+//!
+//! Finished synthesis reports are addressed by an FNV-1a digest
+//! ([`simap_core::fnv1a64`]) of the request's canonical key — the work
+//! description plus the full [`simap_core::Config`] fingerprint
+//! (`Config::digest`). Entries live as `<digest:016x>.json` files under
+//! `--cache-dir`, so a *restarted* server (or a second instance sharing
+//! the directory) answers a previously-synthesized request byte-for-byte
+//! without ever enqueueing it.
+//!
+//! A 64-bit digest can collide, so every entry stores the full canonical
+//! key in a header line and a lookup verifies it before trusting the
+//! body; a mismatch is a miss, never a wrong answer. Reads are
+//! corruption-tolerant throughout: an unreadable or malformed entry is
+//! evicted and reported as a miss, never an error. Writes go through a
+//! temp file + rename so a crash mid-write cannot leave a torn entry
+//! under its final name. The store is size-bounded: after each write,
+//! least-recently-used entries (by file mtime, refreshed on every hit)
+//! are swept until at most `--cache-limit` remain.
+
+use simap_core::json;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+/// Magic + format version prefixing every entry's header line.
+const HEADER_PREFIX: &str = "simap-rescache v1 ";
+
+/// Counter snapshot for /metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CacheCounters {
+    pub hits: u64,
+    pub misses: u64,
+    pub stores: u64,
+    pub evictions: u64,
+}
+
+/// The persistent result cache (one per server, one directory on disk).
+pub(crate) struct ResCache {
+    dir: PathBuf,
+    /// Maximum entries kept on disk; `0` = unbounded.
+    limit: usize,
+    /// Serializes store+sweep so two workers finishing at once cannot
+    /// both over-fill the directory.
+    sweep: Mutex<()>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    /// The directory cannot be created or is not writable.
+    pub(crate) fn open(dir: &Path, limit: usize) -> Result<ResCache, String> {
+        fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+        // Probe writability now: failing at startup beats failing on the
+        // first finished job.
+        let probe = dir.join(".simap-rescache-probe");
+        fs::write(&probe, b"")
+            .and_then(|()| fs::remove_file(&probe))
+            .map_err(|e| format!("cache dir {} is not writable: {e}", dir.display()))?;
+        Ok(ResCache {
+            dir: dir.to_path_buf(),
+            limit,
+            sweep: Mutex::new(()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    fn entry_path(&self, digest: u64) -> PathBuf {
+        self.dir.join(format!("{digest:016x}.json"))
+    }
+
+    fn header_line(canon: &str) -> String {
+        format!("{HEADER_PREFIX}{}", json::quote(canon))
+    }
+
+    /// Looks up the entry for `digest`, verifying it was stored for
+    /// exactly `canon`. Any defect — absent, unreadable, bad header,
+    /// digest collision — is a miss; defective entries are evicted.
+    pub(crate) fn lookup(&self, digest: u64, canon: &str) -> Option<String> {
+        let path = self.entry_path(digest);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                // Unreadable (permissions, invalid UTF-8): evict and miss.
+                self.evict(&path);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let Some((header, body)) = text.split_once('\n') else {
+            self.evict(&path);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if header != ResCache::header_line(canon) {
+            // Corrupt header or a genuine 64-bit collision: the stored
+            // entry is not for this request. Either way: miss, and the
+            // slot is evicted so the fresh result can take it.
+            self.evict(&path);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // Refresh recency for the LRU sweep; best-effort.
+        if let Ok(file) = fs::File::open(&path) {
+            let _ = file.set_modified(SystemTime::now());
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(body.to_string())
+    }
+
+    /// Stores `body` (the exact bytes the server answers with) under
+    /// `digest`, then sweeps the directory down to the size bound.
+    /// Best-effort: a full disk degrades the cache, not the service.
+    pub(crate) fn store(&self, digest: u64, canon: &str, body: &str) {
+        let _guard = self.sweep.lock().expect("rescache sweep lock");
+        let tmp = self.dir.join(format!(".tmp-{digest:016x}-{}", std::process::id()));
+        let entry = format!("{}\n{body}", ResCache::header_line(canon));
+        if fs::write(&tmp, entry).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        if fs::rename(&tmp, self.entry_path(digest)).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        self.sweep_locked();
+    }
+
+    /// Removes least-recently-used entries until at most `limit` remain.
+    /// Caller holds the sweep lock.
+    fn sweep_locked(&self) {
+        if self.limit == 0 {
+            return;
+        }
+        let Ok(read) = fs::read_dir(&self.dir) else { return };
+        let mut entries: Vec<(SystemTime, PathBuf)> = read
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let mtime = e.metadata().and_then(|m| m.modified()).ok()?;
+                Some((mtime, e.path()))
+            })
+            .collect();
+        if entries.len() <= self.limit {
+            return;
+        }
+        entries.sort();
+        for (_, path) in entries.iter().take(entries.len() - self.limit) {
+            self.evict(path);
+        }
+    }
+
+    fn evict(&self, path: &Path) {
+        if fs::remove_file(path).is_ok() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently on disk (for /metrics; racy by nature).
+    pub(crate) fn entries(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|read| {
+                read.flatten().filter(|e| e.path().extension().is_some_and(|x| x == "json")).count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Counter snapshot for /metrics.
+    pub(crate) fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn temp_cache(tag: &str, limit: usize) -> (ResCache, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("simap-rescache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        (ResCache::open(&dir, limit).unwrap(), dir)
+    }
+
+    #[test]
+    fn stores_and_returns_bodies_byte_identically() {
+        let (cache, dir) = temp_cache("roundtrip", 0);
+        let body = "{\"name\":\"hazard\",\n  \"states\": 12}\n";
+        assert_eq!(cache.lookup(7, "canon-a"), None, "cold cache misses");
+        cache.store(7, "canon-a", body);
+        assert_eq!(cache.lookup(7, "canon-a").as_deref(), Some(body));
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.stores), (1, 1, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn survives_a_restart_on_the_same_directory() {
+        let (cache, dir) = temp_cache("restart", 0);
+        cache.store(42, "canon", "body");
+        drop(cache);
+        let revived = ResCache::open(&dir, 0).unwrap();
+        assert_eq!(revived.lookup(42, "canon").as_deref(), Some("body"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn digest_collision_is_a_miss_not_a_wrong_answer() {
+        let (cache, dir) = temp_cache("collision", 0);
+        cache.store(7, "canon-a", "body-a");
+        // Same digest, different canonical key: must not serve body-a.
+        assert_eq!(cache.lookup(7, "canon-b"), None);
+        assert_eq!(cache.counters().evictions, 1, "the colliding slot is freed");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_are_evicted_and_miss() {
+        let (cache, dir) = temp_cache("corrupt", 0);
+        // No header line at all.
+        fs::write(dir.join(format!("{:016x}.json", 9u64)), "garbage, no newline").unwrap();
+        assert_eq!(cache.lookup(9, "canon"), None);
+        assert!(!dir.join(format!("{:016x}.json", 9u64)).exists());
+        // Wrong header magic.
+        fs::write(dir.join(format!("{:016x}.json", 10u64)), "not-the-magic\nbody").unwrap();
+        assert_eq!(cache.lookup(10, "canon"), None);
+        // Invalid UTF-8.
+        fs::write(dir.join(format!("{:016x}.json", 11u64)), [0xff, 0xfe, 0x0a, 0x20]).unwrap();
+        assert_eq!(cache.lookup(11, "canon"), None);
+        assert_eq!(cache.counters().evictions, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_evicts_least_recently_used_beyond_the_limit() {
+        let (cache, dir) = temp_cache("lru", 2);
+        for digest in [1u64, 2, 3] {
+            cache.store(digest, &format!("canon-{digest}"), "body");
+            // Separate mtimes deterministically (filesystem clocks can be
+            // coarse); entry N is older than entry N+1.
+            let f = fs::File::open(cache.entry_path(digest)).unwrap();
+            f.set_modified(SystemTime::UNIX_EPOCH + Duration::from_secs(100 * digest)).unwrap();
+        }
+        // Storing a fourth sweeps down to 2: oldest (1 and 2) go.
+        cache.store(4, "canon-4", "body");
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.lookup(1, "canon-1"), None);
+        assert_eq!(cache.lookup(2, "canon-2"), None);
+        assert_eq!(cache.lookup(3, "canon-3").as_deref(), Some("body"));
+        assert_eq!(cache.lookup(4, "canon-4").as_deref(), Some("body"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_hit_refreshes_recency() {
+        let (cache, dir) = temp_cache("refresh", 2);
+        for digest in [1u64, 2] {
+            cache.store(digest, &format!("canon-{digest}"), "body");
+            let f = fs::File::open(cache.entry_path(digest)).unwrap();
+            f.set_modified(SystemTime::UNIX_EPOCH + Duration::from_secs(100 * digest)).unwrap();
+        }
+        // Touch entry 1: it becomes the most recent.
+        assert!(cache.lookup(1, "canon-1").is_some());
+        cache.store(3, "canon-3", "body");
+        assert_eq!(cache.lookup(1, "canon-1").as_deref(), Some("body"), "refreshed survivor");
+        assert_eq!(cache.lookup(2, "canon-2"), None, "stale entry swept");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

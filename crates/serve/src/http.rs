@@ -20,6 +20,9 @@ pub(crate) struct Request {
     pub method: String,
     /// Path component of the request target (query string stripped).
     pub path: String,
+    /// The presented API key, from `Authorization: Bearer <key>` or
+    /// `X-Api-Key: <key>` (the former wins when both appear).
+    pub api_key: Option<String>,
     /// The body, exactly `Content-Length` bytes.
     pub body: Vec<u8>,
 }
@@ -73,6 +76,8 @@ pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError>
 
     let mut content_length = 0usize;
     let mut expects_continue = false;
+    let mut bearer_key = None;
+    let mut header_key = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             return Err(ReadError::Bad(format!("malformed header line `{line}`")));
@@ -87,8 +92,16 @@ pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError>
             && value.trim().eq_ignore_ascii_case("100-continue")
         {
             expects_continue = true;
+        } else if name.eq_ignore_ascii_case("authorization") {
+            let value = value.trim();
+            if value.len() >= 7 && value[..7].eq_ignore_ascii_case("bearer ") {
+                bearer_key = Some(value[7..].trim().to_string());
+            }
+        } else if name.eq_ignore_ascii_case("x-api-key") {
+            header_key = Some(value.trim().to_string());
         }
     }
+    let api_key = bearer_key.or(header_key).filter(|k| !k.is_empty());
     if content_length > MAX_BODY_BYTES {
         return Err(ReadError::TooLarge(format!("body of {content_length} bytes exceeds the cap")));
     }
@@ -108,7 +121,7 @@ pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError>
         }
     }
     body.truncate(content_length);
-    Ok(Request { method, path, body })
+    Ok(Request { method, path, api_key, body })
 }
 
 fn reason(status: u16) -> &'static str {
@@ -116,6 +129,8 @@ fn reason(status: u16) -> &'static str {
         200 => "OK",
         202 => "Accepted",
         400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
@@ -129,13 +144,28 @@ fn reason(status: u16) -> &'static str {
 
 /// Writes one complete JSON response and flushes it.
 pub(crate) fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    respond_retry(stream, status, None, body)
+}
+
+/// [`respond`] with an optional `Retry-After: <seconds>` header — every
+/// backpressure answer (`429`, breaker `503`, queue-full `429`) carries
+/// one so well-behaved clients know when to come back.
+pub(crate) fn respond_retry(
+    stream: &mut TcpStream,
+    status: u16,
+    retry_after: Option<u64>,
+    body: &str,
+) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         reason(status),
         body.len()
     )?;
+    if let Some(seconds) = retry_after {
+        write!(stream, "Retry-After: {seconds}\r\n")?;
+    }
+    write!(stream, "Connection: close\r\n\r\n")?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }

@@ -25,26 +25,82 @@
 //! |---|---|
 //! | `POST /synthesize` | Runs one mapping flow. Body fields: exactly one of `bench` (embedded benchmark name) or `g_source` (ad-hoc `.g` text); optional `literal_limit`, `or_limit`, `csc_repair`, `verify`, `strategy` (`packed`\|`explicit`\|`symbolic`), `reach_jobs`, `materialize_limit`; optional `async` or `stream` booleans. The `200` body is **byte-identical** to `simap map --json` for the same spec/config. With `"async":true` answers `202 {"job":"jN","status":"queued"}` immediately. With `"stream":true` answers `application/x-ndjson`: one [`simap_core::FlowEvent`] JSON line per observer callback as stages complete, ending with `{"event":"report","report":{...}}` (or `{"event":"error",...}`). |
 //! | `POST /batch` | Runs many benchmarks through one configuration. Body fields: `names` (array, empty/absent = the whole embedded suite), `limits` (array of literal limits, default `[2]`), the shared configuration fields, `async`. The `200` body is byte-identical to `simap bench run --json`. |
-//! | `GET /jobs/{id}` | Polls an async job: `{"job":"jN","status":"queued"\|"running"\|"done"\|"failed"}` plus `result` (the full response document) when done or `error` when failed. `404` for unknown/evicted ids. |
+//! | `GET /jobs/{id}` | Polls an async job: `{"job":"jN","status":"queued"\|"running"\|"done"\|"failed"}` plus `result` (the full response document) when done or `error` when failed. `404` for unknown/evicted/expired ids. |
 //! | `GET /benchmarks` | The embedded registry with signal/state counts — byte-identical to `simap bench list --json`. |
-//! | `GET /healthz` | `{"status":"ok"}` — liveness only, never queues. |
-//! | `GET /metrics` | Request/response tallies, queue depth and job accounting, the engine's elaboration [`simap_core::CacheStats`], and per-stage latency histograms (power-of-two µs buckets). |
+//! | `GET /healthz` | `{"status":"ok","queue_depth":…,"queue_limit":…,"breaker":"closed"\|"open"\|"half-open","workers":…,"workers_alive":…}` — liveness plus admission health, never queues, never requires a key. |
+//! | `GET /metrics` | Request/response tallies, queue depth and job accounting (including age-`expired` records), the engine's elaboration [`simap_core::CacheStats`], per-stage latency histograms (power-of-two µs buckets), and a `gateway` section: per-layer allow/reject tallies, breaker state and trip counts, result-cache hit/miss/store/eviction counters, per-client admissions. |
 //!
-//! Status codes: `400` malformed request/body, `404` unknown route or
-//! job, `405` wrong method, `413` oversized request, `422` the flow
-//! itself failed (unknown benchmark, CSC violation, …), `429` the job
-//! queue is full — the backpressure signal, `500` a server-side bug (a
-//! worker panic, isolated so the pool survives), `503` shutting down.
+//! Status codes: `400` malformed request/body, `401` missing or unknown
+//! API key, `403` a valid key whose client is blocked, `404` unknown
+//! route or job, `405` wrong method, `413` oversized request, `422` the
+//! flow itself failed (unknown benchmark, CSC violation, …), `429` rate
+//! limit, in-flight quota, or a full job queue — every `429` and
+//! breaker `503` carries `Retry-After` seconds, `500` a server-side bug
+//! (a worker panic, isolated so the pool survives), `503` the circuit
+//! breaker shedding load, or shutting down.
+//!
+//! ## The gateway
+//!
+//! Between the socket and the queue sits a middleware chain
+//! (auth → rate limit → breaker; first rejection wins), plus a
+//! persistent result cache consulted before anything is enqueued:
+//!
+//! 1. **Authentication/authorization** ([`ServeConfig::api_keys`]): a
+//!    TSV keyfile of `key<TAB>client<TAB>tier` lines; tiers are
+//!    `free`, `standard` (4× budgets), `unlimited`, and `blocked`
+//!    (`403`). Without a keyfile every caller is one anonymous
+//!    standard-tier client. Keys are presented as `Authorization:
+//!    Bearer <key>` or `X-Api-Key: <key>`; the file reloads on SIGHUP
+//!    ([`ServerHandle::reload_api_keys`]) and a bad file keeps the old
+//!    keys.
+//! 2. **Rate limiting and quotas** ([`ServeConfig::rate_limit`],
+//!    [`ServeConfig::max_inflight`]): a token bucket per client plus an
+//!    in-flight job budget, both scaled by tier, both only on the
+//!    enqueueing routes — polling is always free.
+//! 3. **Circuit breaker** ([`ServeConfig::breaker_threshold`],
+//!    [`ServeConfig::breaker_cooldown`]): queue-full rejections and
+//!    worker failures in a ten-second sliding window trip it open;
+//!    while open every work request is `503` + `Retry-After`; after the
+//!    cooldown one half-open probe decides between closing and another
+//!    cooldown.
+//! 4. **Result cache** ([`ServeConfig::cache_dir`]): finished reports,
+//!    content-addressed by a stable digest of the request plus the full
+//!    [`Config::digest`] fingerprint. A hit answers byte-identically
+//!    from disk without enqueueing — including after a restart, or from
+//!    a sibling instance sharing the directory. Corrupt entries are
+//!    evicted and treated as misses; the directory is LRU-bounded by
+//!    [`ServeConfig::cache_limit`].
+//!
+//! Every gateway decision is a [`simap_core::FlowEvent::Gateway`]:
+//! streaming clients see their own admission trail at the head of the
+//! NDJSON feed, and `/metrics` aggregates the tallies.
+//!
+//! ## Quickstart, in three tiers
+//!
+//! ```sh
+//! # 1. Trusted dev loop: anonymous, unlimited, nothing persisted.
+//! simap serve --addr 127.0.0.1:7317
+//!
+//! # 2. Shared instance: keyed clients, per-client budgets.
+//! printf 'k-ci\tci\tstandard\nk-dev\tdev\tfree\n' > keys.tsv
+//! simap serve --api-keys keys.tsv --rate-limit 5 --max-inflight 4
+//! #   (edit keys.tsv, then `kill -HUP <pid>` to reload it live)
+//!
+//! # 3. Fleet: shared persistent cache + load shedding.
+//! simap serve --api-keys keys.tsv --rate-limit 5 --max-inflight 4 \
+//!             --cache-dir /var/cache/simap --cache-limit 4096 \
+//!             --breaker-threshold 8 --breaker-cooldown 5
+//! ```
 //!
 //! ## Backpressure and shutdown
 //!
 //! Work is admitted through a bounded queue ([`ServeConfig::queue_limit`]);
-//! when it is full the server answers `429` immediately instead of
-//! accepting unbounded work. On shutdown ([`ServerHandle::shutdown`], or
-//! SIGTERM/ctrl-c via [`shutdown_signal`] in the CLI) the listener stops
-//! accepting, accepted jobs drain to completion, workers join, and
-//! [`Server::run`] returns — in-flight synchronous clients get their
-//! responses.
+//! when it is full the server answers `429` + `Retry-After` immediately
+//! instead of accepting unbounded work (and the rejection feeds the
+//! breaker). On shutdown ([`ServerHandle::shutdown`], or SIGTERM/ctrl-c
+//! via [`shutdown_signal`] in the CLI) the listener stops accepting,
+//! accepted jobs drain to completion, workers join, and [`Server::run`]
+//! returns — in-flight synchronous clients get their responses.
 //!
 //! ```
 //! use simap_serve::{ServeConfig, Server};
@@ -64,7 +120,8 @@
 //! let mut response = String::new();
 //! client.read_to_string(&mut response)?;
 //! assert!(response.starts_with("HTTP/1.1 200 OK"));
-//! assert!(response.ends_with("{\"status\":\"ok\"}\n"));
+//! assert!(response.contains("\"status\":\"ok\""));
+//! assert!(response.contains("\"breaker\":\"closed\""));
 //!
 //! handle.shutdown();
 //! running.join().unwrap()?;
@@ -74,18 +131,22 @@
 #![warn(missing_docs)]
 
 mod api;
+mod gateway;
 mod http;
 mod metrics;
 mod queue;
 
 use api::{Mode, Work, WorkSource};
-use http::{read_request, respond, start_ndjson, ReadError, Request};
+use gateway::middleware::RequestContext;
+use gateway::{Gateway, GatewayConfig};
+use http::{read_request, respond, respond_retry, start_ndjson, ReadError, Request};
 use metrics::{Endpoint, Metrics};
 use queue::{JobSpec, JobStatus, JobTable, Queue};
 use simap_core::json;
 use simap_core::{benchmarks_json, report_json, to_json, Config, Engine, EventObserver};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
@@ -103,6 +164,32 @@ pub struct ServeConfig {
     pub jobs: usize,
     /// Bounded job-queue capacity; a full queue answers `429`.
     pub queue_limit: usize,
+    /// API keyfile (`key<TAB>client<TAB>tier` lines); `None` = anonymous
+    /// mode, every caller is one standard-tier client. Reloadable at
+    /// runtime via [`ServerHandle::reload_api_keys`] (SIGHUP in the CLI).
+    pub api_keys: Option<PathBuf>,
+    /// Base requests/sec per client on the work routes (scaled by the
+    /// client's tier); `0` disables rate limiting.
+    pub rate_limit: f64,
+    /// Base queued+running jobs per client (scaled by tier); `0`
+    /// disables the quota.
+    pub max_inflight: usize,
+    /// Directory for the persistent content-addressed result cache;
+    /// `None` disables persistence. Instances sharing a directory share
+    /// the cache.
+    pub cache_dir: Option<PathBuf>,
+    /// Maximum result-cache entries kept on disk (LRU beyond this); `0`
+    /// = unbounded.
+    pub cache_limit: usize,
+    /// Queue-full rejections / worker failures within ten seconds that
+    /// trip the circuit breaker open; `0` disables the breaker.
+    pub breaker_threshold: usize,
+    /// How long the tripped breaker sheds (`503` + `Retry-After`)
+    /// before admitting a half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Age after which finished job records are expired from the polling
+    /// table (on top of the fixed count window).
+    pub job_expiry: Duration,
     /// Base synthesis configuration; per-request fields override it
     /// through [`Config::to_builder`].
     pub config: Config,
@@ -114,6 +201,14 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7317".to_string(),
             jobs: 0,
             queue_limit: 64,
+            api_keys: None,
+            rate_limit: 0.0,
+            max_inflight: 0,
+            cache_dir: None,
+            cache_limit: 256,
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_secs(5),
+            job_expiry: Duration::from_secs(900),
             config: Config::default(),
         }
     }
@@ -124,8 +219,12 @@ struct Shared {
     metrics: Arc<Metrics>,
     queue: Queue,
     jobs: JobTable,
+    gateway: Gateway,
     shutdown: AtomicBool,
     open_connections: AtomicUsize,
+    /// Worker threads currently inside their drain loop (healthz
+    /// liveness: should equal `workers` while serving).
+    workers_alive: AtomicUsize,
     addr: SocketAddr,
     workers: usize,
     queue_limit: usize,
@@ -174,6 +273,16 @@ impl ServerHandle {
         self.shared.shutdown.load(Ordering::Acquire)
     }
 
+    /// Re-reads the API keyfile (the CLI calls this on SIGHUP) and
+    /// returns the new key count. On any error the previous keys stay in
+    /// force.
+    ///
+    /// # Errors
+    /// No keyfile configured, or the file is unreadable or malformed.
+    pub fn reload_api_keys(&self) -> Result<usize, String> {
+        self.shared.gateway.reload_api_keys()
+    }
+
     /// Requests a graceful shutdown: stop accepting, drain accepted
     /// jobs, join workers. Idempotent; returns immediately ([`Server::run`]
     /// returns once the drain completes).
@@ -201,8 +310,20 @@ impl Server {
     /// metrics). No thread is spawned yet.
     ///
     /// # Errors
-    /// Address parse/bind failures.
+    /// Address parse/bind failures; a missing or malformed API keyfile;
+    /// an unusable cache directory (all reported as `InvalidInput`).
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let gateway = Gateway::open(&GatewayConfig {
+            api_keys: config.api_keys.clone(),
+            rate_limit: config.rate_limit,
+            max_inflight: config.max_inflight,
+            cache_dir: config.cache_dir.clone(),
+            cache_limit: config.cache_limit,
+            breaker_threshold: config.breaker_threshold,
+            breaker_cooldown: config.breaker_cooldown,
+            ..GatewayConfig::default()
+        })
+        .map_err(|message| std::io::Error::new(std::io::ErrorKind::InvalidInput, message))?;
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = if config.jobs == 0 {
@@ -214,9 +335,11 @@ impl Server {
             engine: Engine::new(config.config),
             metrics: Arc::new(Metrics::default()),
             queue: Queue::new(config.queue_limit.max(1)),
-            jobs: JobTable::new(),
+            jobs: JobTable::new(config.job_expiry),
+            gateway,
             shutdown: AtomicBool::new(false),
             open_connections: AtomicUsize::new(0),
+            workers_alive: AtomicUsize::new(0),
             addr,
             workers,
             queue_limit: config.queue_limit.max(1),
@@ -247,9 +370,21 @@ impl Server {
         for i in 0..shared.workers {
             let shared = shared.clone();
             workers.push(
-                std::thread::Builder::new()
-                    .name(format!("simap-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))?,
+                std::thread::Builder::new().name(format!("simap-serve-worker-{i}")).spawn(
+                    move || {
+                        shared.workers_alive.fetch_add(1, Ordering::AcqRel);
+                        // Decrement even if the loop unwinds, so healthz
+                        // liveness reflects a lost worker.
+                        struct Alive<'a>(&'a AtomicUsize);
+                        impl Drop for Alive<'_> {
+                            fn drop(&mut self) {
+                                self.0.fetch_sub(1, Ordering::AcqRel);
+                            }
+                        }
+                        let _alive = Alive(&shared.workers_alive);
+                        worker_loop(&shared);
+                    },
+                )?,
             );
         }
 
@@ -356,14 +491,61 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     };
     shared.metrics.count_request(endpoint_of(&request));
 
+    // Gateway admission guards everything except the liveness and
+    // observability routes (`/healthz`, `/metrics` stay open so load
+    // balancers and dashboards keep working when keys rotate or the
+    // breaker sheds). Only the two enqueueing routes are subject to rate
+    // limiting and the breaker; polling an async job is always free.
+    let queues_work = matches!(
+        (request.method.as_str(), request.path.as_str()),
+        ("POST", "/synthesize" | "/batch")
+    );
+    let protected = queues_work
+        || matches!((request.method.as_str(), request.path.as_str()), ("GET", "/benchmarks"))
+        || (request.method == "GET" && request.path.starts_with("/jobs/"));
+    let ctx = if protected {
+        match shared.gateway.admit(request.api_key.clone(), queues_work) {
+            Ok(ctx) => Some(ctx),
+            Err(rejected) => {
+                let (rejection, _) = *rejected;
+                shared.metrics.count_status(rejection.status);
+                let _ = respond_retry(
+                    &mut stream,
+                    rejection.status,
+                    rejection.retry_after,
+                    &error_body(&rejection.message),
+                );
+                return;
+            }
+        }
+    } else {
+        None
+    };
+
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => send(shared, &mut stream, 200, "{\"status\":\"ok\"}\n"),
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"queue_depth\":{},\"queue_limit\":{},\"breaker\":{},\
+                 \"workers\":{},\"workers_alive\":{}}}\n",
+                shared.queue.depth(),
+                shared.queue_limit,
+                json::quote(shared.gateway.breaker_state().as_str()),
+                shared.workers,
+                shared.workers_alive.load(Ordering::Acquire),
+            );
+            send(shared, &mut stream, 200, &body);
+        }
         ("GET", "/metrics") => {
             let body = shared.metrics.render(
                 shared.engine.cache_stats(),
-                shared.queue.depth(),
-                shared.queue_limit,
-                shared.workers,
+                metrics::QueueGauges {
+                    depth: shared.queue.depth(),
+                    limit: shared.queue_limit,
+                    workers: shared.workers,
+                    alive: shared.workers_alive.load(Ordering::Acquire),
+                    expired: shared.jobs.expired_total(),
+                },
+                &shared.gateway.metrics_json(),
             );
             send(shared, &mut stream, 200, &body);
         }
@@ -374,13 +556,29 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         ("GET", path) if path.starts_with("/jobs/") => job_status(shared, &mut stream, path),
         ("POST", "/synthesize") => {
             match api::parse_synthesize(&request.body, shared.engine.config()) {
-                Ok((work, mode)) => submit(shared, &mut stream, work, mode),
-                Err(message) => send(shared, &mut stream, 400, &error_body(&message)),
+                Ok((work, mode)) => {
+                    submit(shared, &mut stream, work, mode, ctx.expect("work route is protected"));
+                }
+                Err(message) => {
+                    // The admitted request never reached the queue, so a
+                    // half-open probe learned nothing: free the slot.
+                    if ctx.is_some_and(|c| c.breaker_probe) {
+                        shared.gateway.probe_abandoned();
+                    }
+                    send(shared, &mut stream, 400, &error_body(&message));
+                }
             }
         }
         ("POST", "/batch") => match api::parse_batch(&request.body, shared.engine.config()) {
-            Ok((work, mode)) => submit(shared, &mut stream, work, mode),
-            Err(message) => send(shared, &mut stream, 400, &error_body(&message)),
+            Ok((work, mode)) => {
+                submit(shared, &mut stream, work, mode, ctx.expect("work route is protected"));
+            }
+            Err(message) => {
+                if ctx.is_some_and(|c| c.breaker_probe) {
+                    shared.gateway.probe_abandoned();
+                }
+                send(shared, &mut stream, 400, &error_body(&message));
+            }
         },
         (_, "/healthz" | "/metrics" | "/benchmarks" | "/synthesize" | "/batch") => {
             send(shared, &mut stream, 405, &error_body("method not allowed"));
@@ -415,7 +613,48 @@ fn job_status(shared: &Shared, stream: &mut TcpStream, path: &str) {
     send(shared, stream, 200, &body);
 }
 
-fn submit(shared: &Shared, stream: &mut TcpStream, work: Work, mode: Mode) {
+fn submit(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    work: Work,
+    mode: Mode,
+    mut ctx: RequestContext,
+) {
+    // Consult the persistent result cache before anything is enqueued.
+    // Streaming requests bypass the read path (their contract is a live
+    // event feed, not just the final report), but their results are
+    // still stored on completion like everyone else's.
+    let fingerprint = shared.gateway.cache_enabled().then(|| api::work_fingerprint(&work));
+    if mode != Mode::Stream {
+        if let Some((digest, canon)) = &fingerprint {
+            if let Some(body) = shared.gateway.cache_lookup(*digest, canon) {
+                ctx.record("rescache", "hit");
+                if ctx.breaker_probe {
+                    // Nothing was enqueued, so the probe learned nothing
+                    // about queue health: free the slot without a verdict.
+                    shared.gateway.probe_abandoned();
+                }
+                match mode {
+                    Mode::Sync => send(shared, stream, 200, &body),
+                    _ => {
+                        // Async hit: a pre-completed job, pollable like
+                        // any other — the 202 contract is unchanged.
+                        let id = shared.jobs.create(None);
+                        shared.jobs.complete(id, Ok(body));
+                        send(
+                            shared,
+                            stream,
+                            202,
+                            &format!("{{\"job\":\"j{id}\",\"status\":\"queued\"}}\n"),
+                        );
+                    }
+                }
+                return;
+            }
+            ctx.record("rescache", "miss");
+        }
+    }
+
     let (stream_tx, stream_rx) = match mode {
         Mode::Stream => {
             let (tx, rx) = std::sync::mpsc::channel();
@@ -427,22 +666,41 @@ fn submit(shared: &Shared, stream: &mut TcpStream, work: Work, mode: Mode) {
     // The shutdown flag is checked inside `submit`, under the queue lock,
     // so an accepted job is guaranteed a worker (no submit-after-drain
     // race; see `Queue::submit`).
-    match shared.queue.submit(JobSpec { id, work }, &shared.shutdown) {
-        Ok(()) => {}
+    let spec = JobSpec { id, work, client: ctx.client.clone(), fingerprint };
+    match shared.queue.submit(spec, &shared.shutdown) {
+        Ok(()) => {
+            // The queue accepted work while half-open: the service is
+            // admitting again — close the breaker.
+            if ctx.breaker_probe {
+                shared.gateway.probe_result(true);
+            }
+            shared.gateway.job_started(&ctx.client);
+        }
         Err(queue::SubmitError::ShuttingDown) => {
             shared.jobs.discard(id);
+            if ctx.breaker_probe {
+                shared.gateway.probe_abandoned();
+            }
             send(shared, stream, 503, &error_body("shutting down"));
             return;
         }
         Err(queue::SubmitError::Full) => {
             shared.jobs.discard(id);
             shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            // Queue saturation is the breaker's primary distress signal;
+            // a half-open probe hitting a still-full queue re-opens it.
+            if ctx.breaker_probe {
+                shared.gateway.probe_result(false);
+            } else {
+                shared.gateway.record_failure();
+            }
             let body = format!(
                 "{{\"error\":\"queue full\",\"queue_depth\":{},\"queue_limit\":{}}}\n",
                 shared.queue.depth(),
                 shared.queue_limit
             );
-            send(shared, stream, 429, &body);
+            shared.metrics.count_status(429);
+            let _ = respond_retry(stream, 429, Some(1), &body);
             return;
         }
     }
@@ -474,6 +732,11 @@ fn submit(shared: &Shared, stream: &mut TcpStream, work: Work, mode: Mode) {
             if start_ndjson(stream).is_err() {
                 return;
             }
+            // The gateway's decision trail leads the stream, so clients
+            // see how their request was admitted before the flow starts.
+            for event in &ctx.events {
+                let _ = writeln!(stream, "{}", event.to_json());
+            }
             let _ = writeln!(stream, "{{\"event\":\"job\",\"job\":\"j{id}\"}}");
             let _ = stream.flush();
             let rx = stream_rx.expect("stream mode created a channel");
@@ -491,7 +754,7 @@ fn submit(shared: &Shared, stream: &mut TcpStream, work: Work, mode: Mode) {
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(JobSpec { id, work }) = shared.queue.pop(&shared.shutdown) {
+    while let Some(JobSpec { id, work, client, fingerprint }) = shared.queue.pop(&shared.shutdown) {
         let stream = shared.jobs.mark_running(id);
         // Panic isolation: `g_source` bodies are untrusted network input,
         // and a panicking job must neither kill the worker (permanently
@@ -510,6 +773,12 @@ fn worker_loop(shared: &Shared) {
         });
         match &outcome {
             Ok(body) => {
+                // Persist the finished report so a restarted instance (or
+                // a sibling on the same --cache-dir) can answer this
+                // request byte-identically without re-synthesizing.
+                if let Some((digest, canon)) = &fingerprint {
+                    shared.gateway.cache_store(*digest, canon, body);
+                }
                 if let Some(tx) = &stream {
                     let _ =
                         tx.send(format!("{{\"event\":\"report\",\"report\":{}}}", body.trim_end()));
@@ -524,8 +793,12 @@ fn worker_loop(shared: &Shared) {
                     ));
                 }
                 shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                // Worker failures are the breaker's second distress
+                // signal, alongside queue-full rejections.
+                shared.gateway.record_failure();
             }
         }
+        shared.gateway.job_finished(&client);
         shared.jobs.complete(id, outcome);
     }
 }
@@ -598,39 +871,54 @@ pub mod shutdown_signal {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static REQUESTED: AtomicBool = AtomicBool::new(false);
+    static RELOAD: AtomicBool = AtomicBool::new(false);
 
     #[cfg(unix)]
-    extern "C" fn on_signal(_signum: i32) {
+    extern "C" fn on_signal(signum: i32) {
         // Only async-signal-safe operations are allowed here; an atomic
         // store qualifies.
-        REQUESTED.store(true, Ordering::SeqCst);
+        if signum == 1 {
+            RELOAD.store(true, Ordering::SeqCst);
+        } else {
+            REQUESTED.store(true, Ordering::SeqCst);
+        }
     }
 
-    /// Installs handlers for SIGINT (ctrl-c) and SIGTERM that latch
-    /// [`requested`]. A no-op on non-Unix targets.
+    /// Installs handlers for SIGINT (ctrl-c) and SIGTERM, which latch
+    /// [`requested`], and SIGHUP, which latches [`reload_requested`]
+    /// (the conventional "re-read your config" signal — the CLI reloads
+    /// the API keyfile on it). A no-op on non-Unix targets.
     #[cfg(unix)]
     pub fn install() {
         extern "C" {
             fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
         }
+        const SIGHUP: i32 = 1;
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
         // SAFETY: `signal` is the POSIX C function (the C runtime is
         // already linked by std on unix); the handler only performs an
         // atomic store, which is async-signal-safe.
         unsafe {
+            signal(SIGHUP, on_signal);
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
         }
     }
 
-    /// Installs handlers for SIGINT/SIGTERM (no-op off Unix).
+    /// Installs handlers for SIGHUP/SIGINT/SIGTERM (no-op off Unix).
     #[cfg(not(unix))]
     pub fn install() {}
 
     /// Whether a termination signal has been received since [`install`].
     pub fn requested() -> bool {
         REQUESTED.load(Ordering::SeqCst)
+    }
+
+    /// Takes (and clears) a pending SIGHUP reload request, so each
+    /// signal triggers exactly one reload.
+    pub fn reload_requested() -> bool {
+        RELOAD.swap(false, Ordering::SeqCst)
     }
 }
 
@@ -663,7 +951,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             jobs,
             queue_limit,
-            config: Config::default(),
+            ..ServeConfig::default()
         })
         .expect("bind");
         let handle = server.handle();
@@ -675,7 +963,11 @@ mod tests {
     fn healthz_and_unknown_routes() {
         let (handle, join) = test_server(1, 4);
         let addr = handle.addr();
-        assert_eq!(request(addr, "GET", "/healthz", ""), (200, "{\"status\":\"ok\"}\n".into()));
+        let (status, body) = request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"status\":\"ok\",\"queue_depth\":"), "{body}");
+        assert!(body.contains("\"breaker\":\"closed\""), "{body}");
+        assert!(body.contains("\"workers\":1"), "{body}");
         let (status, _) = request(addr, "GET", "/nope", "");
         assert_eq!(status, 404);
         let (status, _) = request(addr, "DELETE", "/healthz", "");

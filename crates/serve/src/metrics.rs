@@ -36,7 +36,7 @@ const ENDPOINTS: [(Endpoint, &str); 7] = [
     (Endpoint::Other, "other"),
 ];
 
-const STATUSES: [u16; 10] = [200, 202, 400, 404, 405, 413, 422, 429, 500, 503];
+const STATUSES: [u16; 12] = [200, 202, 400, 401, 403, 404, 405, 413, 422, 429, 500, 503];
 
 /// The pipeline stages, in flow order, for histogram indexing.
 const STAGES: [(Stage, &str); 7] = [
@@ -60,6 +60,18 @@ struct StageHist {
     count: AtomicU64,
     total_us: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
+}
+
+/// Point-in-time queue and worker gauges sampled by the render path
+/// (the queue's depth and the job table's expiry counter live outside
+/// [`Metrics`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueueGauges {
+    pub(crate) depth: usize,
+    pub(crate) limit: usize,
+    pub(crate) workers: usize,
+    pub(crate) alive: usize,
+    pub(crate) expired: u64,
 }
 
 /// All counters of one server instance.
@@ -99,13 +111,10 @@ impl Metrics {
     }
 
     /// Renders the full metrics document (one line, trailing newline).
-    pub(crate) fn render(
-        &self,
-        engine: CacheStats,
-        queue_depth: usize,
-        queue_limit: usize,
-        workers: usize,
-    ) -> String {
+    /// `gateway` is the pre-rendered gateway section (one JSON object,
+    /// from `Gateway::metrics_json`).
+    pub(crate) fn render(&self, engine: CacheStats, queue: QueueGauges, gateway: &str) -> String {
+        let QueueGauges { depth: queue_depth, limit: queue_limit, workers, alive, expired } = queue;
         use std::fmt::Write as _;
         let mut out = String::from("{\"requests\":{\"total\":");
         let _ = write!(out, "{}", self.requests_total.load(Ordering::Relaxed));
@@ -126,8 +135,8 @@ impl Metrics {
         let _ = write!(
             out,
             "}}}},\"queue\":{{\"depth\":{queue_depth},\"limit\":{queue_limit},\
-             \"workers\":{workers},\"submitted\":{},\"completed\":{},\"failed\":{},\
-             \"rejected\":{}}}",
+             \"workers\":{workers},\"workers_alive\":{alive},\"submitted\":{},\
+             \"completed\":{},\"failed\":{},\"rejected\":{},\"expired\":{expired}}}",
             self.jobs_submitted.load(Ordering::Relaxed),
             self.jobs_completed.load(Ordering::Relaxed),
             self.jobs_failed.load(Ordering::Relaxed),
@@ -138,6 +147,7 @@ impl Metrics {
             ",\"engine\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evicted\":{}}}",
             engine.hits, engine.misses, engine.entries, engine.evicted
         );
+        let _ = write!(out, ",\"gateway\":{gateway}");
         out.push_str(",\"stage_latency_us\":{");
         let mut first = true;
         for (i, (_, name)) in STAGES.iter().enumerate() {
@@ -190,7 +200,12 @@ mod tests {
         m.record_stage(Stage::Elaborate, Duration::from_micros(100));
         m.record_stage(Stage::Elaborate, Duration::from_micros(3));
         m.record_stage(Stage::Verify, Duration::from_secs(1));
-        let doc = m.render(CacheStats { hits: 5, misses: 2, entries: 2, evicted: 1 }, 1, 8, 4);
+        m.count_status(401);
+        let doc = m.render(
+            CacheStats { hits: 5, misses: 2, entries: 2, evicted: 1 },
+            QueueGauges { depth: 1, limit: 8, workers: 4, alive: 4, expired: 7 },
+            "{\"auth_mode\":\"anonymous\"}",
+        );
         let parsed = simap_core::json::parse(doc.trim_end()).expect("valid JSON");
         let requests = parsed.get("requests").unwrap();
         assert_eq!(requests.get("total").unwrap().as_usize(), Some(3));
@@ -199,7 +214,14 @@ mod tests {
             Some(2)
         );
         assert_eq!(requests.get("by_status").unwrap().get("429").unwrap().as_usize(), Some(1));
+        assert_eq!(requests.get("by_status").unwrap().get("401").unwrap().as_usize(), Some(1));
         assert_eq!(parsed.get("queue").unwrap().get("limit").unwrap().as_usize(), Some(8));
+        assert_eq!(parsed.get("queue").unwrap().get("workers_alive").unwrap().as_usize(), Some(4));
+        assert_eq!(parsed.get("queue").unwrap().get("expired").unwrap().as_usize(), Some(7));
+        assert_eq!(
+            parsed.get("gateway").unwrap().get("auth_mode").unwrap().as_str(),
+            Some("anonymous")
+        );
         assert_eq!(parsed.get("engine").unwrap().get("hits").unwrap().as_usize(), Some(5));
         assert_eq!(parsed.get("engine").unwrap().get("evicted").unwrap().as_usize(), Some(1));
         let elaborate = parsed.get("stage_latency_us").unwrap().get("elaborate").unwrap();
@@ -214,7 +236,11 @@ mod tests {
         let m = Metrics::default();
         // 100us lands in the bucket with upper bound 128.
         m.record_stage(Stage::Map, Duration::from_micros(100));
-        let doc = m.render(CacheStats { hits: 0, misses: 0, entries: 0, evicted: 0 }, 0, 1, 1);
+        let doc = m.render(
+            CacheStats { hits: 0, misses: 0, entries: 0, evicted: 0 },
+            QueueGauges { depth: 0, limit: 1, workers: 1, alive: 1, expired: 0 },
+            "{}",
+        );
         assert!(
             doc.contains("\"map\":{\"count\":1,\"total\":100,\"histogram\":[[128,1]]}"),
             "{doc}"

@@ -8,14 +8,18 @@
 //!
 //! The [`JobTable`] tracks each job from `queued` through
 //! `running` to `done`/`failed`, keeps the rendered response body of
-//! finished jobs for `GET /jobs/{id}` polling, and caps its memory by
-//! evicting the oldest *finished* records beyond a fixed window.
+//! finished jobs for `GET /jobs/{id}` polling, and caps its memory two
+//! ways: the oldest *finished* records are evicted beyond a fixed count
+//! window, and finished records older than the configured expiry age are
+//! expired regardless of count (a quiet server does not pin yesterday's
+//! results in memory forever).
 
 use crate::api::Work;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Finished-job records kept for polling before eviction kicks in.
 const MAX_FINISHED_JOBS: usize = 1024;
@@ -24,6 +28,13 @@ const MAX_FINISHED_JOBS: usize = 1024;
 pub(crate) struct JobSpec {
     pub id: u64,
     pub work: Work,
+    /// The gateway-resolved client that submitted it (releases its
+    /// in-flight quota at completion).
+    pub client: String,
+    /// The result-cache identity `(digest, canonical key)` when this
+    /// job's success body should be persisted; `None` when the cache is
+    /// disabled.
+    pub fingerprint: Option<(u64, String)>,
 }
 
 /// Why a submission was rejected.
@@ -139,6 +150,8 @@ pub(crate) struct JobRecord {
     pub result: Option<String>,
     /// Failure once failed.
     pub error: Option<JobFailure>,
+    /// When the job finished (drives age-based expiry).
+    finished_at: Option<Instant>,
     /// NDJSON line sink while a streaming client is attached. Dropped at
     /// completion so the streaming connection sees end-of-events.
     stream: Option<Sender<String>>,
@@ -156,15 +169,30 @@ pub(crate) struct JobTable {
     inner: Mutex<TableInner>,
     done: Condvar,
     next: AtomicU64,
+    /// Finished records older than this are expired on the next insert
+    /// (in addition to the count window).
+    expiry: Duration,
+    /// Records removed by *age* (exposed in /metrics as
+    /// `queue.expired`; count-window evictions are not tallied here).
+    expired: AtomicU64,
 }
 
 impl JobTable {
-    pub(crate) fn new() -> Self {
+    /// A table whose finished records expire after `expiry` (on top of
+    /// the fixed count window).
+    pub(crate) fn new(expiry: Duration) -> Self {
         JobTable {
             inner: Mutex::new(TableInner { map: HashMap::new(), order: VecDeque::new() }),
             done: Condvar::new(),
             next: AtomicU64::new(1),
+            expiry,
+            expired: AtomicU64::new(0),
         }
+    }
+
+    /// How many finished records have been expired by age.
+    pub(crate) fn expired_total(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
     }
 
     /// Registers a new queued job (optionally with a streaming sink) and
@@ -172,11 +200,24 @@ impl JobTable {
     pub(crate) fn create(&self, stream: Option<Sender<String>>) -> u64 {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock().expect("job table lock");
-        // Evict the oldest finished records beyond the window; queued and
+        // Evict finished records: first anything older than the expiry
+        // age, then the oldest beyond the count window. Queued and
         // running jobs are never evicted (their count is bounded by the
         // queue limit plus the worker count).
         {
             let TableInner { map, order } = &mut *inner;
+            let now = Instant::now();
+            let before = order.len();
+            order.retain(|id| {
+                let expired = map.get(id).is_some_and(|r| {
+                    r.finished_at.is_some_and(|at| now.duration_since(at) >= self.expiry)
+                });
+                if expired {
+                    map.remove(id);
+                }
+                !expired
+            });
+            self.expired.fetch_add((before - order.len()) as u64, Ordering::Relaxed);
             while order.len() >= MAX_FINISHED_JOBS {
                 let Some(pos) = order.iter().position(|id| {
                     matches!(
@@ -191,9 +232,16 @@ impl JobTable {
             }
         }
         inner.order.push_back(id);
-        inner
-            .map
-            .insert(id, JobRecord { status: JobStatus::Queued, result: None, error: None, stream });
+        inner.map.insert(
+            id,
+            JobRecord {
+                status: JobStatus::Queued,
+                result: None,
+                error: None,
+                finished_at: None,
+                stream,
+            },
+        );
         id
     }
 
@@ -228,6 +276,7 @@ impl JobTable {
                     record.error = Some(failure);
                 }
             }
+            record.finished_at = Some(Instant::now());
             record.stream = None;
         }
         drop(inner);
@@ -277,7 +326,14 @@ mod tests {
                 source: crate::api::WorkSource::Benchmark("half".to_string()),
                 config: Config::default(),
             },
+            client: "anonymous".to_string(),
+            fingerprint: None,
         }
+    }
+
+    /// A long enough expiry that nothing ages out mid-test.
+    fn table() -> JobTable {
+        JobTable::new(Duration::from_secs(3600))
     }
 
     #[test]
@@ -298,7 +354,7 @@ mod tests {
 
     #[test]
     fn job_lifecycle_and_waiting() {
-        let table = JobTable::new();
+        let table = table();
         let id = table.create(None);
         assert_eq!(table.status(id).unwrap().0, JobStatus::Queued);
         assert!(table.mark_running(id).is_none());
@@ -313,7 +369,7 @@ mod tests {
 
     #[test]
     fn completion_drops_the_stream_sender() {
-        let table = JobTable::new();
+        let table = table();
         let (tx, rx) = std::sync::mpsc::channel();
         let id = table.create(Some(tx));
         let worker_tx = table.mark_running(id).expect("sink is attached");
@@ -328,5 +384,22 @@ mod tests {
         let failure = error.expect("failure recorded");
         assert_eq!(failure.message, "boom");
         assert!(!failure.internal);
+    }
+
+    #[test]
+    fn finished_jobs_expire_by_age_but_live_jobs_never_do() {
+        let table = JobTable::new(Duration::ZERO); // everything finished is instantly stale
+        let done = table.create(None);
+        let running = table.create(None);
+        table.mark_running(running);
+        table.complete(done, Ok("{}\n".to_string()));
+        assert!(table.status(done).is_some(), "expiry runs on insert, not on read");
+        // The next insert sweeps the finished record out by age...
+        let fresh = table.create(None);
+        assert!(table.status(done).is_none());
+        assert_eq!(table.expired_total(), 1);
+        // ...but queued and running jobs survive any age.
+        assert_eq!(table.status(running).unwrap().0, JobStatus::Running);
+        assert_eq!(table.status(fresh).unwrap().0, JobStatus::Queued);
     }
 }

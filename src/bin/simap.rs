@@ -57,12 +57,24 @@
 //!       --addr <a>       address to bind (default 127.0.0.1:7317)
 //!   -j, --jobs <n>       synthesis worker threads (default: CPU count)
 //!       --queue-limit <n> bounded job queue; full => 429 (default 64)
+//!       --api-keys <f>   TSV keyfile (key<TAB>client<TAB>tier); without
+//!                        it every caller is one anonymous client
+//!       --rate-limit <r> base requests/sec per client (default 0 = off)
+//!       --max-inflight <n> base in-flight jobs per client (default 0 = off)
+//!       --cache-dir <d>  persistent result cache directory (default: off)
+//!       --cache-limit <n> max cached results before LRU eviction (default 256)
+//!       --breaker-threshold <n> worker failures in 10s that open the
+//!                        circuit breaker (default 8; 0 disables)
+//!       --breaker-cooldown <s> seconds the breaker stays open before a
+//!                        half-open probe (default 5)
 //! ```
 //!
 //! `simap serve` hosts the same flow as a long-running HTTP/1.1 service
 //! over one shared engine (warm elaboration cache across clients); see
-//! the `simap_serve` crate docs for the wire protocol. It shuts down
-//! gracefully — draining accepted jobs — on SIGTERM or ctrl-c.
+//! the `simap_serve` crate docs for the wire protocol and the gateway
+//! layers (auth, rate limiting, circuit breaker, result cache). It shuts
+//! down gracefully — draining accepted jobs — on SIGTERM or ctrl-c, and
+//! reloads the API keyfile in place on SIGHUP.
 //!
 //! Unknown flags and flags missing their value are rejected with an
 //! error (exit code 1) instead of being silently ignored.
@@ -375,11 +387,149 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     }
 }
 
+/// One HTTP/1.1 request against the in-process snapshot server.
+fn bench_http(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), Box<dyn Error>> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("no status line in {response:?}"))?;
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Measures an in-process `simap serve` instance for the snapshot's
+/// `serve` section: one cold pass over the benchmarks fills the result
+/// cache and the stage histograms, then a timed warm pass (every request
+/// a cache hit) yields the gateway's warm-cache throughput. Per-stage
+/// latency percentiles are read back from the very `/metrics` histograms
+/// operators would scrape: a percentile is the upper bound of the first
+/// power-of-two bucket whose cumulative count reaches it.
+fn serve_snapshot(names: &[String]) -> Result<String, Box<dyn Error>> {
+    use std::fmt::Write as _;
+    let cache_dir = std::env::temp_dir().join(format!("simap-bench-cache-{}", std::process::id()));
+    let server = simap::serve::Server::bind(simap::serve::ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 2,
+        cache_dir: Some(cache_dir.clone()),
+        ..simap::serve::ServeConfig::default()
+    })?;
+    let handle = server.handle();
+    let addr = server.local_addr();
+    let join = std::thread::spawn(move || server.run());
+
+    let result = (|| -> Result<String, Box<dyn Error>> {
+        for name in names {
+            let body = format!("{{\"bench\":\"{name}\"}}");
+            let (status, response) = bench_http(addr, "POST", "/synthesize", &body)?;
+            if status != 200 {
+                return Err(format!("cold /synthesize for `{name}`: {status} {response}").into());
+            }
+        }
+        const WARM_ROUNDS: usize = 5;
+        let start = std::time::Instant::now();
+        for _ in 0..WARM_ROUNDS {
+            for name in names {
+                let body = format!("{{\"bench\":\"{name}\"}}");
+                let (status, _) = bench_http(addr, "POST", "/synthesize", &body)?;
+                if status != 200 {
+                    return Err(format!("warm /synthesize for `{name}`: {status}").into());
+                }
+            }
+        }
+        let warm_requests = WARM_ROUNDS * names.len();
+        let warm_rps = warm_requests as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+        let (status, metrics) = bench_http(addr, "GET", "/metrics", "")?;
+        if status != 200 {
+            return Err(format!("/metrics: {status}").into());
+        }
+        let doc = simap::core::json::parse(metrics.trim_end())?;
+        let hits = doc
+            .get("gateway")
+            .and_then(|g| g.get("rescache"))
+            .and_then(|c| c.get("hits"))
+            .and_then(simap::core::json::Json::as_usize)
+            .unwrap_or(0);
+        let mut out = format!(
+            "{{\"warm_requests\":{warm_requests},\"warm_cache_hits\":{hits},\
+             \"warm_rps\":{warm_rps:.1},\"stage_percentiles_us\":{{"
+        );
+        let stages = doc.get("stage_latency_us").ok_or("metrics has no stage_latency_us")?;
+        let mut first = true;
+        for stage in ["configure", "load", "elaborate", "covers", "decompose", "map", "verify"] {
+            let Some(hist) = stages.get(stage) else { continue };
+            let buckets: Vec<(u64, u64)> = hist
+                .get("histogram")
+                .and_then(|h| h.as_array())
+                .map(|rows| {
+                    rows.iter()
+                        .filter_map(|row| {
+                            let pair = row.as_array()?;
+                            let bound = pair.first()?.as_usize()? as u64;
+                            let count = pair.get(1)?.as_usize()? as u64;
+                            Some((bound, count))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let total: u64 = buckets.iter().map(|(_, n)| n).sum();
+            if total == 0 {
+                continue;
+            }
+            let percentile = |q: f64| -> u64 {
+                let target = (q * total as f64).ceil().max(1.0) as u64;
+                let mut seen = 0;
+                for &(bound, count) in &buckets {
+                    seen += count;
+                    if seen >= target {
+                        return bound;
+                    }
+                }
+                buckets.last().map_or(0, |&(bound, _)| bound)
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{stage}\":{{\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                percentile(0.50),
+                percentile(0.90),
+                percentile(0.99)
+            );
+        }
+        out.push_str("}}");
+        Ok(out)
+    })();
+
+    handle.shutdown();
+    let _ = join.join();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    result
+}
+
 /// Records a machine-readable performance snapshot to `path`: for each
 /// benchmark, the state/arc counts plus elaboration wall-clock per
-/// reachability strategy and the full mapping flow's wall-clock, closed
-/// by the batch engine's elaboration-cache statistics. The schema is
-/// stable so snapshots from different commits diff cleanly (`simap bench
+/// reachability strategy and the full mapping flow's wall-clock, then
+/// the batch engine's elaboration-cache statistics, closed by the
+/// gateway measurements of [`serve_snapshot`]. The schema is stable so
+/// snapshots from different commits diff cleanly (`simap bench
 /// compare`); the timings themselves are machine- and load-dependent.
 fn record_snapshot(
     path: &str,
@@ -426,11 +576,12 @@ fn record_snapshot(
         let map_us = start.elapsed().as_micros();
         let _ = write!(out, "}},\"map_us\":{map_us},\"states\":{states},\"arcs\":{arcs}}}");
     }
-    let _ = writeln!(
+    let _ = write!(
         out,
-        "],\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evicted\":{}}}}}",
+        "],\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evicted\":{}}}",
         cache.hits, cache.misses, cache.entries, cache.evicted
     );
+    let _ = writeln!(out, ",\"serve\":{}}}", serve_snapshot(names)?);
     std::fs::write(path, out)?;
     Ok(())
 }
@@ -584,7 +735,18 @@ fn bench_run(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
 fn serve(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     let parsed = parse_flags(
         args,
-        &[valued("--addr"), aliased(valued("--jobs"), "-j"), valued("--queue-limit")],
+        &[
+            valued("--addr"),
+            aliased(valued("--jobs"), "-j"),
+            valued("--queue-limit"),
+            valued("--api-keys"),
+            valued("--rate-limit"),
+            valued("--max-inflight"),
+            valued("--cache-dir"),
+            valued("--cache-limit"),
+            valued("--breaker-threshold"),
+            valued("--breaker-cooldown"),
+        ],
     )?;
     if let Some(extra) = parsed.positionals.first() {
         return Err(format!("serve takes no positional argument (got `{extra}`)").into());
@@ -600,6 +762,34 @@ fn serve(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             .map(str::parse)
             .transpose()?
             .unwrap_or(defaults.queue_limit),
+        api_keys: parsed.value("--api-keys").map(std::path::PathBuf::from),
+        rate_limit: parsed
+            .value("--rate-limit")
+            .map(str::parse)
+            .transpose()?
+            .unwrap_or(defaults.rate_limit),
+        max_inflight: parsed
+            .value("--max-inflight")
+            .map(str::parse)
+            .transpose()?
+            .unwrap_or(defaults.max_inflight),
+        cache_dir: parsed.value("--cache-dir").map(std::path::PathBuf::from),
+        cache_limit: parsed
+            .value("--cache-limit")
+            .map(str::parse)
+            .transpose()?
+            .unwrap_or(defaults.cache_limit),
+        breaker_threshold: parsed
+            .value("--breaker-threshold")
+            .map(str::parse)
+            .transpose()?
+            .unwrap_or(defaults.breaker_threshold),
+        breaker_cooldown: parsed
+            .value("--breaker-cooldown")
+            .map(|s| s.parse::<u64>().map(std::time::Duration::from_secs))
+            .transpose()?
+            .unwrap_or(defaults.breaker_cooldown),
+        job_expiry: defaults.job_expiry,
         config: defaults.config,
     };
     let server = simap::serve::Server::bind(config)?;
@@ -607,13 +797,20 @@ fn serve(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     eprintln!("simap serve: listening on http://{}", server.local_addr());
 
     // Signal handling: the handler only latches a flag (the only
-    // async-signal-safe option); this watcher turns the latch into a
-    // graceful drain. It also exits if the server stops some other way.
+    // async-signal-safe option); this watcher turns the latches into
+    // actions — SIGHUP re-reads the API keyfile in place, SIGINT/SIGTERM
+    // drain gracefully. It also exits if the server stops some other way.
     simap::serve::shutdown_signal::install();
     let watcher = std::thread::spawn({
         let handle = handle.clone();
         move || {
             while !simap::serve::shutdown_signal::requested() && !handle.is_shutdown() {
+                if simap::serve::shutdown_signal::reload_requested() {
+                    match handle.reload_api_keys() {
+                        Ok(n) => eprintln!("simap serve: reloaded API keys ({n} entries)"),
+                        Err(e) => eprintln!("simap serve: keyfile reload failed: {e}"),
+                    }
+                }
                 std::thread::sleep(std::time::Duration::from_millis(50));
             }
             handle.shutdown();

@@ -277,10 +277,19 @@ fn streaming_mode_forwards_flow_events_as_ndjson() {
         let doc = json::parse(line).unwrap_or_else(|e| panic!("bad NDJSON line {line:?}: {e}"));
         assert!(doc.get("event").is_some(), "{line}");
     }
-    let first = json::parse(lines[0]).unwrap();
-    assert_eq!(first.get("event").and_then(Json::as_str), Some("job"));
-    let second = json::parse(lines[1]).unwrap();
-    assert_eq!(second.get("event").and_then(Json::as_str), Some("stage_start"));
+    // The gateway's decision trail leads the stream, then the job id,
+    // then the flow's own events.
+    let job_at = lines
+        .iter()
+        .position(|l| l.contains("\"event\":\"job\""))
+        .unwrap_or_else(|| panic!("no job event in {body:?}"));
+    assert!(job_at >= 1, "gateway decisions precede the job line: {body:?}");
+    for line in &lines[..job_at] {
+        let doc = json::parse(line).unwrap();
+        assert_eq!(doc.get("event").and_then(Json::as_str), Some("gateway"), "{line}");
+    }
+    let next = json::parse(lines[job_at + 1]).unwrap();
+    assert_eq!(next.get("event").and_then(Json::as_str), Some("stage_start"));
     assert!(
         lines.iter().any(|l| l.contains("\"event\":\"step\"")),
         "hazard inserts a signal, so a step event must stream: {body:?}"

@@ -1,0 +1,249 @@
+//! Integration tests of the `simap serve` gateway over real TCP
+//! sockets: API-key authentication (401/403), per-client rate limiting
+//! (429 with `Retry-After`), the circuit breaker's open → half-open →
+//! closed recovery (503 with `Retry-After`), and the persistent result
+//! cache answering byte-identically across a server restart without
+//! enqueueing any work.
+
+use simap::core::json::{self, Json};
+use simap::serve::{ServeConfig, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// One HTTP/1.1 request over a fresh connection, optionally carrying an
+/// API key; returns (status, headers, body).
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    key: Option<&str>,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let auth = key.map(|k| format!("X-Api-Key: {k}\r\n")).unwrap_or_default();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{auth}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"));
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+fn start(config: ServeConfig) -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServeConfig { addr: "127.0.0.1:0".to_string(), ..config })
+        .expect("bind ephemeral port");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (handle, join)
+}
+
+fn stop(handle: ServerHandle, join: std::thread::JoinHandle<std::io::Result<()>>) {
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// A scratch directory that cleans up after itself even on panic.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(label: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("simap-gw-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn metrics(addr: SocketAddr) -> Json {
+    let (status, _, body) = http(addr, "GET", "/metrics", None, "");
+    assert_eq!(status, 200, "{body}");
+    json::parse(body.trim_end()).expect("metrics is JSON")
+}
+
+#[test]
+fn keyed_mode_rejects_missing_unknown_and_blocked_keys() {
+    let scratch = Scratch::new("auth");
+    let keyfile = scratch.0.join("keys.tsv");
+    std::fs::write(&keyfile, "k-alice\talice\tstandard\nk-mallory\tmallory\tblocked\n").unwrap();
+    let (handle, join) =
+        start(ServeConfig { jobs: 1, api_keys: Some(keyfile), ..ServeConfig::default() });
+    let addr = handle.addr();
+
+    // No key on a protected route: 401 naming both accepted header forms.
+    let (status, _, body) = http(addr, "POST", "/synthesize", None, "{\"bench\":\"half\"}");
+    assert_eq!(status, 401, "{body}");
+    assert!(body.contains("Authorization") && body.contains("X-Api-Key"), "{body}");
+
+    // An unknown key is 401; a blocked client's valid key is 403.
+    let (status, _, body) =
+        http(addr, "POST", "/synthesize", Some("k-wrong"), "{\"bench\":\"half\"}");
+    assert_eq!(status, 401, "{body}");
+    let (status, _, body) =
+        http(addr, "POST", "/synthesize", Some("k-mallory"), "{\"bench\":\"half\"}");
+    assert_eq!(status, 403, "{body}");
+    assert!(body.contains("blocked"), "{body}");
+
+    // A good key synthesizes; health and metrics never need one.
+    let (status, _, body) =
+        http(addr, "POST", "/synthesize", Some("k-alice"), "{\"bench\":\"half\"}");
+    assert_eq!(status, 200, "{body}");
+    let (status, _, _) = http(addr, "GET", "/healthz", None, "");
+    assert_eq!(status, 200);
+    let doc = metrics(addr);
+    let gateway = doc.get("gateway").expect("gateway section");
+    assert_eq!(gateway.get("auth_mode").unwrap().as_str(), Some("keyed"));
+    assert_eq!(gateway.get("api_keys").unwrap().as_usize(), Some(2));
+    let auth = gateway.get("auth").expect("auth tallies");
+    assert!(auth.get("rejected").unwrap().as_usize() >= Some(3), "{doc:?}");
+
+    stop(handle, join);
+}
+
+#[test]
+fn rate_limited_client_gets_429_with_retry_after() {
+    let scratch = Scratch::new("rate");
+    let keyfile = scratch.0.join("keys.tsv");
+    std::fs::write(&keyfile, "k-frida\tfrida\tfree\n").unwrap();
+    // Free tier at base 1 req/s: burst of exactly one token.
+    let (handle, join) = start(ServeConfig {
+        jobs: 1,
+        api_keys: Some(keyfile),
+        rate_limit: 1.0,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    let (status, _, body) =
+        http(addr, "POST", "/synthesize", Some("k-frida"), "{\"bench\":\"half\"}");
+    assert_eq!(status, 200, "{body}");
+    let (status, headers, body) =
+        http(addr, "POST", "/synthesize", Some("k-frida"), "{\"bench\":\"half\"}");
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("requests/sec"), "{body}");
+    let retry: u64 = header(&headers, "retry-after")
+        .expect("429 carries Retry-After")
+        .parse()
+        .expect("Retry-After is seconds");
+    assert!(retry >= 1, "{retry}");
+
+    // Poll routes queue no work, so the dry bucket does not block them.
+    let (status, _, _) = http(addr, "GET", "/jobs/j999", Some("k-frida"), "");
+    assert_eq!(status, 404, "poll is metered by quota, not the work bucket");
+
+    stop(handle, join);
+}
+
+#[test]
+fn breaker_opens_on_failures_and_recovers_through_a_probe() {
+    let (handle, join) = start(ServeConfig {
+        jobs: 1,
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(700),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Two flow failures inside the window trip the breaker.
+    for _ in 0..2 {
+        let (status, _, body) = http(addr, "POST", "/synthesize", None, "{\"bench\":\"nope\"}");
+        assert_eq!(status, 422, "{body}");
+    }
+    let (status, headers, body) = http(addr, "POST", "/synthesize", None, "{\"bench\":\"half\"}");
+    assert_eq!(status, 503, "{body}");
+    assert!(header(&headers, "retry-after").is_some(), "503 carries Retry-After");
+    let (_, _, health) = http(addr, "GET", "/healthz", None, "");
+    assert!(health.contains("\"breaker\":\"open\""), "{health}");
+
+    // After the cooldown the breaker half-opens; one successful probe
+    // closes it again and work flows.
+    std::thread::sleep(Duration::from_millis(900));
+    let (_, _, health) = http(addr, "GET", "/healthz", None, "");
+    assert!(health.contains("\"breaker\":\"half-open\""), "{health}");
+    let (status, _, body) = http(addr, "POST", "/synthesize", None, "{\"bench\":\"half\"}");
+    assert_eq!(status, 200, "the half-open probe is admitted: {body}");
+    let (_, _, health) = http(addr, "GET", "/healthz", None, "");
+    assert!(health.contains("\"breaker\":\"closed\""), "{health}");
+
+    let doc = metrics(addr);
+    assert!(doc.get("gateway").unwrap().get("breaker_opened").unwrap().as_usize() >= Some(1));
+    assert!(doc.get("gateway").unwrap().get("breaker_shed").unwrap().as_usize() >= Some(1));
+
+    stop(handle, join);
+}
+
+#[test]
+fn restarted_server_answers_byte_identically_from_the_persistent_cache() {
+    let scratch = Scratch::new("cache");
+    let cache_dir = scratch.0.join("results");
+    let config =
+        || ServeConfig { jobs: 1, cache_dir: Some(cache_dir.clone()), ..ServeConfig::default() };
+
+    // First instance synthesizes for real and stores the result.
+    let (handle, join) = start(config());
+    let (status, _, first) =
+        http(handle.addr(), "POST", "/synthesize", None, "{\"bench\":\"half\"}");
+    assert_eq!(status, 200, "{first}");
+    let doc = metrics(handle.addr());
+    let cache = doc.get("gateway").unwrap().get("rescache").expect("rescache section");
+    assert_eq!(cache.get("stores").unwrap().as_usize(), Some(1), "{doc:?}");
+    stop(handle, join);
+
+    // A fresh instance on the same directory serves the cached bytes
+    // without ever enqueueing a job.
+    let (handle, join) = start(config());
+    let (status, _, second) =
+        http(handle.addr(), "POST", "/synthesize", None, "{\"bench\":\"half\"}");
+    assert_eq!(status, 200, "{second}");
+    assert_eq!(first.as_bytes(), second.as_bytes(), "cache hit must be byte-identical");
+    let doc = metrics(handle.addr());
+    let gateway = doc.get("gateway").unwrap();
+    assert_eq!(gateway.get("rescache").unwrap().get("hits").unwrap().as_usize(), Some(1));
+    assert_eq!(
+        doc.get("queue").unwrap().get("submitted").unwrap().as_usize(),
+        Some(0),
+        "a warm hit never reaches the queue: {doc:?}"
+    );
+    // A config knob changes the fingerprint, so it misses and synthesizes.
+    let (status, _, custom) = http(
+        handle.addr(),
+        "POST",
+        "/synthesize",
+        None,
+        "{\"bench\":\"half\",\"literal_limit\":3}",
+    );
+    assert_eq!(status, 200, "{custom}");
+    let doc = metrics(handle.addr());
+    let cache = doc.get("gateway").unwrap().get("rescache").unwrap();
+    assert_eq!(cache.get("hits").unwrap().as_usize(), Some(1), "{doc:?}");
+    assert_eq!(cache.get("misses").unwrap().as_usize(), Some(1), "{doc:?}");
+    stop(handle, join);
+}
