@@ -37,6 +37,7 @@ pub struct Config {
     pub(crate) csc_repair: CscRepairConfig,
     pub(crate) reach: ReachConfig,
     pub(crate) cache_capacity: Option<usize>,
+    pub(crate) synth_jobs: usize,
 }
 
 impl Default for Config {
@@ -47,6 +48,7 @@ impl Default for Config {
             csc_repair: CscRepairConfig::default(),
             reach: ReachConfig::default(),
             cache_capacity: None,
+            synth_jobs: 1,
         }
     }
 }
@@ -127,6 +129,14 @@ impl Config {
         self.cache_capacity
     }
 
+    /// Worker threads for per-signal synthesis (cover extraction,
+    /// decomposition resynthesis, mapping). Like `reach.jobs`, the value
+    /// never changes output bytes — results merge in signal-index order —
+    /// so it is excluded from the engine's elaboration cache key.
+    pub fn synth_jobs(&self) -> usize {
+        self.synth_jobs
+    }
+
     /// A stable 64-bit fingerprint of **every** knob in this
     /// configuration, suitable as the configuration component of a
     /// content-addressed cache key (the persistent result cache of
@@ -173,7 +183,8 @@ impl Config {
         );
         let _ = write!(
             canon,
-            "reach={};rmax={};rtok={};rjobs={};rmat={};rbud={};rdir={:?};rshards={};cachecap={:?}",
+            "reach={};rmax={};rtok={};rjobs={};rmat={};rbud={};rdir={:?};rshards={};cachecap={:?};\
+             sjobs={}",
             r.strategy,
             r.max_states,
             r.max_tokens,
@@ -183,6 +194,7 @@ impl Config {
             r.spill_dir,
             r.shards,
             self.cache_capacity,
+            self.synth_jobs,
         );
         crate::digest::fnv1a64(canon.as_bytes())
     }
@@ -332,6 +344,14 @@ impl ConfigBuilder {
         self
     }
 
+    /// Worker threads for per-signal synthesis across the Covers →
+    /// Decomposed → Mapped stages (default 1 = sequential; must be at
+    /// least 1; reports are byte-identical whatever the value).
+    pub fn synth_jobs(mut self, jobs: usize) -> Self {
+        self.config.synth_jobs = jobs;
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
@@ -371,6 +391,9 @@ impl ConfigBuilder {
         if c.cache_capacity == Some(0) {
             return fail("cache_capacity must be at least 1 (omit it for an unbounded cache)");
         }
+        if c.synth_jobs == 0 {
+            return fail("synth_jobs must be at least 1 (1 = sequential)");
+        }
         Ok(self.config)
     }
 }
@@ -407,6 +430,7 @@ mod tests {
             .reach_spill_dir(Some(std::path::PathBuf::from("/tmp/simap-test")))
             .reach_shards(3)
             .cache_capacity(7)
+            .synth_jobs(6)
             .build()
             .unwrap();
         assert_eq!(config.literal_limit(), 4);
@@ -427,6 +451,7 @@ mod tests {
         );
         assert_eq!(config.reach_config().shards, 3);
         assert_eq!(config.cache_capacity(), Some(7));
+        assert_eq!(config.synth_jobs(), 6);
     }
 
     #[test]
@@ -441,6 +466,7 @@ mod tests {
             Config::builder().reach_memory_budget(0),
             Config::builder().reach_shards(0),
             Config::builder().cache_capacity(0),
+            Config::builder().synth_jobs(0),
         ] {
             let err = builder.build().unwrap_err();
             assert!(matches!(err, Error::InvalidConfig { .. }), "{err}");
@@ -471,6 +497,7 @@ mod tests {
             Config::builder().reach_max_states(9999).build().unwrap(),
             Config::builder().reach_jobs(4).build().unwrap(),
             Config::builder().cache_capacity(3).build().unwrap(),
+            Config::builder().synth_jobs(4).build().unwrap(),
         ] {
             let digest = variant.digest();
             assert!(!seen.contains(&digest), "digest collision for {variant:?}");

@@ -16,7 +16,9 @@
 //! which guarantees termination.
 
 use crate::insertion::{compute_insertion, insert_signal, Insertion};
-use crate::mc::{synthesize_mc, synthesize_signal, McError, McImpl, SignalBody, SignalImpl};
+use crate::mc::{
+    run_parallel, synthesize_mc_jobs, synthesize_signal, McError, McImpl, SignalBody, SignalImpl,
+};
 use crate::observer::{FlowObserver, NullObserver};
 use crate::progress::estimate_progress;
 use simap_boolean::{generate_divisors, Cover, DivisorConfig};
@@ -141,8 +143,26 @@ pub fn decompose_with(
     config: &DecomposeConfig,
     observer: &mut dyn FlowObserver,
 ) -> Result<DecomposeResult, McError> {
+    decompose_with_jobs(sg, config, 1, observer)
+}
+
+/// Like [`decompose_with`], but fans the independent per-candidate and
+/// per-signal synthesis work across `jobs` worker threads. Candidates are
+/// still folded in ranked order and signals merged in signal-index order,
+/// so the result is byte-identical to the sequential run — `jobs` only
+/// changes wall-clock time, never output (which is why
+/// `Config::synth_jobs` is excluded from the engine's elaboration key).
+///
+/// # Errors
+/// See [`decompose`].
+pub fn decompose_with_jobs(
+    sg: &StateGraph,
+    config: &DecomposeConfig,
+    jobs: usize,
+    observer: &mut dyn FlowObserver,
+) -> Result<DecomposeResult, McError> {
     let mut sg = sg.clone();
-    let mut mc = synthesize_mc(&sg)?;
+    let mut mc = synthesize_mc_jobs(&sg, jobs)?;
     let mut inserted: Vec<String> = Vec::new();
     let mut steps: Vec<DecomposeStep> = Vec::new();
 
@@ -202,33 +222,42 @@ pub fn decompose_with(
             // verification + resynthesis of the *affected* signals only —
             // covers that do not mention the new signal and whose events
             // are not delayed remain valid verbatim) and commit the best.
-            let mut best: Option<(usize, usize, StateGraph, McImpl, Cover)> = None;
-            for (_, f, ins) in ranked.into_iter().take(config.max_candidates_tried) {
-                let name = format!("x{}", inserted.len());
-                let Ok(candidate_sg) = insert_signal(&sg, &ins, &name, SignalKind::Internal) else {
-                    continue;
-                };
+            // Candidates are independent, so they run on the worker pool;
+            // folding the results in ranked order below keeps the outcome
+            // identical to the sequential loop (which also tries every
+            // candidate and keeps the first strictly-better one).
+            let tried: Vec<(i64, Cover, Insertion)> =
+                ranked.into_iter().take(config.max_candidates_tried).collect();
+            // When several candidates already occupy the pool, each one
+            // resynthesizes its affected signals inline.
+            let inner_jobs = if tried.len() >= 2 { 1 } else { jobs };
+            let name = format!("x{}", inserted.len());
+            let evaluated = run_parallel(&tried, jobs, |(_, f, ins)| {
+                let candidate_sg = insert_signal(&sg, ins, &name, SignalKind::Internal).ok()?;
                 if !check_all(&candidate_sg).is_ok() {
-                    continue;
+                    return None;
                 }
-                let Ok(candidate_mc) =
-                    resynthesize_affected(&candidate_sg, &mc, &ins, *target_signal)
-                else {
-                    continue;
-                };
+                let candidate_mc =
+                    resynthesize_affected(&candidate_sg, &mc, ins, *target_signal, inner_jobs)
+                        .ok()?;
                 if config.ack_mode == AckMode::Local {
                     let x = SignalId(candidate_sg.signal_count() - 1);
                     if !locally_acknowledged(&candidate_mc, *target_signal, x) {
-                        continue;
+                        return None;
                     }
                 }
                 let excess_after = excess(&candidate_mc, config.literal_limit);
                 if excess_after >= excess_now {
-                    continue;
+                    return None;
                 }
                 let area = crate::flow::si_cost(&candidate_mc, config.literal_limit.max(2)).area();
-                if best.as_ref().map(|(e, a, ..)| (excess_after, area) < (*e, *a)).unwrap_or(true) {
-                    best = Some((excess_after, area, candidate_sg, candidate_mc, f));
+                Some((excess_after, area, candidate_sg, candidate_mc, f.clone()))
+            });
+            let mut best: Option<(usize, usize, StateGraph, McImpl, Cover)> = None;
+            for candidate in evaluated.into_iter().flatten() {
+                let (excess_after, area, ..) = &candidate;
+                if best.as_ref().map(|(e, a, ..)| (excess_after, area) < (e, a)).unwrap_or(true) {
+                    best = Some(candidate);
                 }
             }
             if let Some((_, _, candidate_sg, candidate_mc, f)) = best {
@@ -240,7 +269,7 @@ pub fn decompose_with(
                 let merged = if config.ack_mode == AckMode::Local {
                     candidate_mc
                 } else {
-                    let full = synthesize_mc(&candidate_sg)?;
+                    let full = synthesize_mc_jobs(&candidate_sg, jobs)?;
                     merge_cheaper(full, candidate_mc)
                 };
                 let excess_after = excess(&merged, config.literal_limit);
@@ -281,6 +310,7 @@ fn resynthesize_affected(
     mc: &McImpl,
     ins: &Insertion,
     target: SignalId,
+    jobs: usize,
 ) -> Result<McImpl, McError> {
     let _ = ins;
     let x = SignalId(candidate_sg.signal_count() - 1);
@@ -302,15 +332,19 @@ fn resynthesize_affected(
         }
     }
 
-    let mut signals = Vec::with_capacity(mc.signals.len() + 1);
-    for signal in candidate_sg.implementable_signals() {
+    let targets = candidate_sg.implementable_signals();
+    let results = run_parallel(&targets, jobs, |&signal| {
         if affected.contains(&signal) {
-            signals.push(synthesize_signal(candidate_sg, signal)?);
+            synthesize_signal(candidate_sg, signal)
         } else {
             let previous =
                 mc.signal_impl(signal).expect("unaffected signal existed before the insertion");
-            signals.push(previous.clone());
+            Ok(previous.clone())
         }
+    });
+    let mut signals = Vec::with_capacity(results.len());
+    for result in results {
+        signals.push(result?);
     }
     Ok(McImpl { signals })
 }
@@ -391,6 +425,7 @@ fn locally_acknowledged(mc: &McImpl, target: SignalId, x: SignalId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mc::synthesize_mc;
     use simap_sg::{Event, Signal, StateGraphBuilder};
 
     /// k-input C element spec as a state graph (inputs a0..ak-1, output c).

@@ -98,6 +98,32 @@
 //! # Ok::<(), simap_core::Error>(())
 //! ```
 //!
+//! **Which jobs knob does what.** Four deterministic fan-outs compose
+//! freely, one per granularity:
+//!
+//! | Knob | Fans out | Scope |
+//! |------|----------|-------|
+//! | [`ConfigBuilder::reach_jobs`] | frontier expansion inside one elaboration | one STG → state-graph run |
+//! | [`ConfigBuilder::synth_jobs`] | per-signal cover synthesis ([`mc::synthesize_mc_jobs`]) and decomposition candidate evaluation ([`decompose::decompose_with_jobs`]) | one flow's Covers + Decompose stages |
+//! | [`Batch::jobs`] | whole specifications across a worker pool | many flows, one process |
+//! | `simap serve --jobs` | concurrent HTTP jobs over one shared engine | many flows, many clients |
+//!
+//! `synth_jobs` merges per-signal results in signal-index order and
+//! ranks decomposition candidates exactly as the sequential loop does,
+//! so reports, [`FlowObserver`] event sequences and netlists are
+//! byte-identical at any fan-out; like `reach_jobs` it is excluded from
+//! the elaboration cache key:
+//!
+//! ```
+//! use simap_core::{report_json, Config, Engine};
+//!
+//! let engine = Engine::new(Config::builder().synth_jobs(4).build()?);
+//! let report = engine.synthesize("hazard")?;
+//! let sequential = Engine::new(Config::builder().build()?).synthesize("hazard")?;
+//! assert_eq!(report_json(&report), report_json(&sequential));
+//! # Ok::<(), simap_core::Error>(())
+//! ```
+//!
 //! Stepping through the typed stages instead of running one-shot — every
 //! stage artifact is `Send + 'static` and can be moved across threads:
 //!
@@ -170,8 +196,8 @@ pub use insertion::{
     InsertionError,
 };
 pub use mc::{
-    synthesize_mc, synthesize_signal, validate_mc, McError, McImpl, RegionCover, SignalBody,
-    SignalImpl,
+    synthesize_mc, synthesize_mc_jobs, synthesize_signal, validate_mc, McError, McImpl,
+    RegionCover, SignalBody, SignalImpl,
 };
 pub use observer::{
     EventObserver, FlowEvent, FlowObserver, NullObserver, RecordingObserver, StderrObserver,

@@ -49,6 +49,16 @@ pub trait FlowObserver {
         let _ = step;
     }
 
+    /// The Covers stage synthesized one signal's monotonous covers.
+    /// Always fired in signal-index order, after all CSC callbacks of the
+    /// run: the per-signal work itself may execute on
+    /// `Config::synth_jobs` worker threads, but events are emitted from
+    /// the merged result, so the stream is canonical regardless of
+    /// completion order (and identical between cold and cached runs).
+    fn on_signal_synth(&mut self, signal: &str, cubes: usize, literals: usize) {
+        let _ = (signal, cubes, literals);
+    }
+
     /// The final verification verdict (`None` = skipped or inconclusive).
     fn on_verdict(&mut self, verified: Option<bool>) {
         let _ = verified;
@@ -85,6 +95,16 @@ pub enum FlowEvent {
     Step {
         /// The committed step.
         step: DecomposeStep,
+    },
+    /// The Covers stage synthesized one signal's monotonous covers
+    /// (always streamed in signal-index order).
+    SignalSynth {
+        /// Name of the synthesized signal.
+        signal: String,
+        /// Total cubes across its first-level covers.
+        cubes: usize,
+        /// Total literals across its first-level covers.
+        literals: usize,
     },
     /// The final verification verdict.
     Verdict {
@@ -134,6 +154,12 @@ impl FlowEvent {
                 json::quote(&step.target),
                 step.excess.0,
                 step.excess.1
+            ),
+            FlowEvent::SignalSynth { signal, cubes, literals } => format!(
+                "{{\"event\":\"signal_synth\",\"signal\":{},\"cubes\":{},\"literals\":{}}}",
+                json::quote(signal),
+                cubes,
+                literals
             ),
             FlowEvent::Verdict { verified } => {
                 format!("{{\"event\":\"verdict\",\"verified\":{}}}", json::opt(*verified))
@@ -185,6 +211,10 @@ impl<F: FnMut(FlowEvent)> FlowObserver for EventObserver<F> {
         (self.sink)(FlowEvent::Step { step: step.clone() });
     }
 
+    fn on_signal_synth(&mut self, signal: &str, cubes: usize, literals: usize) {
+        (self.sink)(FlowEvent::SignalSynth { signal: signal.to_string(), cubes, literals });
+    }
+
     fn on_verdict(&mut self, verified: Option<bool>) {
         (self.sink)(FlowEvent::Verdict { verified });
     }
@@ -221,6 +251,10 @@ impl FlowObserver for StderrObserver {
         );
     }
 
+    fn on_signal_synth(&mut self, signal: &str, cubes: usize, literals: usize) {
+        eprintln!("  covers for {signal}: {cubes} cube(s), {literals} literal(s)");
+    }
+
     fn on_verdict(&mut self, verified: Option<bool>) {
         eprintln!(
             "  speed-independent: {}",
@@ -245,6 +279,9 @@ pub struct RecordingObserver {
     pub csc_insertions: Vec<String>,
     /// Conflict counts reported before repair.
     pub conflict_counts: Vec<usize>,
+    /// Per-signal cover synthesis events `(signal, cubes, literals)`, in
+    /// the order they were fired (canonically: signal-index order).
+    pub signal_synths: Vec<(String, usize, usize)>,
     /// The final verdict, when the flow got that far.
     pub verdict: Option<Option<bool>>,
 }
@@ -264,6 +301,10 @@ impl FlowObserver for RecordingObserver {
 
     fn on_decompose_step(&mut self, step: &DecomposeStep) {
         self.steps.push(step.clone());
+    }
+
+    fn on_signal_synth(&mut self, signal: &str, cubes: usize, literals: usize) {
+        self.signal_synths.push((signal.to_string(), cubes, literals));
     }
 
     fn on_verdict(&mut self, verified: Option<bool>) {

@@ -37,11 +37,11 @@
 
 use crate::config::Config;
 use crate::csc::{csc_conflicts, repair_csc, CscRepairConfig};
-use crate::decompose::{decompose_with, AckMode, DecomposeResult, DecomposeStep};
+use crate::decompose::{decompose_with_jobs, AckMode, DecomposeResult, DecomposeStep};
 use crate::engine::{CachedElaboration, Engine, SourceKey};
 use crate::error::{Error, Stage};
 use crate::flow::{build_circuit_with_or_limit, non_si_cost, si_cost, FlowConfig, FlowReport};
-use crate::mc::{synthesize_mc, McImpl};
+use crate::mc::{synthesize_mc_jobs, McImpl};
 use crate::observer::{FlowObserver, NullObserver};
 use crate::report::BatchRow;
 use simap_netlist::{verify_speed_independence, Circuit, Cost, VerifyConfig, VerifyError};
@@ -513,7 +513,7 @@ impl Elaborated {
     /// specification lacks Complete State Coding.
     pub fn covers(mut self) -> Result<Covers, Error> {
         self.ctx.start(Stage::Covers, self.sg.name());
-        let mc = match synthesize_mc(&self.sg) {
+        let mc = match synthesize_mc_jobs(&self.sg, self.ctx.config.synth_jobs()) {
             Ok(mc) => mc,
             Err(crate::mc::McError::CscConflict { signal, code }) => {
                 return Err(Error::CscViolation {
@@ -523,6 +523,15 @@ impl Elaborated {
                 });
             }
         };
+        // Per-signal progress events fire from the merged result, in
+        // signal-index order — the canonical stream is the same at any
+        // `synth_jobs` and identical between cold and cached elaborations
+        // (all CSC callbacks belong to the Elaborate stage and precede
+        // these by construction).
+        for signal in &mc.signals {
+            let name = &self.sg.signals()[signal.signal.0].name;
+            self.ctx.observer.on_signal_synth(name, signal.cube_count(), signal.literal_count());
+        }
         let initial_histogram = mc.gate_histogram();
         let limit = self.ctx.config.flow.decompose.literal_limit.max(2);
         let non_si = non_si_cost(&mc, limit);
@@ -580,13 +589,15 @@ impl Covers {
     /// [`Elaborated::covers`]).
     pub fn decompose(mut self) -> Result<Decomposed, Error> {
         self.ctx.start(Stage::Decompose, self.sg.name());
-        let outcome =
-            decompose_with(&self.sg, &self.ctx.config.flow.decompose, self.ctx.observer.as_mut())
-                .map_err(|crate::mc::McError::CscConflict { signal, code }| Error::CscViolation {
-                signal,
-                code,
-                conflicts: csc_conflicts(&self.sg),
-            })?;
+        let outcome = decompose_with_jobs(
+            &self.sg,
+            &self.ctx.config.flow.decompose,
+            self.ctx.config.synth_jobs(),
+            self.ctx.observer.as_mut(),
+        )
+        .map_err(|crate::mc::McError::CscConflict { signal, code }| {
+            Error::CscViolation { signal, code, conflicts: csc_conflicts(&self.sg) }
+        })?;
         self.ctx.end(Stage::Decompose);
         Ok(Decomposed {
             ctx: self.ctx,

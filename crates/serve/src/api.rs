@@ -111,6 +111,7 @@ fn apply_config_field(
             builder.reach_strategy(strategy)
         }
         "reach_jobs" => builder.reach_jobs(expect_usize(key, value)?),
+        "synth_jobs" => builder.synth_jobs(expect_usize(key, value)?),
         "materialize_limit" => builder.reach_materialize_limit(expect_usize(key, value)?),
         "memory_budget" => builder.reach_memory_budget(expect_usize(key, value)?),
         "shards" => builder.reach_shards(expect_usize(key, value)?),

@@ -14,6 +14,7 @@
 //!       --memory-budget <b>  spill: resident working-set cap (e.g. 256MiB)
 //!       --spill-dir <d>  spill: scratch directory (default: system temp)
 //!       --shards <n>     spill: hash partitions of the intern table
+//!       --synth-jobs <n> per-signal synthesis threads (same output)
 //!       --bench <name>   use an embedded benchmark instead of a file
 //!
 //! map options:
@@ -23,6 +24,7 @@
 //!       --or-limit <n>   split second-level OR gates to <= n inputs
 //!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic | spill
 //!       --reach-jobs <n> frontier-expansion threads (packed; same output)
+//!       --synth-jobs <n> per-signal synthesis threads (same output)
 //!       --materialize-limit <n>  symbolic: largest state space built explicitly
 //!       --memory-budget <b>  spill: resident working-set cap (e.g. 256MiB)
 //!       --spill-dir <d>  spill: scratch directory (default: system temp)
@@ -38,6 +40,7 @@
 //!   -j, --jobs <n>       worker threads (default 1; results identical)
 //!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic | spill
 //!       --reach-jobs <n> frontier-expansion threads (packed; same output)
+//!       --synth-jobs <n> per-signal synthesis threads (same output)
 //!       --materialize-limit <n>  symbolic: largest state space built explicitly
 //!       --memory-budget <b>  spill: resident working-set cap (e.g. 256MiB)
 //!       --spill-dir <d>  spill: scratch directory (default: system temp)
@@ -211,9 +214,10 @@ fn parse_bytes(spec: &str) -> Result<usize, String> {
     value.checked_shl(shift).ok_or_else(|| format!("byte size `{spec}` overflows"))
 }
 
-/// Applies the shared reachability flags (`--strategy`, `--reach-jobs`,
-/// `--materialize-limit`, and the spill knobs `--memory-budget`,
-/// `--spill-dir`, `--shards`) to a configuration builder.
+/// Applies the shared engine flags (`--strategy`, `--reach-jobs`,
+/// `--materialize-limit`, the spill knobs `--memory-budget`,
+/// `--spill-dir`, `--shards`, and the per-signal synthesis fan-out
+/// `--synth-jobs`) to a configuration builder.
 fn reach_flags(
     parsed: &Parsed,
     mut builder: simap::ConfigBuilder,
@@ -223,6 +227,9 @@ fn reach_flags(
     }
     if let Some(jobs) = parsed.value("--reach-jobs") {
         builder = builder.reach_jobs(jobs.parse()?);
+    }
+    if let Some(jobs) = parsed.value("--synth-jobs") {
+        builder = builder.synth_jobs(jobs.parse()?);
     }
     if let Some(limit) = parsed.value("--materialize-limit") {
         builder = builder.reach_materialize_limit(limit.parse()?);
@@ -245,6 +252,7 @@ fn check(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
         &[
             valued("--bench"),
             valued("--strategy"),
+            valued("--synth-jobs"),
             valued("--materialize-limit"),
             valued("--memory-budget"),
             valued("--spill-dir"),
@@ -291,6 +299,7 @@ fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             valued("--bench"),
             valued("--strategy"),
             valued("--reach-jobs"),
+            valued("--synth-jobs"),
             valued("--materialize-limit"),
             valued("--memory-budget"),
             valued("--spill-dir"),
@@ -576,14 +585,101 @@ fn record_snapshot(
         let map_us = start.elapsed().as_micros();
         let _ = write!(out, "}},\"map_us\":{map_us},\"states\":{states},\"arcs\":{arcs}}}");
     }
+    let _ = write!(out, "],\"synthesis\":{}", synthesis_snapshot(names, config)?);
     let _ = write!(
         out,
-        "],\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evicted\":{}}}",
+        ",\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evicted\":{}}}",
         cache.hits, cache.misses, cache.entries, cache.evicted
     );
     let _ = writeln!(out, ",\"serve\":{}}}", serve_snapshot(names)?);
     std::fs::write(path, out)?;
     Ok(())
+}
+
+/// Measures the snapshot's `synthesis` section: per benchmark, the
+/// wall-clock of the Covers/Decompose/Map stages at `synth_jobs = 1`
+/// versus the recorded fan-out (`--synth-jobs`, floor 4), verifying on
+/// the way that both runs produce byte-identical JSON reports. The
+/// section closes with the BDD manager counters of a representative
+/// symbolic workload — every final cover of the suite built into one
+/// manager under a garbage-collection watermark, then sifted — so node
+/// pressure, GC activity and reordering effort are tracked per commit.
+fn synthesis_snapshot(names: &[String], config: &Config) -> Result<String, Box<dyn Error>> {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+    let fanout = config.synth_jobs().max(4);
+    let mut out = format!("{{\"jobs\":{fanout},\"benchmarks\":[");
+    let mut suite_covers: Vec<simap::boolean::Cover> = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let timed = |jobs: usize| -> Result<
+            (u128, u128, u128, simap::core::flow::FlowReport),
+            Box<dyn Error>,
+        > {
+            let config = config.to_builder().synth_jobs(jobs).build()?;
+            let elaborated = Synthesis::from_benchmark(name).config(&config).elaborate()?;
+            let start = Instant::now();
+            let covers = elaborated.covers()?;
+            let covers_us = start.elapsed().as_micros();
+            let start = Instant::now();
+            let decomposed = covers.decompose()?;
+            let decompose_us = start.elapsed().as_micros();
+            let start = Instant::now();
+            let mapped = decomposed.map();
+            let map_us = start.elapsed().as_micros();
+            Ok((covers_us, decompose_us, map_us, mapped.skip_verify().into_report()))
+        };
+        let (c1, d1, m1, sequential) = timed(1)?;
+        let (cn, dn, mn, fanned) = timed(fanout)?;
+        if report_json(&sequential) != report_json(&fanned) {
+            return Err(
+                format!("`{name}`: synth_jobs={fanout} report differs from sequential").into()
+            );
+        }
+        for signal in &fanned.outcome.mc.signals {
+            match &signal.body {
+                simap::core::mc::SignalBody::Combinational { cover, .. } => {
+                    suite_covers.push(cover.clone());
+                }
+                simap::core::mc::SignalBody::StandardC { set, reset } => {
+                    for rc in set.iter().chain(reset.iter()) {
+                        suite_covers.push(rc.cover.clone());
+                    }
+                }
+            }
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\
+             \"covers_us\":{{\"j1\":{c1},\"jn\":{cn}}},\
+             \"decompose_us\":{{\"j1\":{d1},\"jn\":{dn}}},\
+             \"map_us\":{{\"j1\":{m1},\"jn\":{mn}}}}}"
+        );
+    }
+    let mut bdd = simap::boolean::Bdd::new();
+    bdd.set_gc_watermark(Some(1 << 14));
+    let mut roots = Vec::new();
+    for cover in &suite_covers {
+        let f = bdd.from_cover(cover);
+        bdd.protect(f);
+        roots.push(f);
+    }
+    bdd.sift(&roots);
+    let stats = bdd.stats();
+    let _ = write!(
+        out,
+        "],\"bdd\":{{\"live_nodes\":{},\"peak_nodes\":{},\"gc_runs\":{},\
+         \"collected_nodes\":{},\"reorders\":{},\"level_swaps\":{}}}}}",
+        stats.live_nodes,
+        stats.peak_nodes,
+        stats.gc_runs,
+        stats.collected_nodes,
+        stats.reorders,
+        stats.level_swaps
+    );
+    Ok(out)
 }
 
 /// Absolute noise floor for `bench compare`: wall-clock deltas under
@@ -666,6 +762,7 @@ fn bench_run(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             aliased(valued("--jobs"), "-j"),
             valued("--strategy"),
             valued("--reach-jobs"),
+            valued("--synth-jobs"),
             valued("--materialize-limit"),
             valued("--memory-budget"),
             valued("--spill-dir"),

@@ -150,6 +150,37 @@
 //! # Ok::<(), simap::Error>(())
 //! ```
 //!
+//! ## Which jobs knob does what
+//!
+//! Four independent fan-outs exist, one per granularity. All of them are
+//! deterministic — results are byte-identical to a sequential run — so
+//! they compose freely:
+//!
+//! | Knob | Set via | Fans out | Scope |
+//! |------|---------|----------|-------|
+//! | `reach.jobs` | [`ConfigBuilder::reach_jobs`], CLI `--jobs` on `check`/`map` | frontier expansion *inside one elaboration* (packed/spill strategies) | one STG → state-graph run |
+//! | `synth_jobs` | [`ConfigBuilder::synth_jobs`], CLI `--synth-jobs`, serve request field `synth_jobs` | per-signal cover synthesis and candidate evaluation *inside one synthesis* | one flow's Covers + Decompose stages |
+//! | batch `--jobs` | [`Batch::jobs`], CLI `bench run --jobs` | whole specifications across a worker pool | many flows, one process |
+//! | serve `--jobs` | `simap serve --jobs` | concurrent HTTP jobs over one shared engine | many flows, many clients |
+//!
+//! `synth_jobs` parallelizes the per-output-signal work of the paper's
+//! core loop — monotonous-cover synthesis and decomposition candidate
+//! resynthesis — and merges results in signal-index order, so reports,
+//! observer event sequences and netlists never depend on the thread
+//! count. Like `reach.jobs` it is excluded from the elaboration cache
+//! key: runs differing only in fan-out share cache entries.
+//!
+//! ```
+//! use simap::core::report_json;
+//! use simap::{Config, Engine};
+//!
+//! let sequential = Engine::new(Config::builder().synth_jobs(1).build()?);
+//! let fanned = Engine::new(Config::builder().synth_jobs(4).build()?);
+//! let (a, b) = (sequential.synthesize("hazard")?, fanned.synthesize("hazard")?);
+//! assert_eq!(report_json(&a), report_json(&b), "byte-identical at any fan-out");
+//! # Ok::<(), simap::Error>(())
+//! ```
+//!
 //! Every intermediate artifact of the flow is a typed, `Send + 'static`
 //! stage value that can be inspected, cached or moved across threads:
 //!
@@ -218,5 +249,5 @@ pub use simap_core::{
     Batch, CacheStats, Config, ConfigBuilder, Covers, Decomposed, Elaborated, Engine, Error,
     FlowObserver, Mapped, Stage, Synthesis, Verified,
 };
-pub use simap_core::{NullObserver, RecordingObserver, StderrObserver};
+pub use simap_core::{EventObserver, FlowEvent, NullObserver, RecordingObserver, StderrObserver};
 pub use simap_stg::{ReachConfig, ReachStats, ReachStrategy};

@@ -1,0 +1,204 @@
+//! Determinism wall for the per-signal parallel synthesis core: at any
+//! `Config::synth_jobs`, the flow must produce byte-identical JSON
+//! reports and an identical observer event stream — across the embedded
+//! Table 1 suite, random pattern-composed nets, and the engine's
+//! cold-versus-cached elaboration replay.
+//!
+//! Case counts are environment-tunable so CI can run a deeper sweep:
+//! `SIMAP_SYNTH_CASES=64 cargo test --release --test synth_parallel`.
+
+use proptest::prelude::*;
+use simap::core::report_json;
+use simap::stg::{benchmark_names, patterns, Stg};
+use simap::{Config, Engine, EventObserver, FlowEvent, Synthesis};
+use std::sync::{Arc, Mutex};
+
+/// The fan-outs every spec is checked at, against the sequential run.
+const PARALLEL_JOBS: [usize; 3] = [2, 4, 8];
+
+fn cases(default: u32) -> u32 {
+    std::env::var("SIMAP_SYNTH_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Runs one flow at the given fan-out, returning the JSON report (or the
+/// error rendering) plus the full observer event stream as JSON lines.
+fn run_with_jobs(
+    make: &dyn Fn() -> Synthesis,
+    config: &Config,
+    jobs: usize,
+) -> (Result<String, String>, Vec<String>) {
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let sink = events.clone();
+    let config = config.to_builder().synth_jobs(jobs).build().expect("valid config");
+    let result = make()
+        .config(&config)
+        .observer(EventObserver::new(move |e: FlowEvent| sink.lock().unwrap().push(e.to_json())))
+        .run()
+        .map(|report| report_json(&report))
+        .map_err(|e| format!("{e:?}"));
+    let events = events.lock().expect("sink poisoned").clone();
+    (result, events)
+}
+
+/// The invariant: reports and event streams at `synth_jobs ∈ {2,4,8}`
+/// are byte-identical to the sequential run (errors included).
+fn assert_jobs_invariant(make: &dyn Fn() -> Synthesis, config: &Config, context: &str) {
+    let (sequential_report, sequential_events) = run_with_jobs(make, config, 1);
+    for jobs in PARALLEL_JOBS {
+        let (report, events) = run_with_jobs(make, config, jobs);
+        assert_eq!(report, sequential_report, "{context} [synth_jobs={jobs}]: report");
+        assert_eq!(events, sequential_events, "{context} [synth_jobs={jobs}]: event stream");
+    }
+}
+
+/// Every embedded benchmark produces byte-identical reports and event
+/// streams at every fan-out. Debug builds skip the largest circuits
+/// (the release-mode CI conformance job covers the full suite).
+#[test]
+fn benchmark_suite_is_jobs_invariant() {
+    let config = Config::builder().verify(false).build().expect("valid config");
+    for &name in benchmark_names() {
+        if cfg!(debug_assertions) {
+            let elaborated =
+                Synthesis::from_benchmark(name).elaborate().expect("benchmark elaborates");
+            if elaborated.state_graph().state_count() > 400 {
+                continue;
+            }
+        }
+        let make = || Synthesis::from_benchmark(name);
+        assert_jobs_invariant(&make, &config, name);
+    }
+}
+
+/// The canonical per-signal event order: within the Covers stage, one
+/// `signal_synth` line per implementable signal, in signal-index order,
+/// regardless of which worker finished first.
+#[test]
+fn signal_synth_events_replay_in_signal_index_order() {
+    let elaborated = Synthesis::from_benchmark("hazard").elaborate().expect("elaborates");
+    let expected: Vec<String> = {
+        let sg = elaborated.state_graph();
+        sg.implementable_signals().iter().map(|s| sg.signals()[s.0].name.clone()).collect()
+    };
+    let config = Config::builder().verify(false).build().expect("valid config");
+    for jobs in [1, 2, 4, 8] {
+        let (_, events) = run_with_jobs(&|| Synthesis::from_benchmark("hazard"), &config, jobs);
+        let covers_start = events
+            .iter()
+            .position(|e| e.contains("\"stage_start\",\"stage\":\"covers\""))
+            .expect("covers stage starts");
+        let synths: Vec<&String> =
+            events.iter().filter(|e| e.starts_with("{\"event\":\"signal_synth\"")).collect();
+        assert_eq!(synths.len(), expected.len(), "[jobs={jobs}] one event per signal");
+        for (event, name) in synths.iter().zip(&expected) {
+            assert!(
+                event.contains(&format!("\"signal\":\"{name}\"")),
+                "[jobs={jobs}] expected {name} in {event}"
+            );
+        }
+        // All of them belong to the Covers stage, after its start event.
+        let first_synth = events
+            .iter()
+            .position(|e| e.starts_with("{\"event\":\"signal_synth\""))
+            .expect("events fired");
+        assert!(first_synth > covers_start, "[jobs={jobs}] synth events follow covers start");
+    }
+}
+
+/// A `.g` specification with a textbook CSC conflict (the code `10` is
+/// visited twice with different futures), used to exercise the
+/// conflict/repair replay path of the engine cache.
+const CSC_CONFLICTED_G: &str = "\
+.model cscdemo
+.outputs a b
+.graph
+a+ b+
+b+ b-
+b- a-
+a- a+
+.marking { <a-,a+> }
+.end
+";
+
+/// Cold and cached elaborations must emit identical event streams —
+/// stage events, CSC conflicts, CSC repairs and per-signal progress all
+/// replay in the same canonical order — and varying `synth_jobs` between
+/// the runs must still hit the cache (the knob is excluded from the
+/// elaboration key because it never changes output).
+#[test]
+fn cold_and_cached_event_streams_match() {
+    let base = Config::builder().repair_csc(true).verify(false).build().expect("valid config");
+    let engine = Engine::new(base.clone());
+    let make = || engine.g_source(CSC_CONFLICTED_G);
+    let (cold_report, cold_events) = run_with_jobs(&make, &base, 1);
+    assert_eq!(engine.cache_stats().hits, 0, "first run is cold");
+    let (cached_report, cached_events) = run_with_jobs(&make, &base, 4);
+    assert!(engine.cache_stats().hits >= 1, "second run replays from the cache");
+    assert_eq!(cached_report, cold_report, "cached report");
+    assert_eq!(cached_events, cold_events, "cached event stream");
+    // The stream really exercised the conflict/repair replay.
+    assert!(
+        cold_events.iter().any(|e| e.starts_with("{\"event\":\"csc_conflicts\"")),
+        "{cold_events:?}"
+    );
+    assert!(
+        cold_events.iter().any(|e| e.starts_with("{\"event\":\"csc_repair\"")),
+        "{cold_events:?}"
+    );
+    assert!(
+        cold_events.iter().any(|e| e.starts_with("{\"event\":\"signal_synth\"")),
+        "{cold_events:?}"
+    );
+}
+
+/// A recipe for one of the safe parametric specification families
+/// (mirroring the reachability differential suite).
+#[derive(Debug, Clone, Copy)]
+struct Part {
+    kind: u8,
+    a: usize,
+    b: usize,
+}
+
+fn build_part(part: Part) -> Stg {
+    match part.kind % 6 {
+        0 => patterns::sequencer(2 + part.a % 5, None),
+        1 => patterns::celement(2 + part.a % 4),
+        2 => patterns::fork_join(1 + part.a % 3, 1 + part.b % 2),
+        3 => patterns::pipeline(1 + part.a % 4),
+        4 => patterns::choice(2 + part.a % 3),
+        _ => patterns::shared_output_choice(2 + part.a % 2),
+    }
+}
+
+fn arb_part() -> impl Strategy<Value = Part> {
+    proptest::collection::vec(0usize..16, 3).prop_map(|v| Part {
+        kind: v[0] as u8,
+        a: v[1],
+        b: v[2],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(6)))]
+
+    /// Random pattern-composed nets — with CSC repair on, so conflicted
+    /// compositions flow through state-signal insertion — are
+    /// jobs-invariant end to end, errors included.
+    #[test]
+    fn random_pattern_nets_are_jobs_invariant(parts in proptest::collection::vec(arb_part(), 1..3)) {
+        let stg = if parts.len() == 1 {
+            build_part(parts[0])
+        } else {
+            let built: Vec<Stg> = parts.iter().copied().map(build_part).collect();
+            patterns::parallel("t", &built)
+        };
+        let config = Config::builder()
+            .repair_csc(true)
+            .verify(false)
+            .build()
+            .expect("valid config");
+        let make = || Synthesis::from_stg(stg.clone());
+        assert_jobs_invariant(&make, &config, &format!("{parts:?}"));
+    }
+}
