@@ -229,7 +229,7 @@ mod tests {
 
     #[test]
     fn sources_chain() {
-        let inner = ParseStgError { line: 3, message: "bad".into() };
+        let inner = ParseStgError { line: 3, column: 7, message: "bad".into() };
         let e = Error::from(inner.clone());
         assert_eq!(e.source().unwrap().to_string(), inner.to_string());
         assert!(Error::UnknownBenchmark { name: "x".into() }.source().is_none());

@@ -1,6 +1,7 @@
 //! Wire-protocol request bodies: strict JSON parsing of `POST
 //! /synthesize` and `POST /batch` payloads into typed [`Work`] plus a
-//! validated [`simap_core::Config`].
+//! validated [`simap_core::Config`], and the dual-shape `POST /stg`
+//! body (raw `.g` text or a JSON envelope with a `source` field).
 //!
 //! Parsing mirrors the CLI's strict flag handling: unknown fields,
 //! wrong types and invalid knob values are all rejected with a message
@@ -167,6 +168,57 @@ pub(crate) fn parse_synthesize(body: &[u8], base: &Config) -> Result<(Work, Mode
     Ok((Work::Synthesize { source, config }, mode_of(asynchronous, stream)?))
 }
 
+/// Parses a `POST /stg` body against the server's base configuration.
+///
+/// Two body shapes are accepted:
+///
+/// * **raw `.g` text** — the file a user would pass to `simap map
+///   <file.g>`, posted verbatim. A `.g` spec always opens with a
+///   directive, a comment or whitespace, never `{`, so the first
+///   non-whitespace byte disambiguates. Runs with the server's base
+///   configuration in [`Mode::Sync`].
+/// * **a JSON envelope** `{"source": "...", ...}` — the `.g` text in a
+///   `source` string plus any of the `/synthesize` configuration knobs
+///   and the `async`/`stream` delivery flags.
+///
+/// Both shapes produce the same [`Work`] as `POST /synthesize` with a
+/// `g_source` field: identical [`work_fingerprint`] (the result cache is
+/// shared across all three spellings) and a response byte-identical to
+/// `simap map <file.g> --json`.
+pub(crate) fn parse_stg(body: &[u8], base: &Config) -> Result<(Work, Mode), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return Err("empty body: send raw `.g` text or {\"source\": \"...\"}".to_string());
+    }
+    if !text.trim_start().starts_with('{') {
+        // Raw `.g` text, cached and synthesized exactly as the CLI would.
+        let source = WorkSource::GSource(text.to_string());
+        return Ok((Work::Synthesize { source, config: base.clone() }, Mode::Sync));
+    }
+    let doc = json::parse(text)
+        .map_err(|e| format!("body opens with `{{` so it must be a JSON envelope, but: {e}"))?;
+    let members = doc.as_object().ok_or_else(|| "body must be a JSON object".to_string())?;
+    let mut builder = base.to_builder();
+    let mut source = None;
+    let mut asynchronous = false;
+    let mut stream = false;
+    for (key, value) in members {
+        match key.as_str() {
+            "source" => source = Some(expect_str(key, value)?),
+            "async" => asynchronous = expect_bool(key, value)?,
+            "stream" => stream = expect_bool(key, value)?,
+            other => match apply_config_field(builder.clone(), other, value)? {
+                Some(updated) => builder = updated,
+                None => return Err(format!("unknown field `{other}`")),
+            },
+        }
+    }
+    let source = source.ok_or_else(|| "field `source` is required".to_string())?;
+    let config = builder.build().map_err(|e| e.to_string())?;
+    let work = Work::Synthesize { source: WorkSource::GSource(source), config };
+    Ok((work, mode_of(asynchronous, stream)?))
+}
+
 /// Parses a `POST /batch` body against the server's base configuration.
 pub(crate) fn parse_batch(body: &[u8], base: &Config) -> Result<(Work, Mode), String> {
     let doc = parse_body(body)?;
@@ -303,6 +355,60 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse_batch(br#"{"stream":true}"#, &base).unwrap_err().contains("not supported"));
+    }
+
+    #[test]
+    fn stg_accepts_raw_g_and_json_envelope() {
+        let base = Config::default();
+        let raw = ".model x\n.inputs a\n.graph\na+ a-\na- a+\n.marking { <a-,a+> }\n.end\n";
+
+        let (work, mode) = parse_stg(raw.as_bytes(), &base).unwrap();
+        assert_eq!(mode, Mode::Sync);
+        let Work::Synthesize { source: WorkSource::GSource(text), config } = &work else {
+            panic!("{work:?}");
+        };
+        assert_eq!(text, raw, "raw bodies must be forwarded verbatim");
+        assert_eq!(config.digest(), base.digest());
+
+        let envelope = format!(
+            r#"{{"source":{},"literal_limit":3,"async":true}}"#,
+            json::Json::Str(raw.to_string()).emit()
+        );
+        let (ework, emode) = parse_stg(envelope.as_bytes(), &base).unwrap();
+        assert_eq!(emode, Mode::Async);
+        let Work::Synthesize { source: WorkSource::GSource(etext), config } = &ework else {
+            panic!("{ework:?}");
+        };
+        assert_eq!(etext, raw);
+        assert_eq!(config.literal_limit(), 3);
+
+        // Same source text → same fingerprint for the raw shape, the
+        // envelope shape (modulo knobs) and /synthesize's `g_source`.
+        let default_envelope = format!(r#"{{"source":{}}}"#, json::Json::Str(raw.into()).emit());
+        let via_envelope = parse_stg(default_envelope.as_bytes(), &base).unwrap().0;
+        let synth_body = format!(r#"{{"g_source":{}}}"#, json::Json::Str(raw.into()).emit());
+        let via_synthesize = parse_synthesize(synth_body.as_bytes(), &base).unwrap().0;
+        assert_eq!(work_fingerprint(&work), work_fingerprint(&via_envelope));
+        assert_eq!(work_fingerprint(&work), work_fingerprint(&via_synthesize));
+    }
+
+    #[test]
+    fn stg_rejections() {
+        let base = Config::default();
+        for (body, fragment) in [
+            (&b""[..], "empty body"),
+            (b"   \n\t", "empty body"),
+            (b"{not json", "JSON envelope"),
+            (br#"{"literal_limit":3}"#, "field `source` is required"),
+            (br#"{"source":".end","unknown":1}"#, "unknown field `unknown`"),
+            (br#"{"source":1}"#, "must be a string"),
+            (br#"{"source":".end","spill_dir":"/etc"}"#, "not accepted over the API"),
+            (br#"{"source":".end","async":true,"stream":true}"#, "mutually exclusive"),
+            (&[0xff, 0xfe][..], "not UTF-8"),
+        ] {
+            let err = parse_stg(body, &base).unwrap_err();
+            assert!(err.contains(fragment), "{body:?} -> {err}");
+        }
     }
 
     #[test]

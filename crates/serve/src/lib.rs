@@ -24,6 +24,7 @@
 //! | Route | Behavior |
 //! |---|---|
 //! | `POST /synthesize` | Runs one mapping flow. Body fields: exactly one of `bench` (embedded benchmark name) or `g_source` (ad-hoc `.g` text); optional `literal_limit`, `or_limit`, `csc_repair`, `verify`, `strategy` (`packed`\|`explicit`\|`symbolic`), `reach_jobs`, `synth_jobs`, `materialize_limit`; optional `async` or `stream` booleans. The `200` body is **byte-identical** to `simap map --json` for the same spec/config. With `"async":true` answers `202 {"job":"jN","status":"queued"}` immediately. With `"stream":true` answers `application/x-ndjson`: one [`simap_core::FlowEvent`] JSON line per observer callback as stages complete, ending with `{"event":"report","report":{...}}` (or `{"event":"error",...}`). |
+//! | `POST /stg` | Brings your own specification: the body is either **raw `.g` text** (post the file unchanged — a spec never opens with `{`, so the first non-whitespace byte disambiguates) or a JSON envelope `{"source":"<.g text>", ...}` accepting the same configuration knobs and `async`/`stream` flags as `/synthesize`. Both shapes run one mapping flow whose `200` body is **byte-identical** to `simap map <file.g> --json`, share one result-cache fingerprint (keyed by the source digest — a repeated spec answers from the cache without enqueueing), and are metered by the full gateway chain. The parser enforces the resource caps documented in `simap_stg::parse` (line length, signal/transition/place/arc counts); a spec that fails to parse is a `422` whose message carries the 1-based line and column. |
 //! | `POST /batch` | Runs many benchmarks through one configuration. Body fields: `names` (array, empty/absent = the whole embedded suite), `limits` (array of literal limits, default `[2]`), the shared configuration fields, `async`. The `200` body is byte-identical to `simap bench run --json`. |
 //! | `GET /jobs/{id}` | Polls an async job: `{"job":"jN","status":"queued"\|"running"\|"done"\|"failed"}` plus `result` (the full response document) when done or `error` when failed. `404` for unknown/evicted/expired ids. |
 //! | `GET /benchmarks` | The embedded registry with signal/state counts — byte-identical to `simap bench list --json`. |
@@ -90,6 +91,15 @@
 //! simap serve --api-keys keys.tsv --rate-limit 5 --max-inflight 4 \
 //!             --cache-dir /var/cache/simap --cache-limit 4096 \
 //!             --breaker-threshold 8 --breaker-cooldown 5
+//! ```
+//!
+//! Bring your own `.g` spec — POST the file itself (or generate load
+//! with the seeded corpus):
+//!
+//! ```sh
+//! simap gen --seed 1 --count 1 --out-dir specs
+//! curl --data-binary @specs/gen_0000000000000001_0.g \
+//!      http://127.0.0.1:7317/stg          # == `simap map <file> --json`
 //! ```
 //!
 //! ## Backpressure and shutdown
@@ -459,6 +469,7 @@ fn send(shared: &Shared, stream: &mut TcpStream, status: u16, body: &str) {
 fn endpoint_of(request: &Request) -> Endpoint {
     match request.path.as_str() {
         "/synthesize" => Endpoint::Synthesize,
+        "/stg" => Endpoint::Stg,
         "/batch" => Endpoint::Batch,
         "/benchmarks" => Endpoint::Benchmarks,
         "/healthz" => Endpoint::Healthz,
@@ -494,11 +505,11 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     // Gateway admission guards everything except the liveness and
     // observability routes (`/healthz`, `/metrics` stay open so load
     // balancers and dashboards keep working when keys rotate or the
-    // breaker sheds). Only the two enqueueing routes are subject to rate
+    // breaker sheds). Only the enqueueing routes are subject to rate
     // limiting and the breaker; polling an async job is always free.
     let queues_work = matches!(
         (request.method.as_str(), request.path.as_str()),
-        ("POST", "/synthesize" | "/batch")
+        ("POST", "/synthesize" | "/stg" | "/batch")
     );
     let protected = queues_work
         || matches!((request.method.as_str(), request.path.as_str()), ("GET", "/benchmarks"))
@@ -569,6 +580,17 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 }
             }
         }
+        ("POST", "/stg") => match api::parse_stg(&request.body, shared.engine.config()) {
+            Ok((work, mode)) => {
+                submit(shared, &mut stream, work, mode, ctx.expect("work route is protected"));
+            }
+            Err(message) => {
+                if ctx.is_some_and(|c| c.breaker_probe) {
+                    shared.gateway.probe_abandoned();
+                }
+                send(shared, &mut stream, 400, &error_body(&message));
+            }
+        },
         ("POST", "/batch") => match api::parse_batch(&request.body, shared.engine.config()) {
             Ok((work, mode)) => {
                 submit(shared, &mut stream, work, mode, ctx.expect("work route is protected"));
@@ -580,7 +602,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 send(shared, &mut stream, 400, &error_body(&message));
             }
         },
-        (_, "/healthz" | "/metrics" | "/benchmarks" | "/synthesize" | "/batch") => {
+        (_, "/healthz" | "/metrics" | "/benchmarks" | "/synthesize" | "/stg" | "/batch") => {
             send(shared, &mut stream, 405, &error_body("method not allowed"));
         }
         (_, path) if path.starts_with("/jobs/") => {
@@ -1017,6 +1039,41 @@ mod tests {
         );
         let (status, _) = request(addr, "GET", "/jobs/j999999", "");
         assert_eq!(status, 404);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn stg_raw_and_envelope_match_synthesize() {
+        let (handle, join) = test_server(1, 4);
+        let addr = handle.addr();
+        let raw = ".model ring\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n\
+                   .marking { <b-,a+> }\n.end\n";
+        let (status, raw_body) = request(addr, "POST", "/stg", raw);
+        assert_eq!(status, 200, "{raw_body}");
+        assert!(raw_body.starts_with("{\"name\":\"ring\""), "{raw_body}");
+
+        // The JSON envelope and /synthesize's `g_source` answer with the
+        // exact same bytes.
+        let quoted = json::Json::Str(raw.to_string()).emit();
+        let (status, env_body) = request(addr, "POST", "/stg", &format!("{{\"source\":{quoted}}}"));
+        assert_eq!(status, 200, "{env_body}");
+        assert_eq!(env_body, raw_body);
+        let (status, synth_body) =
+            request(addr, "POST", "/synthesize", &format!("{{\"g_source\":{quoted}}}"));
+        assert_eq!(status, 200, "{synth_body}");
+        assert_eq!(synth_body, raw_body);
+
+        // A spec that fails to parse is a flow failure (422) carrying the
+        // parser's line/column; envelope mistakes are 400s; wrong method
+        // is 405.
+        let (status, err) = request(addr, "POST", "/stg", ".inputsx y\n.end\n");
+        assert_eq!(status, 422, "{err}");
+        assert!(err.contains("line 1"), "{err}");
+        let (status, err) = request(addr, "POST", "/stg", "{\"nope\":1}");
+        assert_eq!(status, 400, "{err}");
+        let (status, _) = request(addr, "GET", "/stg", "");
+        assert_eq!(status, 405);
         handle.shutdown();
         join.join().unwrap().unwrap();
     }

@@ -18,6 +18,7 @@ use std::time::Duration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Endpoint {
     Synthesize,
+    Stg,
     Batch,
     Benchmarks,
     Jobs,
@@ -26,8 +27,9 @@ pub(crate) enum Endpoint {
     Other,
 }
 
-const ENDPOINTS: [(Endpoint, &str); 7] = [
+const ENDPOINTS: [(Endpoint, &str); 8] = [
     (Endpoint::Synthesize, "synthesize"),
+    (Endpoint::Stg, "stg"),
     (Endpoint::Batch, "batch"),
     (Endpoint::Benchmarks, "benchmarks"),
     (Endpoint::Jobs, "jobs"),

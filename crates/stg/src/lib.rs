@@ -82,7 +82,9 @@ pub mod write;
 pub use analysis::{analyze, StgAnalysis};
 pub use benchmarks::{all_benchmarks, benchmark, benchmark_names, Benchmark, BenchmarkRegistry};
 pub use extmem::SpillCounters;
-pub use parse::{parse_g, ParseStgError};
+pub use parse::{
+    parse_g, ParseStgError, MAX_ARCS, MAX_LINE_BYTES, MAX_PLACES, MAX_SIGNALS, MAX_TRANSITIONS,
+};
 pub use petri::{Place, PlaceId, Stg, StgError, Transition, TransitionId};
 pub use reach::{
     elaborate, elaborate_with, elaborate_with_stats, ReachConfig, ReachError, ReachStats,

@@ -4,151 +4,340 @@
 //! `.internal`, `.graph`, `.marking { ... }`, `.capacity` (ignored),
 //! `.end`. Comments start with `#`. Transition tokens look like `a+`,
 //! `b-`, `a+/2`; every other token inside `.graph` is an explicit place.
+//!
+//! # Hardening
+//!
+//! The parser is exposed to untrusted input (`simap check/map <file.g>`
+//! and the `POST /stg` serve endpoint), so it follows the same idiom as
+//! the hardened JSON parser in `simap-core`:
+//!
+//! * every error carries a 1-based line and byte column
+//!   ([`ParseStgError`]);
+//! * directives are matched as whole tokens — `.inputsx` is an unknown
+//!   directive, not `.inputs` with a run-on argument;
+//! * resource caps bound what a hostile spec can allocate before the
+//!   parser gives up: [`MAX_LINE_BYTES`], [`MAX_SIGNALS`],
+//!   [`MAX_TRANSITIONS`], [`MAX_PLACES`], [`MAX_ARCS`]. The caps are an
+//!   out-of-memory guard sized well past every legitimate net family;
+//!   they are not a CPU quota (the flow behind the parser costs far more
+//!   than the parse).
+//!
+//! `parse_g ∘ write_g` is the identity on everything `parse_g` accepts
+//! (modulo the one id-renumbering first trip; see `tests/stg_roundtrip.rs`
+//! and `tests/g_parse_fuzz.rs`).
 
-use crate::petri::{Stg, TransitionId};
+use crate::petri::{PlaceId, Stg, TransitionId};
 use simap_sg::{Event, Signal, SignalKind};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-/// A `.g` parse error with its 1-based line number.
+/// Longest accepted raw line, in bytes.
+pub const MAX_LINE_BYTES: usize = 65_536;
+/// Most signals a spec may declare across `.inputs`/`.outputs`/`.internal`.
+pub const MAX_SIGNALS: usize = 1_024;
+/// Most distinct transitions a `.graph` section may introduce.
+pub const MAX_TRANSITIONS: usize = 16_384;
+/// Most places (explicit and implicit) a `.graph` section may introduce.
+pub const MAX_PLACES: usize = 16_384;
+/// Most arcs a `.graph` section may introduce.
+pub const MAX_ARCS: usize = 65_536;
+
+/// A `.g` parse error with its 1-based line number and byte column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseStgError {
     /// Line where the problem was found (0 when global).
     pub line: usize,
+    /// 1-based byte column of the offending token (0 when the error
+    /// concerns the whole line or the whole file).
+    pub column: usize,
     /// Description of the problem.
     pub message: String,
 }
 
 impl fmt::Display for ParseStgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.column > 0 {
+            write!(f, "line {}, col {}: {}", self.line, self.column, self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
 impl std::error::Error for ParseStgError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseStgError {
-    ParseStgError { line, message: message.into() }
+    ParseStgError { line, column: 0, message: message.into() }
+}
+
+fn err_at(line: usize, column: usize, message: impl Into<String>) -> ParseStgError {
+    ParseStgError { line, column, message: message.into() }
+}
+
+/// Splits `s` into whitespace-separated tokens, each paired with the
+/// 1-based byte column of its first byte, offset by `base` (the byte
+/// position of `s` within its line).
+fn tokens_with_cols(s: &str, base: usize) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    let mut pos = base;
+    loop {
+        let trimmed = rest.trim_start();
+        pos += rest.len() - trimmed.len();
+        if trimmed.is_empty() {
+            return out;
+        }
+        let end = trimmed.find(char::is_whitespace).unwrap_or(trimmed.len());
+        out.push((pos + 1, &trimmed[..end]));
+        pos += end;
+        rest = &trimmed[end..];
+    }
+}
+
+/// One signal declaration with the line/column that introduced it.
+struct Decl {
+    name: String,
+    kind: SignalKind,
+    line: usize,
+    column: usize,
 }
 
 /// Parses `.g` source text into an [`Stg`].
 ///
 /// # Errors
-/// Returns [`ParseStgError`] on malformed input: unknown directives inside
-/// the graph, transitions of undeclared signals, markings of unknown
-/// places, or missing sections.
+/// Returns [`ParseStgError`] on malformed input: unknown or run-on
+/// directives, transitions of undeclared signals, markings of unknown or
+/// already-marked places, duplicate `.marking` sections, missing
+/// sections, or a spec exceeding the resource caps ([`MAX_LINE_BYTES`],
+/// [`MAX_SIGNALS`], [`MAX_TRANSITIONS`], [`MAX_PLACES`], [`MAX_ARCS`]).
+/// Every error names the 1-based line (and, where a single token is at
+/// fault, byte column) involved.
 pub fn parse_g(source: &str) -> Result<Stg, ParseStgError> {
     let mut name = String::from("unnamed");
-    let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
-    let mut internal: Vec<String> = Vec::new();
+    let mut decls: Vec<Decl> = Vec::new();
     let mut graph_lines: Vec<(usize, String)> = Vec::new();
-    let mut marking_text: Option<(usize, String)> = None;
+    let mut marking_text: Option<(usize, usize, String)> = None;
+    let mut graph_line: Option<usize> = None;
     let mut in_graph = false;
+    let mut last_lineno = 0;
 
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
-        let line = match raw.find('#') {
+        last_lineno = lineno;
+        if raw.len() > MAX_LINE_BYTES {
+            return Err(err(lineno, format!("line exceeds {MAX_LINE_BYTES} bytes")));
+        }
+        let content = match raw.find('#') {
             Some(p) => &raw[..p],
             None => raw,
+        };
+        let toks = tokens_with_cols(content, 0);
+        let Some(&(dcol, first)) = toks.first() else { continue };
+        if !first.starts_with('.') {
+            if in_graph {
+                graph_lines.push((lineno, content.to_string()));
+                continue;
+            }
+            return Err(err_at(
+                lineno,
+                dcol,
+                format!("unexpected line outside .graph: `{}`", content.trim()),
+            ));
         }
-        .trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix(".model").or_else(|| line.strip_prefix(".name")) {
-            name = rest.trim().to_string();
-            in_graph = false;
-        } else if let Some(rest) = line.strip_prefix(".inputs") {
-            inputs.extend(rest.split_whitespace().map(String::from));
-            in_graph = false;
-        } else if let Some(rest) = line.strip_prefix(".outputs") {
-            outputs.extend(rest.split_whitespace().map(String::from));
-            in_graph = false;
-        } else if let Some(rest) = line.strip_prefix(".internal") {
-            internal.extend(rest.split_whitespace().map(String::from));
-            in_graph = false;
-        } else if line.starts_with(".dummy") {
-            return Err(err(lineno, "dummy transitions are not supported"));
-        } else if line.starts_with(".graph") {
-            in_graph = true;
-        } else if let Some(rest) = line.strip_prefix(".marking") {
-            marking_text = Some((lineno, rest.trim().to_string()));
-            in_graph = false;
-        } else if line.starts_with(".capacity") {
-            // Capacities are ignored: reachability enforces its own bound.
-        } else if line.starts_with(".end") {
-            break;
-        } else if line.starts_with('.') {
-            return Err(err(lineno, format!("unknown directive `{line}`")));
-        } else if in_graph {
-            graph_lines.push((lineno, line.to_string()));
-        } else {
-            return Err(err(lineno, format!("unexpected line outside .graph: `{line}`")));
+        match first {
+            ".model" | ".name" => {
+                let after = dcol - 1 + first.len();
+                name = content[after..].trim().to_string();
+                in_graph = false;
+            }
+            ".inputs" | ".outputs" | ".internal" => {
+                let kind = match first {
+                    ".inputs" => SignalKind::Input,
+                    ".outputs" => SignalKind::Output,
+                    _ => SignalKind::Internal,
+                };
+                for &(col, tok) in &toks[1..] {
+                    if decls.len() == MAX_SIGNALS {
+                        return Err(err_at(
+                            lineno,
+                            col,
+                            format!("spec declares more than {MAX_SIGNALS} signals"),
+                        ));
+                    }
+                    decls.push(Decl { name: tok.to_string(), kind, line: lineno, column: col });
+                }
+                in_graph = false;
+            }
+            ".dummy" => return Err(err_at(lineno, dcol, "dummy transitions are not supported")),
+            ".graph" => {
+                if let Some(&(col, tok)) = toks.get(1) {
+                    return Err(err_at(
+                        lineno,
+                        col,
+                        format!("unexpected token after .graph: `{tok}`"),
+                    ));
+                }
+                graph_line = Some(lineno);
+                in_graph = true;
+            }
+            ".marking" => {
+                if let Some((first_line, _, _)) = marking_text {
+                    return Err(err_at(
+                        lineno,
+                        dcol,
+                        format!("duplicate .marking directive (first on line {first_line})"),
+                    ));
+                }
+                let after = dcol - 1 + first.len();
+                marking_text = Some((lineno, after, content[after..].to_string()));
+                in_graph = false;
+            }
+            ".capacity" => {
+                // Capacities are ignored: reachability enforces its own bound.
+            }
+            ".end" => {
+                if let Some(&(col, tok)) = toks.get(1) {
+                    return Err(err_at(
+                        lineno,
+                        col,
+                        format!("unexpected token after .end: `{tok}`"),
+                    ));
+                }
+                break;
+            }
+            _ => return Err(err_at(lineno, dcol, format!("unknown directive `{first}`"))),
         }
     }
 
     let mut signals: Vec<Signal> = Vec::new();
-    for (names, kind) in [
-        (&inputs, SignalKind::Input),
-        (&outputs, SignalKind::Output),
-        (&internal, SignalKind::Internal),
-    ] {
-        for n in names {
-            if signals.iter().any(|s| &s.name == n) {
-                return Err(err(0, format!("signal `{n}` declared twice")));
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    // Declarations keep file order within each kind, but kinds are grouped
+    // inputs → outputs → internal to match `Stg`'s signal layout.
+    for kind in [SignalKind::Input, SignalKind::Output, SignalKind::Internal] {
+        for d in decls.iter().filter(|d| d.kind == kind) {
+            if let Some(&first_line) = seen.get(d.name.as_str()) {
+                return Err(err_at(
+                    d.line,
+                    d.column,
+                    format!(
+                        "signal `{}` declared twice (first declared on line {first_line})",
+                        d.name
+                    ),
+                ));
             }
-            signals.push(Signal::new(n.clone(), kind));
+            seen.insert(&d.name, d.line);
+            signals.push(Signal::new(d.name.clone(), kind));
         }
     }
     if signals.is_empty() {
-        return Err(err(0, "no signals declared"));
+        return Err(err(graph_line.unwrap_or(last_lineno), "no signals declared"));
     }
 
     let mut stg = Stg::new(name, signals);
 
-    // Node parsing helpers.
+    // Node parsing helpers. The parser keeps its own hash indices so a
+    // hostile spec near the caps cannot turn the `Stg`'s linear name
+    // scans into quadratic work.
     #[derive(Clone, Copy)]
     enum Node {
         Transition(TransitionId),
-        Place(crate::petri::PlaceId),
+        Place(PlaceId),
     }
-    let node_of = |stg: &mut Stg, token: &str, lineno: usize| -> Result<Node, ParseStgError> {
+    let mut place_ids: HashMap<String, PlaceId> = HashMap::new();
+    let mut connected: HashSet<(usize, usize)> = HashSet::new();
+    let mut arc_seen: HashSet<(bool, usize, usize)> = HashSet::new();
+    let mut arcs = 0usize;
+
+    fn node_of(
+        stg: &mut Stg,
+        place_ids: &mut HashMap<String, PlaceId>,
+        token: &str,
+        lineno: usize,
+        col: usize,
+    ) -> Result<Node, ParseStgError> {
         if let Some((event, instance)) = parse_transition_token(stg, token) {
-            return Ok(Node::Transition(stg.add_transition(event, instance)));
+            let t = stg.add_transition(event, instance);
+            if stg.transitions().len() > MAX_TRANSITIONS {
+                return Err(err_at(
+                    lineno,
+                    col,
+                    format!("net exceeds {MAX_TRANSITIONS} transitions"),
+                ));
+            }
+            return Ok(Node::Transition(t));
         }
         if token.contains('+') || token.contains('-') || token.contains('/') {
-            return Err(err(lineno, format!("`{token}` is not a transition of a declared signal")));
+            return Err(err_at(
+                lineno,
+                col,
+                format!("`{token}` is not a transition of a declared signal"),
+            ));
         }
-        let p = match stg.place_by_name(token) {
-            Some(p) => p,
-            None => stg.add_place(token, 0),
-        };
+        if let Some(&p) = place_ids.get(token) {
+            return Ok(Node::Place(p));
+        }
+        if stg.places().len() == MAX_PLACES {
+            return Err(err_at(lineno, col, format!("net exceeds {MAX_PLACES} places")));
+        }
+        let p = stg.add_place(token, 0);
+        place_ids.insert(token.to_string(), p);
         Ok(Node::Place(p))
-    };
+    }
 
     for (lineno, line) in &graph_lines {
-        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let tokens = tokens_with_cols(line, 0);
         if tokens.len() < 2 {
             return Err(err(*lineno, "graph line needs a source and at least one target"));
         }
-        let src = node_of(&mut stg, tokens[0], *lineno)?;
-        for tok in &tokens[1..] {
-            let dst = node_of(&mut stg, tok, *lineno)?;
-            match (src, dst) {
+        let (src_col, src_tok) = tokens[0];
+        let src = node_of(&mut stg, &mut place_ids, src_tok, *lineno, src_col)?;
+        for &(col, tok) in &tokens[1..] {
+            let dst = node_of(&mut stg, &mut place_ids, tok, *lineno, col)?;
+            let added = match (src, dst) {
                 (Node::Transition(a), Node::Transition(b)) => {
-                    stg.connect(a, b);
+                    if connected.insert((a.0, b.0)) {
+                        if stg.places().len() == MAX_PLACES {
+                            return Err(err_at(
+                                *lineno,
+                                col,
+                                format!("net exceeds {MAX_PLACES} places"),
+                            ));
+                        }
+                        stg.connect(a, b);
+                        2
+                    } else {
+                        0
+                    }
                 }
-                (Node::Transition(a), Node::Place(p)) => stg.add_arc_tp(a, p),
-                (Node::Place(p), Node::Transition(b)) => stg.add_arc_pt(p, b),
+                (Node::Transition(a), Node::Place(p)) => {
+                    if arc_seen.insert((true, a.0, p.0)) {
+                        stg.add_arc_tp(a, p);
+                        1
+                    } else {
+                        0
+                    }
+                }
+                (Node::Place(p), Node::Transition(b)) => {
+                    if arc_seen.insert((false, b.0, p.0)) {
+                        stg.add_arc_pt(p, b);
+                        1
+                    } else {
+                        0
+                    }
+                }
                 (Node::Place(_), Node::Place(_)) => {
-                    return Err(err(*lineno, "place-to-place arcs are not allowed"));
+                    return Err(err_at(*lineno, col, "place-to-place arcs are not allowed"));
                 }
+            };
+            arcs += added;
+            if arcs > MAX_ARCS {
+                return Err(err_at(*lineno, col, format!("net exceeds {MAX_ARCS} arcs")));
             }
         }
     }
 
-    if let Some((lineno, text)) = marking_text {
-        parse_marking(&mut stg, &text, lineno)?;
+    if let Some((lineno, base, text)) = marking_text {
+        parse_marking(&mut stg, &text, lineno, base)?;
     }
 
     Ok(stg)
@@ -172,42 +361,59 @@ fn parse_transition_token(stg: &Stg, token: &str) -> Option<(Event, u32)> {
     Some((if rising { Event::rise(sig) } else { Event::fall(sig) }, instance))
 }
 
-fn parse_marking(stg: &mut Stg, text: &str, lineno: usize) -> Result<(), ParseStgError> {
-    let inner = text
-        .trim()
+fn parse_marking(
+    stg: &mut Stg,
+    text: &str,
+    lineno: usize,
+    base: usize,
+) -> Result<(), ParseStgError> {
+    let trimmed = text.trim_start();
+    let inner_base = base + (text.len() - trimmed.len()) + 1;
+    let inner = trimmed
+        .trim_end()
         .strip_prefix('{')
         .and_then(|t| t.strip_suffix('}'))
         .ok_or_else(|| err(lineno, "marking must be wrapped in { }"))?;
     // Tokenize: implicit places `<a+,b+>` may not contain spaces in our
     // dialect; entries are whitespace-separated, optionally `=k` suffixed.
-    for entry in inner.split_whitespace() {
+    let mut marked: HashMap<usize, &str> = HashMap::new();
+    for (col, entry) in tokens_with_cols(inner, inner_base) {
         let (place_txt, tokens) = match entry.split_once('=') {
             Some((p, k)) => {
-                let k: u8 = k.parse().map_err(|_| err(lineno, format!("bad token count `{k}`")))?;
+                let k: u8 =
+                    k.parse().map_err(|_| err_at(lineno, col, format!("bad token count `{k}`")))?;
                 (p, k)
             }
             None => (entry, 1),
         };
-        if let Some(pair) = place_txt.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
+        let p = if let Some(pair) = place_txt.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
             let (t1_txt, t2_txt) = pair
                 .split_once(',')
-                .ok_or_else(|| err(lineno, format!("bad implicit place `{place_txt}`")))?;
+                .ok_or_else(|| err_at(lineno, col, format!("bad implicit place `{place_txt}`")))?;
             let t1 = parse_transition_token(stg, t1_txt)
                 .and_then(|(e, i)| stg.transition(e, i))
-                .ok_or_else(|| err(lineno, format!("unknown transition `{t1_txt}` in marking")))?;
+                .ok_or_else(|| {
+                    err_at(lineno, col, format!("unknown transition `{t1_txt}` in marking"))
+                })?;
             let t2 = parse_transition_token(stg, t2_txt)
                 .and_then(|(e, i)| stg.transition(e, i))
-                .ok_or_else(|| err(lineno, format!("unknown transition `{t2_txt}` in marking")))?;
-            let p = stg
-                .implicit_place(t1, t2)
-                .ok_or_else(|| err(lineno, format!("no implicit place `{place_txt}`")))?;
-            stg.set_marking(p, tokens);
+                .ok_or_else(|| {
+                    err_at(lineno, col, format!("unknown transition `{t2_txt}` in marking"))
+                })?;
+            stg.implicit_place(t1, t2)
+                .ok_or_else(|| err_at(lineno, col, format!("no implicit place `{place_txt}`")))?
         } else {
-            let p = stg
-                .place_by_name(place_txt)
-                .ok_or_else(|| err(lineno, format!("unknown place `{place_txt}`")))?;
-            stg.set_marking(p, tokens);
+            stg.place_by_name(place_txt)
+                .ok_or_else(|| err_at(lineno, col, format!("unknown place `{place_txt}`")))?
+        };
+        if let Some(first) = marked.insert(p.0, place_txt) {
+            return Err(err_at(
+                lineno,
+                col,
+                format!("place `{place_txt}` marked twice on line {lineno} (first as `{first}`)"),
+            ));
         }
+        stg.set_marking(p, tokens);
     }
     Ok(())
 }
@@ -269,6 +475,7 @@ p1 b+
         let src = ".model x\n.inputs a\n.graph\na+ zz+\n.marking { <zz+,a+> }\n.end\n";
         let e = parse_g(src).unwrap_err();
         assert!(e.message.contains("zz+"), "{e}");
+        assert_eq!((e.line, e.column), (4, 4));
     }
 
     #[test]
@@ -328,6 +535,9 @@ c- a+ b+
         let src = ".inputs a\n.outputs a\n.graph\na+ a-\na- a+\n.marking { <a-,a+> }\n.end\n";
         let e = parse_g(src).unwrap_err();
         assert!(e.message.contains("declared twice"), "{e}");
+        // The error names the re-declaring line/column and the first line.
+        assert_eq!((e.line, e.column), (2, 10));
+        assert!(e.message.contains("first declared on line 1"), "{e}");
     }
 
     #[test]
@@ -341,6 +551,8 @@ c- a+ b+
         let src = ".inputs a\n.graph\na+ a-\na- a+\n.marking { nowhere }\n.end\n";
         let e = parse_g(src).unwrap_err();
         assert!(e.message.contains("unknown place"), "{e}");
+        assert_eq!(e.line, 5);
+        assert!(e.column > 0, "{e:?}");
     }
 
     #[test]
@@ -360,5 +572,152 @@ b- a+
 .end
 ";
         assert!(parse_g(src).is_ok());
+    }
+
+    #[test]
+    fn rejects_run_on_directives() {
+        // A directive must be followed by whitespace or end-of-line;
+        // `.inputsx` is an unknown directive, not `.inputs x`.
+        for (src, bad) in [
+            (".inputsx y\n.graph\ny+ y-\ny- y+\n.marking { }\n.end\n", ".inputsx"),
+            (".inputs a\n.graph2\na+ a-\na- a+\n.marking { }\n.end\n", ".graph2"),
+            (".modelfoo\n.inputs a\n.graph\na+ a-\na- a+\n.marking { }\n.end\n", ".modelfoo"),
+            (".inputs a\n.graph\na+ a-\na- a+\n.marking { }\n.endzzz\n", ".endzzz"),
+            (".inputs a\n.outputsb c\n.graph\na+ a-\na- a+\n.marking { }\n.end\n", ".outputsb"),
+            (".inputs a\n.internalq\n.graph\na+ a-\na- a+\n.marking { }\n.end\n", ".internalq"),
+            (".inputs a\n.markingz { }\n.graph\na+ a-\na- a+\n.end\n", ".markingz"),
+        ] {
+            let e = parse_g(src).unwrap_err();
+            assert!(
+                e.message.contains("unknown directive") && e.message.contains(bad),
+                "`{bad}`: {e}"
+            );
+            assert!(e.line > 0 && e.column > 0, "`{bad}`: {e:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_after_graph_and_end() {
+        let e = parse_g(".inputs a\n.graph junk\na+ a-\n.marking { }\n.end\n").unwrap_err();
+        assert!(e.message.contains("after .graph"), "{e}");
+        assert_eq!((e.line, e.column), (2, 8));
+        let e = parse_g(".inputs a\n.graph\na+ a-\na- a+\n.marking { }\n.end junk\n").unwrap_err();
+        assert!(e.message.contains("after .end"), "{e}");
+    }
+
+    #[test]
+    fn no_signals_error_names_a_real_line() {
+        let e = parse_g(".model x\n.graph\np q\n.marking { }\n.end\n").unwrap_err();
+        assert_eq!(e.message, "no signals declared");
+        assert_eq!(e.line, 2, "error should point at the .graph line, got {e}");
+        // Without a .graph section the error still names a real line.
+        let e = parse_g(".model x\n.end\n").unwrap_err();
+        assert_eq!(e.message, "no signals declared");
+        assert_eq!(e.line, 2, "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_marking_directive() {
+        let src = "\
+.inputs a
+.graph
+a+ a-
+a- a+
+.marking { <a+,a-> }
+.marking { <a-,a+> }
+.end
+";
+        let e = parse_g(src).unwrap_err();
+        assert!(e.message.contains("duplicate .marking"), "{e}");
+        assert!(e.message.contains("first on line 5"), "{e}");
+        assert_eq!(e.line, 6);
+    }
+
+    #[test]
+    fn rejects_place_marked_twice() {
+        let src = ".inputs a\n.graph\np a+\na+ p2\np2 a-\na- p\n.marking { p=2 p=1 }\n.end\n";
+        let e = parse_g(src).unwrap_err();
+        assert!(e.message.contains("marked twice"), "{e}");
+        assert!(e.message.contains("line 7"), "{e}");
+        // Implicit places too, even when spelled from both directions.
+        let src = "\
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> <b-,a+> }
+.end
+";
+        let e = parse_g(src).unwrap_err();
+        assert!(e.message.contains("marked twice"), "{e}");
+    }
+
+    #[test]
+    fn rejects_overlong_line() {
+        let long = "a".repeat(MAX_LINE_BYTES + 1);
+        let src = format!(".inputs a\n# {long}\n.graph\na+ a-\n.marking {{ }}\n.end\n");
+        let e = parse_g(&src).unwrap_err();
+        assert!(e.message.contains("exceeds"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_too_many_signals() {
+        let names: Vec<String> = (0..=MAX_SIGNALS).map(|i| format!("s{i}")).collect();
+        let src = format!(".inputs {}\n.graph\ns0+ s0-\n.marking {{ }}\n.end\n", names.join(" "));
+        let e = parse_g(&src).unwrap_err();
+        assert!(e.message.contains("signals"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn rejects_too_many_transitions() {
+        let lines: Vec<String> =
+            (1..=MAX_TRANSITIONS).map(|i| format!("a+/{i} a+/{}", i + 1)).collect();
+        let src = format!(".inputs a\n.graph\n{}\n.marking {{ }}\n.end\n", lines.join("\n"));
+        let e = parse_g(&src).unwrap_err();
+        assert!(e.message.contains("transitions"), "{e}");
+    }
+
+    #[test]
+    fn rejects_too_many_places() {
+        let lines: Vec<String> = (0..=MAX_PLACES).map(|i| format!("p{i} a+")).collect();
+        let src = format!(".inputs a\n.graph\n{}\n.marking {{ }}\n.end\n", lines.join("\n"));
+        let e = parse_g(&src).unwrap_err();
+        assert!(e.message.contains("places"), "{e}");
+    }
+
+    #[test]
+    fn rejects_too_many_arcs() {
+        // A 256×257 bipartite net stays under the place/transition caps
+        // but crosses MAX_ARCS = 65_536 on its last arc.
+        let mut lines = Vec::new();
+        for p in 0..256 {
+            let targets: Vec<String> = (1..=256).map(|i| format!("a+/{i}")).collect();
+            lines.push(format!("p{p} {}", targets.join(" ")));
+        }
+        lines.push("p0 b+".to_string());
+        let src = format!(".inputs a b\n.graph\n{}\n.marking {{ }}\n.end\n", lines.join("\n"));
+        let e = parse_g(&src).unwrap_err();
+        assert!(e.message.contains("arcs"), "{e}");
+    }
+
+    #[test]
+    fn repeated_arcs_do_not_count_against_the_cap() {
+        let src =
+            ".inputs a\n.graph\np a+\np a+\na+ p\na+ p\na+ a-\na+ a-\na- p\n.marking { p }\n.end\n";
+        let stg = parse_g(src).unwrap();
+        assert_eq!(stg.transitions().len(), 2);
+    }
+
+    #[test]
+    fn error_display_includes_line_and_column() {
+        let e = err_at(3, 7, "boom");
+        assert_eq!(e.to_string(), "line 3, col 7: boom");
+        let e = err(3, "boom");
+        assert_eq!(e.to_string(), "line 3: boom");
     }
 }

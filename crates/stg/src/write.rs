@@ -1,7 +1,15 @@
 //! Writer for the `.g` textual STG format (inverse of [`crate::parse`]).
+//!
+//! The graph section is emitted in *parse-canonical* order: groups in
+//! BFS first-appearance order over the emitted token stream, so the
+//! parser's first-appearance id renumbering maps the written text onto
+//! itself. Concretely, `write_g ∘ parse_g` is a byte fixpoint from the
+//! second trip on (the first trip may still renumber a programmatically
+//! built net), which `tests/g_parse_fuzz.rs` checks exhaustively.
 
 use crate::petri::{PlaceId, Stg, TransitionId};
 use simap_sg::SignalKind;
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 /// Serializes an [`Stg`] to `.g` source text. The output round-trips
@@ -22,12 +30,49 @@ pub fn write_g(stg: &Stg) -> String {
     }
     let _ = writeln!(out, ".graph");
 
+    // Group emission order: BFS over transition→transition successors,
+    // seeded in id order. Discovery order equals the order transitions
+    // first appear in the emitted text, which is exactly the order
+    // `parse_g` assigns ids in — so a reparse of this text renumbers
+    // every transition onto itself.
+    let n = stg.transitions().len();
+    let mut discovered = vec![false; n];
+    let mut groups: Vec<TransitionId> = Vec::with_capacity(n);
+    let mut pending: VecDeque<TransitionId> = VecDeque::new();
+    for seed in 0..n {
+        if discovered[seed] {
+            continue;
+        }
+        discovered[seed] = true;
+        pending.push_back(TransitionId(seed));
+        while let Some(t) = pending.pop_front() {
+            groups.push(t);
+            for &p in stg.post(t) {
+                if let Some((_, to)) = stg.places()[p.0].implicit {
+                    if !discovered[to.0] {
+                        discovered[to.0] = true;
+                        pending.push_back(to);
+                    }
+                }
+            }
+        }
+    }
+
     // Transition -> transition arcs through implicit places; grouped per
-    // source transition.
-    for t in 0..stg.transitions().len() {
-        let t = TransitionId(t);
+    // source transition. Track the order places first appear (implicit
+    // places the moment their arc pair is written, explicit places at
+    // their first target token): the reparse creates them in exactly
+    // this order, and the explicit-place section and the marking below
+    // must follow it to stay canonical.
+    let mut place_order: Vec<usize> = Vec::with_capacity(stg.places().len());
+    let mut place_seen = vec![false; stg.places().len()];
+    for &t in &groups {
         let mut targets: Vec<String> = Vec::new();
         for &p in stg.post(t) {
+            if !place_seen[p.0] {
+                place_seen[p.0] = true;
+                place_order.push(p.0);
+            }
             match stg.places()[p.0].implicit {
                 Some((_, to)) => targets.push(stg.transition_label(to)),
                 None => targets.push(stg.places()[p.0].name.clone()),
@@ -37,22 +82,29 @@ pub fn write_g(stg: &Stg) -> String {
             let _ = writeln!(out, "{} {}", stg.transition_label(t), targets.join(" "));
         }
     }
-    // Explicit place -> transition arcs.
-    for p in 0..stg.places().len() {
-        let pid = PlaceId(p);
-        if stg.places()[p].implicit.is_some() {
-            continue;
+    // Explicit place -> transition arcs: places already seen above first
+    // (in appearance order), then producer-less places in id order.
+    let mut consumer_lines: Vec<usize> =
+        place_order.iter().copied().filter(|&p| stg.places()[p].implicit.is_none()).collect();
+    for (p, seen) in place_seen.iter_mut().enumerate() {
+        if !*seen && stg.places()[p].implicit.is_none() {
+            *seen = true;
+            place_order.push(p);
+            consumer_lines.push(p);
         }
-        let consumers = stg.consumers(pid);
+    }
+    for p in consumer_lines {
+        let consumers = stg.consumers(PlaceId(p));
         if !consumers.is_empty() {
             let labels: Vec<String> = consumers.iter().map(|&t| stg.transition_label(t)).collect();
             let _ = writeln!(out, "{} {}", stg.places()[p].name, labels.join(" "));
         }
     }
 
-    // Marking.
+    // Marking, in the same first-appearance place order.
     let mut entries: Vec<String> = Vec::new();
-    for (p, &tokens) in stg.initial_marking().iter().enumerate() {
+    for p in place_order {
+        let tokens = stg.initial_marking()[p];
         if tokens == 0 {
             continue;
         }

@@ -6,6 +6,7 @@
 //! simap map   <spec.g> [options]      run the full mapping flow
 //! simap bench list [--json]            list the embedded Table 1 circuits
 //! simap bench run [name ...] [opts]   batch the suite through one config
+//! simap gen [options]                 emit seeded `.g` corpus specs
 //! simap serve [options]               host the flow as an HTTP service
 //!
 //! check options:
@@ -56,6 +57,13 @@
 //!       exits 1 when any benchmark's states/s regressed by more than
 //!       <pct> percent (default 25) beyond the noise floor
 //!
+//! gen options:
+//!       --seed <n>       corpus seed (default 0); a fixed seed gives
+//!                        byte-identical specs on every machine
+//!       --count <n>      how many specs to produce (default 1)
+//!       --out-dir <d>    write one `<name>.g` file per spec into <d>
+//!                        (created if missing); default: print to stdout
+//!
 //! serve options:
 //!       --addr <a>       address to bind (default 127.0.0.1:7317)
 //!   -j, --jobs <n>       synthesis worker threads (default: CPU count)
@@ -105,9 +113,10 @@ fn run() -> Result<ExitCode, Box<dyn Error>> {
         Some("check") => check(&args[1..]),
         Some("map") => map(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("gen") => gen(&args[1..]),
         Some("serve") => serve(&args[1..]),
         _ => {
-            eprintln!("usage: simap <check|map|bench|serve> ...   (see --help in the README)");
+            eprintln!("usage: simap <check|map|bench|gen|serve> ...   (see --help in the README)");
             Ok(ExitCode::FAILURE)
         }
     }
@@ -191,7 +200,8 @@ fn synthesis(parsed: &Parsed) -> Result<Synthesis, Box<dyn Error>> {
     let Some(path) = parsed.positionals.first() else {
         return Err("no specification given (pass a .g file or --bench <name>)".into());
     };
-    Ok(Synthesis::from_g_source(std::fs::read_to_string(path)?))
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok(Synthesis::from_g_source(source))
 }
 
 /// Parses a byte-size value: a plain integer (bytes) optionally suffixed
@@ -394,6 +404,40 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             Ok(ExitCode::FAILURE)
         }
     }
+}
+
+/// `simap gen`: emits `--count` specs of the seeded pattern-composition
+/// corpus (`simap::stg::patterns::corpus`). The specs are a pure function
+/// of `--seed`, so a fixed seed reproduces the same bytes on any machine
+/// — the property the fuzz suite and serve load tests lean on. With
+/// `--out-dir` each spec lands in its own `<name>.g` file; otherwise the
+/// specs stream to stdout back to back (each is self-delimiting via its
+/// `.end` line).
+fn gen(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let parsed = parse_flags(args, &[valued("--seed"), valued("--count"), valued("--out-dir")])?;
+    if let Some(p) = parsed.positionals.first() {
+        return Err(format!("unexpected argument `{p}` (gen takes only flags)").into());
+    }
+    let seed: u64 = parsed.value("--seed").map(str::parse).transpose()?.unwrap_or(0);
+    let count: usize = parsed.value("--count").map(str::parse).transpose()?.unwrap_or(1);
+    let out_dir = parsed.value("--out-dir");
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+    }
+    let mut stdout = String::new();
+    for stg in simap::stg::patterns::corpus(seed, count) {
+        let text = simap::stg::write_g(&stg);
+        match out_dir {
+            Some(dir) => {
+                let path = std::path::Path::new(dir).join(format!("{}.g", stg.name()));
+                std::fs::write(&path, &text)
+                    .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+            }
+            None => stdout.push_str(&text),
+        }
+    }
+    print!("{stdout}");
+    Ok(ExitCode::SUCCESS)
 }
 
 /// One HTTP/1.1 request against the in-process snapshot server.
@@ -698,8 +742,11 @@ fn bench_compare(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     };
     let max_regress: f64 =
         parsed.value("--max-regress").map(str::parse).transpose()?.unwrap_or(25.0);
-    let old = simap::core::json::parse(&std::fs::read_to_string(old_path)?)?;
-    let new = simap::core::json::parse(&std::fs::read_to_string(new_path)?)?;
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+    };
+    let old = simap::core::json::parse(&read(old_path)?)?;
+    let new = simap::core::json::parse(&read(new_path)?)?;
     let benches = |doc: &simap::core::json::Json| -> Result<Vec<simap::core::json::Json>, String> {
         doc.get("benchmarks")
             .and_then(|b| b.as_array().map(<[_]>::to_vec))

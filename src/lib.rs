@@ -64,6 +64,52 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 //!
+//! ## Bring your own `.g`
+//!
+//! Specifications from outside the embedded suite enter through the same
+//! hardened parser at every tier: `simap check`/`simap map my.g` on the
+//! CLI, [`Engine::g_source`] in the library, and `POST /stg` against
+//! `simap serve` — the body is either the raw `.g` text or a JSON
+//! envelope `{"source": "...", ...}` with per-request knobs. The `/stg`
+//! response is byte-identical to `simap map my.g --json` for the same
+//! source, requests are metered by the full gateway chain (auth, rate
+//! limits, breaker), and repeated submissions of the same bytes are
+//! answered from the content-addressed result cache without enqueueing
+//! work. Malformed input is rejected (HTTP `422`) with a 1-based
+//! line/column ([`stg::ParseStgError`]), and resource caps bound what a
+//! hostile spec can allocate before the parser gives up:
+//! [`stg::MAX_LINE_BYTES`], [`stg::MAX_SIGNALS`],
+//! [`stg::MAX_TRANSITIONS`], [`stg::MAX_PLACES`], [`stg::MAX_ARCS`].
+//! For load testing there is a seeded, byte-reproducible spec generator:
+//! `simap gen --seed 1 --count 100 --out-dir specs`
+//! ([`stg::patterns::corpus`] in the library).
+//!
+//! ```
+//! use simap::{Config, Engine};
+//!
+//! let source = "\
+//! .model ring
+//! .inputs a
+//! .outputs b
+//! .graph
+//! a+ b+
+//! b+ a-
+//! a- b-
+//! b- a+
+//! .marking { <b-,a+> }
+//! .end
+//! ";
+//! let engine = Engine::new(Config::default());
+//! let report = engine.g_source(source).run()?;
+//! assert_eq!(report.name, "ring");
+//! assert_eq!(report.verified, Some(true));
+//!
+//! // Malformed text names the offending line and column.
+//! let err = simap::stg::parse_g(".inputsx y\n.graph\n.end\n").unwrap_err();
+//! assert_eq!(err.to_string(), "line 1, col 1: unknown directive `.inputsx`");
+//! # Ok::<(), simap::Error>(())
+//! ```
+//!
 //! Cold elaboration runs on one of four reachability strategies (see
 //! [`simap_stg::reach`] for the full selection guide): the packed-state
 //! default — bit-packed markings in a contiguous arena with

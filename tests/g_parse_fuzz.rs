@@ -1,0 +1,223 @@
+//! Fuzz-style robustness harness for the `.g` parser: mutated, truncated
+//! and adversarial spec text must never panic `parse_g`, every rejection
+//! must carry a plausible line/column, and `parse_g ∘ write_g` must be
+//! the identity (from the second trip, once ids are canonical) on every
+//! net the generators produce — and on anything a mutated spec tricks the
+//! parser into accepting.
+//!
+//! The case count is environment-tunable so CI can turn the crank harder
+//! than a developer's `cargo test`:
+//!
+//! ```text
+//! SIMAP_FUZZ_CASES=256 cargo test --release --test g_parse_fuzz
+//! ```
+
+use proptest::prelude::*;
+use simap::stg::{parse_g, patterns, write_g, ParseStgError};
+
+/// Cases per property, from `SIMAP_FUZZ_CASES` (default 64).
+fn fuzz_cases() -> u32 {
+    std::env::var("SIMAP_FUZZ_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Fragments chosen to poke every rejection path: run-on directives,
+/// stray section tokens, marking syntax debris and near-miss transitions.
+const JUNK: &[&str] = &[
+    ".inputsx y\n",
+    ".graph2\n",
+    ".graph junk\n",
+    ".dummy e\n",
+    ".marking { p }\n",
+    ".marking {\n",
+    ".end junk\n",
+    ".inputs\n",
+    "....\n",
+    "a+/4294967296 a-\n",
+    "a+ zz+\n",
+    "p q\n",
+    "p=256 ",
+    "<a+,b+> ",
+    "=3 ",
+    "\u{0}",
+    "# comment\n",
+    "\t \t",
+];
+
+/// An error is plausible when it names a line the source actually has
+/// (line 0 only for empty input) and a column inside that line.
+fn assert_plausible(source: &str, e: &ParseStgError) {
+    let lines = source.lines().count();
+    assert!(!e.message.is_empty(), "empty message: {e:?}");
+    assert!(e.line <= lines, "line {} of {lines}-line source: {e} in {source:?}", e.line);
+    if e.line == 0 {
+        assert_eq!(lines, 0, "line 0 is reserved for empty input: {e} in {source:?}");
+    }
+    if e.column > 0 {
+        let raw = source.lines().nth(e.line - 1).expect("line checked above");
+        assert!(
+            e.column <= raw.len() + 1,
+            "col {} of {}-byte line {:?}: {e}",
+            e.column,
+            raw.len(),
+            raw
+        );
+    }
+}
+
+/// Parses arbitrary text; a rejection must be plausible and an accepted
+/// net must survive the write→parse→write fixpoint check.
+fn check(source: &str) {
+    match parse_g(source) {
+        Err(e) => assert_plausible(source, &e),
+        Ok(stg) => assert_second_trip_identity(&stg),
+    }
+}
+
+/// Whatever the parser accepts, the writer must express in a form the
+/// parser accepts again — and from the second trip (ids canonical) the
+/// text must be a fixpoint, byte for byte.
+fn assert_second_trip_identity(stg: &simap::stg::Stg) {
+    let t1 = write_g(stg);
+    let s2 = parse_g(&t1).unwrap_or_else(|e| panic!("writer output must reparse: {e}\n{t1}"));
+    let t2 = write_g(&s2);
+    let s3 = parse_g(&t2).unwrap_or_else(|e| panic!("second trip must reparse: {e}\n{t2}"));
+    assert_eq!(write_g(&s3), t2, "second trip must be a byte fixpoint");
+    assert_eq!(s2.signals().len(), stg.signals().len());
+    assert_eq!(s2.transitions().len(), stg.transitions().len());
+    assert_eq!(s2.places().len(), stg.places().len());
+}
+
+/// Byte offsets where each line of `bytes` starts.
+fn line_starts(bytes: &[u8]) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' && i + 1 < bytes.len() {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Applies one seeded mutation: truncation, byte overwrite (ASCII or
+/// invalid UTF-8), junk insertion, line duplication or line deletion.
+fn mutate(bytes: &mut Vec<u8>, op: u64) {
+    let pos = (op >> 8) as usize;
+    let pick = (op >> 40) as usize;
+    match op % 6 {
+        0 => {
+            if !bytes.is_empty() {
+                let cut = pos % (bytes.len() + 1);
+                bytes.truncate(cut);
+            }
+        }
+        1 => {
+            if !bytes.is_empty() {
+                let i = pos % bytes.len();
+                bytes[i] = (pick % 128) as u8;
+            }
+        }
+        2 => {
+            if !bytes.is_empty() {
+                let i = pos % bytes.len();
+                bytes[i] = 0x80 + (pick % 0x80) as u8;
+            }
+        }
+        3 => {
+            let i = pos % (bytes.len() + 1);
+            let junk = JUNK[pick % JUNK.len()];
+            bytes.splice(i..i, junk.bytes());
+        }
+        4 => {
+            let starts = line_starts(bytes);
+            let k = pos % starts.len();
+            let end = starts.get(k + 1).copied().unwrap_or(bytes.len());
+            let line: Vec<u8> = bytes[starts[k]..end].to_vec();
+            bytes.splice(starts[k]..starts[k], line);
+        }
+        5 => {
+            let starts = line_starts(bytes);
+            let k = pos % starts.len();
+            let end = starts.get(k + 1).copied().unwrap_or(bytes.len());
+            bytes.drain(starts[k]..end);
+        }
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// Corpus specs with a handful of seeded mutations applied: the
+    /// parser never panics, rejections point into the source, and
+    /// anything still accepted round-trips.
+    #[test]
+    fn mutated_corpus_text_never_panics(
+        seed in 0u64..1 << 48,
+        index in 0u64..1 << 12,
+        ops in collection::vec(0u64..u64::MAX, 1..8),
+    ) {
+        let net = patterns::corpus_net(seed, index);
+        let mut bytes = write_g(&net).into_bytes();
+        for &op in &ops {
+            mutate(&mut bytes, op);
+        }
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        check(&source);
+    }
+
+    /// Pure ASCII soup (controls included) is handled gracefully too.
+    #[test]
+    fn arbitrary_ascii_never_panics(soup in collection::vec(0u8..128, 0..512)) {
+        let source = String::from_utf8_lossy(&soup).into_owned();
+        check(&source);
+    }
+
+    /// Every generator-produced net parses back and reaches the byte
+    /// fixpoint — the property `POST /stg` and `simap gen` lean on.
+    #[test]
+    fn generator_nets_roundtrip_exactly(seed in 0u64..1 << 48, index in 0u64..1 << 16) {
+        let net = patterns::corpus_net(seed, index);
+        assert_second_trip_identity(&net);
+    }
+}
+
+/// Every byte-boundary truncation of a valid spec parses or fails with
+/// an in-range position — no panics on mid-token, mid-section cuts.
+#[test]
+fn every_truncation_of_a_valid_spec_is_handled() {
+    let text = write_g(&patterns::corpus_net(7, 3));
+    for cut in 0..=text.len() {
+        if text.is_char_boundary(cut) {
+            check(&text[..cut]);
+        }
+    }
+}
+
+/// The fixed adversarial fragments (alone and pairwise concatenated)
+/// exercise the rejection paths deterministically, independent of the
+/// seeded sweep above.
+#[test]
+fn adversarial_fragments_are_rejected_gracefully() {
+    let header = ".inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n";
+    for &junk in JUNK {
+        check(junk);
+        check(&format!("{header}{junk}.marking {{ <b-,a+> }}\n.end\n"));
+        for &other in JUNK {
+            check(&format!("{junk}{other}"));
+        }
+    }
+}
+
+/// CRLF line endings and a missing trailing newline both parse, and
+/// errors in them still carry sensible lines.
+#[test]
+fn crlf_and_unterminated_sources() {
+    let crlf =
+        ".model m\r\n.inputs a\r\n.graph\r\na+ a-\r\na- a+\r\n.marking { <a-,a+> }\r\n.end\r\n";
+    parse_g(crlf).expect("CRLF specs parse");
+    let unterminated = ".inputs a\n.graph\na+ a-\na- a+\n.marking { <a-,a+> }\n.end";
+    parse_g(unterminated).expect("missing trailing newline is fine");
+    let e = parse_g(".inputs a\r\n.graphx\r\n").unwrap_err();
+    assert_plausible(".inputs a\r\n.graphx\r\n", &e);
+    assert_eq!(e.line, 2);
+}
