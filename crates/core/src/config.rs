@@ -183,8 +183,8 @@ impl Config {
         );
         let _ = write!(
             canon,
-            "reach={};rmax={};rtok={};rjobs={};rmat={};rbud={};rdir={:?};rshards={};cachecap={:?};\
-             sjobs={}",
+            "reach={};rmax={};rtok={};rjobs={};rmat={};rbud={};rdir={:?};rshards={};rckevery={};\
+             rckdir={:?};rresume={:?};cachecap={:?};sjobs={}",
             r.strategy,
             r.max_states,
             r.max_tokens,
@@ -193,6 +193,9 @@ impl Config {
             r.memory_budget,
             r.spill_dir,
             r.shards,
+            r.checkpoint_every,
+            r.checkpoint_dir,
+            r.resume,
             self.cache_capacity,
             self.synth_jobs,
         );
@@ -336,6 +339,33 @@ impl ConfigBuilder {
         self
     }
 
+    /// Commits a durable checkpoint of the spill exploration every
+    /// `levels` BFS levels (0 = off, the default; shorthand for
+    /// [`Self::reach_config`]; requires [`Self::reach_checkpoint_dir`];
+    /// ignored by the in-memory strategies).
+    pub fn reach_checkpoint_every(mut self, levels: usize) -> Self {
+        self.config.reach.checkpoint_every = levels;
+        self
+    }
+
+    /// Directory the spill strategy commits its durable checkpoints to
+    /// (shorthand for [`Self::reach_config`]; unlike
+    /// [`Self::reach_spill_dir`] scratch, these artifacts survive the
+    /// process and are consumed by [`Self::reach_resume`]).
+    pub fn reach_checkpoint_dir(mut self, dir: Option<std::path::PathBuf>) -> Self {
+        self.config.reach.checkpoint_dir = dir;
+        self
+    }
+
+    /// Resumes a spill exploration from the last committed checkpoint in
+    /// `dir` instead of starting at the initial marking (shorthand for
+    /// [`Self::reach_config`]; the checkpoint's net and configuration
+    /// digests must match or elaboration refuses).
+    pub fn reach_resume(mut self, dir: Option<std::path::PathBuf>) -> Self {
+        self.config.reach.resume = dir;
+        self
+    }
+
     /// Bounds the engine's elaboration cache to `n` entries with
     /// least-recently-used eviction (default: unbounded; must be at
     /// least 1).
@@ -388,6 +418,9 @@ impl ConfigBuilder {
         if c.reach.shards == 0 {
             return fail("reachability shards must be at least 1");
         }
+        if c.reach.checkpoint_every > 0 && c.reach.checkpoint_dir.is_none() {
+            return fail("reach_checkpoint_every requires reach_checkpoint_dir");
+        }
         if c.cache_capacity == Some(0) {
             return fail("cache_capacity must be at least 1 (omit it for an unbounded cache)");
         }
@@ -429,6 +462,9 @@ mod tests {
             .reach_memory_budget(9 * 1024 * 1024)
             .reach_spill_dir(Some(std::path::PathBuf::from("/tmp/simap-test")))
             .reach_shards(3)
+            .reach_checkpoint_every(16)
+            .reach_checkpoint_dir(Some(std::path::PathBuf::from("/tmp/simap-ckpt")))
+            .reach_resume(Some(std::path::PathBuf::from("/tmp/simap-ckpt")))
             .cache_capacity(7)
             .synth_jobs(6)
             .build()
@@ -450,6 +486,15 @@ mod tests {
             Some(std::path::Path::new("/tmp/simap-test"))
         );
         assert_eq!(config.reach_config().shards, 3);
+        assert_eq!(config.reach_config().checkpoint_every, 16);
+        assert_eq!(
+            config.reach_config().checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/simap-ckpt"))
+        );
+        assert_eq!(
+            config.reach_config().resume.as_deref(),
+            Some(std::path::Path::new("/tmp/simap-ckpt"))
+        );
         assert_eq!(config.cache_capacity(), Some(7));
         assert_eq!(config.synth_jobs(), 6);
     }
@@ -465,6 +510,7 @@ mod tests {
             Config::builder().reach_materialize_limit(0),
             Config::builder().reach_memory_budget(0),
             Config::builder().reach_shards(0),
+            Config::builder().reach_checkpoint_every(4),
             Config::builder().cache_capacity(0),
             Config::builder().synth_jobs(0),
         ] {
@@ -496,6 +542,11 @@ mod tests {
             Config::builder().reach_strategy(ReachStrategy::Symbolic).build().unwrap(),
             Config::builder().reach_max_states(9999).build().unwrap(),
             Config::builder().reach_jobs(4).build().unwrap(),
+            Config::builder()
+                .reach_checkpoint_every(8)
+                .reach_checkpoint_dir(Some(std::path::PathBuf::from("/tmp/simap-ckpt")))
+                .build()
+                .unwrap(),
             Config::builder().cache_capacity(3).build().unwrap(),
             Config::builder().synth_jobs(4).build().unwrap(),
         ] {

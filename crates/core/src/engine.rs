@@ -79,7 +79,11 @@ pub(crate) struct ElabKey {
     /// are byte-identical whatever the budget, but cached entries carry
     /// the run's [`simap_stg::SpillCounters`], which the budget, shard
     /// count and scratch directory all shape (normalized to `0`/`None`
-    /// under the in-memory strategies).
+    /// under the in-memory strategies). The checkpoint knobs
+    /// (`checkpoint_every`, `checkpoint_dir`, `resume`) are excluded
+    /// like `jobs`: a resumed run is byte-identical to a cold one by
+    /// contract, so a warm cache entry is exactly the result a resume
+    /// would have recomputed.
     reach_memory_budget: usize,
     reach_shards: usize,
     reach_spill_dir: Option<std::path::PathBuf>,

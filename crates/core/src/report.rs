@@ -111,13 +111,17 @@ fn json_reach(stats: Option<ReachStats>) -> String {
             let spill = match s.spill {
                 Some(c) => format!(
                     ",\"spill\":{{\"spilled_bytes\":{},\"files_created\":{},\
-                     \"resident_peak\":{},\"table_bytes\":{},\"budget\":{},\"shards\":{}}}",
+                     \"resident_peak\":{},\"table_bytes\":{},\"budget\":{},\"shards\":{},\
+                     \"checkpoints_written\":{},\"checkpoint_bytes\":{},\"resume_level\":{}}}",
                     c.spilled_bytes,
                     c.files_created,
                     c.resident_peak,
                     c.table_bytes,
                     c.budget,
-                    c.shards
+                    c.shards,
+                    c.checkpoints_written,
+                    c.checkpoint_bytes,
+                    c.resume_level
                 ),
                 None => String::new(),
             };

@@ -126,6 +126,16 @@ fn apply_config_field(
                     .to_string(),
             )
         }
+        // Same reasoning, stronger consequences: a checkpoint directory
+        // is written to (and a resume directory read from) the server's
+        // filesystem at client-chosen paths, and checkpoints are only
+        // meaningful across process lifetimes the client does not own.
+        "checkpoint_dir" | "checkpoint_every" | "resume" => {
+            return Err(format!(
+                "field `{key}` is not accepted over the API: spill checkpointing names paths \
+                 on the server's filesystem (run `simap check/map --checkpoint-dir` locally)"
+            ))
+        }
         _ => return Ok(None),
     }))
 }
@@ -319,6 +329,9 @@ mod tests {
             (br#"{"bench":"a","literal_limit":1}"#, "literal_limit"),
             (br#"{"bench":"a","strategy":"warp"}"#, "unknown reachability strategy"),
             (br#"{"bench":"a","spill_dir":"/etc"}"#, "not accepted over the API"),
+            (br#"{"bench":"a","checkpoint_dir":"/etc"}"#, "not accepted over the API"),
+            (br#"{"bench":"a","checkpoint_every":4}"#, "not accepted over the API"),
+            (br#"{"bench":"a","resume":"/etc"}"#, "not accepted over the API"),
             (br#"{"bench":"a","memory_budget":0}"#, "memory_budget"),
             (br#"{"bench":"a","shards":0}"#, "shards"),
             (br#"{"bench":1}"#, "must be a string"),
@@ -403,6 +416,8 @@ mod tests {
             (br#"{"source":".end","unknown":1}"#, "unknown field `unknown`"),
             (br#"{"source":1}"#, "must be a string"),
             (br#"{"source":".end","spill_dir":"/etc"}"#, "not accepted over the API"),
+            (br#"{"source":".end","checkpoint_dir":"/etc"}"#, "not accepted over the API"),
+            (br#"{"source":".end","resume":"/etc"}"#, "not accepted over the API"),
             (br#"{"source":".end","async":true,"stream":true}"#, "mutually exclusive"),
             (&[0xff, 0xfe][..], "not UTF-8"),
         ] {

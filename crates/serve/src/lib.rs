@@ -870,7 +870,14 @@ fn run_work(
             .map_err(flow_error)?;
             let verified =
                 if config.verify() { mapped.verify_compat() } else { mapped.skip_verify() };
-            Ok(format!("{}\n", report_json(verified.report())))
+            let report = verified.report();
+            // Surface spill-engine counters (disk traffic, checkpoint
+            // activity) on /metrics; warm cache hits carry the counters
+            // of the run that populated the entry.
+            if let Some(spill) = report.reach.as_ref().and_then(|r| r.spill) {
+                shared.metrics.record_spill(&spill);
+            }
+            Ok(format!("{}\n", report_json(report)))
         }
         Work::Batch { names, limits, config } => {
             let engine = shared.engine.with_config(config);

@@ -87,6 +87,18 @@ pub(crate) struct Metrics {
     pub(crate) jobs_failed: AtomicU64,
     pub(crate) jobs_rejected: AtomicU64,
     stages: [StageHist; STAGES.len()],
+    // Spill-strategy gauges, accumulated from the reachability counters
+    // of completed jobs (zero until a job runs the spill engine).
+    // Clients cannot request checkpointing over the API, but the
+    // operator's base configuration can — so the checkpoint gauges are
+    // surfaced here too.
+    spill_runs: AtomicU64,
+    spill_spilled_bytes: AtomicU64,
+    spill_files_created: AtomicU64,
+    spill_resident_peak: AtomicU64,
+    spill_checkpoints_written: AtomicU64,
+    spill_checkpoint_bytes: AtomicU64,
+    spill_resumed_runs: AtomicU64,
 }
 
 impl Metrics {
@@ -110,6 +122,22 @@ impl Metrics {
         hist.total_us.fetch_add(us, Ordering::Relaxed);
         let bucket = if us == 0 { 0 } else { (64 - us.leading_zeros() as usize).min(BUCKETS - 1) };
         hist.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accumulates the spill counters of one completed job's
+    /// elaboration. `resident_peak` keeps the maximum across jobs (a
+    /// high-water gauge); everything else is a running sum.
+    pub(crate) fn record_spill(&self, c: &simap_stg::SpillCounters) {
+        self.spill_runs.fetch_add(1, Ordering::Relaxed);
+        self.spill_spilled_bytes.fetch_add(c.spilled_bytes, Ordering::Relaxed);
+        self.spill_files_created.fetch_add(u64::from(c.files_created), Ordering::Relaxed);
+        self.spill_resident_peak.fetch_max(c.resident_peak, Ordering::Relaxed);
+        self.spill_checkpoints_written
+            .fetch_add(u64::from(c.checkpoints_written), Ordering::Relaxed);
+        self.spill_checkpoint_bytes.fetch_add(c.checkpoint_bytes, Ordering::Relaxed);
+        if c.resume_level > 0 {
+            self.spill_resumed_runs.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Renders the full metrics document (one line, trailing newline).
@@ -148,6 +176,19 @@ impl Metrics {
             out,
             ",\"engine\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evicted\":{}}}",
             engine.hits, engine.misses, engine.entries, engine.evicted
+        );
+        let _ = write!(
+            out,
+            ",\"spill\":{{\"runs\":{},\"spilled_bytes\":{},\"files_created\":{},\
+             \"resident_peak\":{},\"checkpoints_written\":{},\"checkpoint_bytes\":{},\
+             \"resumed_runs\":{}}}",
+            self.spill_runs.load(Ordering::Relaxed),
+            self.spill_spilled_bytes.load(Ordering::Relaxed),
+            self.spill_files_created.load(Ordering::Relaxed),
+            self.spill_resident_peak.load(Ordering::Relaxed),
+            self.spill_checkpoints_written.load(Ordering::Relaxed),
+            self.spill_checkpoint_bytes.load(Ordering::Relaxed),
+            self.spill_resumed_runs.load(Ordering::Relaxed),
         );
         let _ = write!(out, ",\"gateway\":{gateway}");
         out.push_str(",\"stage_latency_us\":{");
@@ -231,6 +272,39 @@ mod tests {
         assert_eq!(elaborate.get("total").unwrap().as_usize(), Some(103));
         assert_eq!(elaborate.get("histogram").unwrap().as_array().unwrap().len(), 2);
         assert!(parsed.get("stage_latency_us").unwrap().get("decompose").is_none());
+    }
+
+    #[test]
+    fn spill_gauges_accumulate_and_track_resumes() {
+        let m = Metrics::default();
+        let cold = simap_stg::SpillCounters {
+            spilled_bytes: 1000,
+            files_created: 3,
+            resident_peak: 4096,
+            table_bytes: 0,
+            budget: 8192,
+            shards: 1,
+            checkpoints_written: 2,
+            checkpoint_bytes: 500,
+            resume_level: 0,
+        };
+        m.record_spill(&cold);
+        m.record_spill(&simap_stg::SpillCounters { resident_peak: 2048, resume_level: 4, ..cold });
+        let doc = m.render(
+            CacheStats { hits: 0, misses: 0, entries: 0, evicted: 0 },
+            QueueGauges { depth: 0, limit: 1, workers: 1, alive: 1, expired: 0 },
+            "{}",
+        );
+        let parsed = simap_core::json::parse(doc.trim_end()).expect("valid JSON");
+        let spill = parsed.get("spill").unwrap();
+        assert_eq!(spill.get("runs").unwrap().as_usize(), Some(2));
+        assert_eq!(spill.get("spilled_bytes").unwrap().as_usize(), Some(2000));
+        assert_eq!(spill.get("files_created").unwrap().as_usize(), Some(6));
+        // resident_peak is a high-water mark, not a sum.
+        assert_eq!(spill.get("resident_peak").unwrap().as_usize(), Some(4096));
+        assert_eq!(spill.get("checkpoints_written").unwrap().as_usize(), Some(4));
+        assert_eq!(spill.get("checkpoint_bytes").unwrap().as_usize(), Some(1000));
+        assert_eq!(spill.get("resumed_runs").unwrap().as_usize(), Some(1));
     }
 
     #[test]

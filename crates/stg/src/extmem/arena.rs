@@ -108,9 +108,40 @@ impl PagedArena {
     }
 
     /// Records appended so far.
-    #[cfg(test)]
     pub(crate) fn len(&self) -> u64 {
         self.len
+    }
+
+    /// Streams every record, in append order, through `f` — resident
+    /// pages straight from memory, evicted pages read from the scratch
+    /// file into one transient page buffer (the cache is left exactly as
+    /// it was, so a snapshot never perturbs eviction state).
+    pub(crate) fn snapshot_records(
+        &self,
+        mut f: impl FnMut(&[u64]) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        let mut spare: Option<Box<[u64]>> = None;
+        for page in 0..self.pages.len() {
+            let full = ((page + 1) * self.per_page) as u64 <= self.len;
+            let records_here = if full {
+                self.per_page
+            } else {
+                (self.len - (page * self.per_page) as u64) as usize
+            };
+            match &self.pages[page] {
+                PageSlot::Resident { words, .. } => {
+                    f(&words[..records_here * self.stride])?;
+                }
+                PageSlot::Evicted => {
+                    let words =
+                        spare.get_or_insert_with(|| vec![0u64; self.page_words].into_boxed_slice());
+                    let file = self.file.as_ref().expect("evicted pages imply a scratch file");
+                    read_words_at(file, page as u64 * self.page_words as u64 * 8, words)?;
+                    f(&words[..records_here * self.stride])?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Peak resident page-cache footprint in bytes.

@@ -95,6 +95,38 @@ impl SpillFrontier {
         Ok(())
     }
 
+    /// Appends one already-concatenated record — the checkpoint-restore
+    /// twin of [`SpillFrontier::push`].
+    pub(crate) fn push_record(&mut self, record: &[u64]) -> std::io::Result<()> {
+        debug_assert_eq!(record.len(), self.rec_words);
+        self.write_buf.extend_from_slice(record);
+        if self.write_buf.len() >= self.write_cap_words {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Streams the sealed-but-unread next level (the write side: run-file
+    /// part first, then the memory tail) through `f`, in record order.
+    /// Only meaningful at a level boundary — which is the only moment a
+    /// checkpoint is taken.
+    pub(crate) fn snapshot_pending(
+        &self,
+        mut f: impl FnMut(&[u64]) -> std::io::Result<()>,
+    ) -> std::io::Result<u64> {
+        let mut chunk = vec![0u64; self.chunk_cap_words.min(1 << 16)];
+        let mut pos = 0u64;
+        while pos < self.write_file_words {
+            let n = ((self.write_file_words - pos) as usize).min(chunk.len());
+            let file = self.files[self.write_side].as_ref().expect("file words imply the run file");
+            read_words_at(file, pos * 8, &mut chunk[..n])?;
+            f(&chunk[..n])?;
+            pos += n as u64;
+        }
+        f(&self.write_buf)?;
+        Ok(self.write_file_words + self.write_buf.len() as u64)
+    }
+
     fn flush(&mut self) -> std::io::Result<()> {
         if self.write_buf.is_empty() {
             return Ok(());
@@ -224,6 +256,26 @@ impl EdgeLog {
         self.file_words += self.buf.len() as u64;
         self.buf.clear();
         Ok(())
+    }
+
+    /// Streams the whole log so far (file part, then the memory tail)
+    /// through `f` as raw words, without consuming the log — the
+    /// checkpoint twin of [`EdgeLog::replay`].
+    pub(crate) fn snapshot(
+        &self,
+        mut f: impl FnMut(&[u64]) -> std::io::Result<()>,
+    ) -> std::io::Result<u64> {
+        let mut chunk = vec![0u64; self.cap_words.min(1 << 16)];
+        let mut pos = 0u64;
+        while pos < self.file_words {
+            let n = ((self.file_words - pos) as usize).min(chunk.len());
+            let file = self.file.as_ref().expect("file words imply the log file");
+            read_words_at(file, pos * 8, &mut chunk[..n])?;
+            f(&chunk[..n])?;
+            pos += n as u64;
+        }
+        f(&self.buf)?;
+        Ok(self.file_words + self.buf.len() as u64)
     }
 
     /// Streams every logged edge, in push order, through `f`.

@@ -136,6 +136,82 @@ impl Shard {
         self.arena.resident_peak_bytes()
     }
 
+    /// Arena records this shard's restored tables expect (the
+    /// local→global map length) — the record artifact must replay
+    /// exactly this many markings.
+    pub(crate) fn records_expected(&self) -> u64 {
+        debug_assert!(self.arena.len() == 0 || self.arena.len() == self.globals.len() as u64);
+        self.globals.len() as u64
+    }
+
+    /// Serializes the intern table and local→global map as one flat
+    /// word vector: `[cap, len, slot_hash.., slot_local.., nglobals,
+    /// globals..]` — everything a checkpoint needs besides the arena
+    /// records themselves.
+    pub(crate) fn snapshot_tables(&self) -> Vec<u64> {
+        let cap = self.slot_hash.len();
+        let mut out = Vec::with_capacity(2 * cap + self.globals.len() + 3);
+        out.push(cap as u64);
+        out.push(self.len as u64);
+        out.extend_from_slice(&self.slot_hash);
+        out.extend_from_slice(&self.slot_local);
+        out.push(self.globals.len() as u64);
+        out.extend_from_slice(&self.globals);
+        out
+    }
+
+    /// Restores the intern table and local→global map from a
+    /// [`Shard::snapshot_tables`] dump; the arena must be refilled
+    /// separately through [`Shard::restore_record`].
+    pub(crate) fn restore_tables(&mut self, words: &[u64]) -> Result<(), String> {
+        let fail = |what: &str| Err(format!("shard table dump is corrupt: {what}"));
+        if words.len() < 3 {
+            return fail("too short");
+        }
+        let cap = words[0] as usize;
+        if !cap.is_power_of_two() || !(1024..=(1usize << 40)).contains(&cap) {
+            return fail("implausible table capacity");
+        }
+        let len = words[1] as usize;
+        if words.len() < 2 + 2 * cap + 1 {
+            return fail("truncated slot arrays");
+        }
+        let slot_hash = &words[2..2 + cap];
+        let slot_local = &words[2 + cap..2 + 2 * cap];
+        let nglobals = words[2 + 2 * cap] as usize;
+        if words.len() != 2 + 2 * cap + 1 + nglobals {
+            return fail("length disagrees with its own header");
+        }
+        if len > cap || nglobals != len {
+            return fail("occupancy disagrees with the local\u{2192}global map");
+        }
+        if slot_local.iter().any(|&l| l as usize > nglobals) {
+            return fail("slot points past the local\u{2192}global map");
+        }
+        self.slot_hash = slot_hash.to_vec();
+        self.slot_local = slot_local.to_vec();
+        self.len = len;
+        self.mask = cap - 1;
+        self.globals = words[3 + 2 * cap..].to_vec();
+        Ok(())
+    }
+
+    /// Re-appends one marking record during a checkpoint restore; the
+    /// table entry pointing at it was restored by
+    /// [`Shard::restore_tables`].
+    pub(crate) fn restore_record(&mut self, record: &[u64]) -> std::io::Result<()> {
+        self.arena.push(record)?;
+        Ok(())
+    }
+
+    /// Streams every committed marking (in local order) through `f`.
+    pub(crate) fn snapshot_records(
+        &self,
+        f: impl FnMut(&[u64]) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        self.arena.snapshot_records(f)
+    }
+
     /// Bytes of in-memory index structures (intern table + local→global
     /// map) — deliberately *outside* the spillable working set, reported
     /// for observability.

@@ -51,9 +51,36 @@
 //!   symbolic engine's [`ReachConfig::materialize_limit`]; expect
 //!   scratch-disk usage in [`ReachConfig::spill_dir`] on the order of
 //!   `states × (marking + enabled-mask bytes)` plus two words per edge,
-//!   all removed when the run ends. Knobs:
-//!   [`ReachConfig::memory_budget`] (default 256 MiB),
-//!   [`ReachConfig::spill_dir`], [`ReachConfig::shards`].
+//!   all removed when the run ends. [`ReachConfig::jobs`] parallelizes
+//!   spill frontier expansion exactly as it does the packed engine —
+//!   workers fire a batch of frontier records, results merge in
+//!   (source, transition) order — so the graph stays byte-identical at
+//!   any fan-out. Knobs: [`ReachConfig::memory_budget`] (default
+//!   256 MiB), [`ReachConfig::spill_dir`], [`ReachConfig::shards`],
+//!   [`ReachConfig::jobs`].
+//!
+//! ## Long-running elaborations
+//!
+//! A spill run that takes hours can checkpoint and survive a crash:
+//! with [`ReachConfig::checkpoint_every`] set to a level cadence and
+//! [`ReachConfig::checkpoint_dir`] to a directory, the engine snapshots
+//! its whole exploration state — state arena, shard intern tables,
+//! pending frontier, edge log — after every N-th BFS level, under a
+//! checksummed manifest recording the engine version plus digests of
+//! the net and the exploration config, committed atomically
+//! (temp-file-and-rename) so a crash mid-write never corrupts the
+//! previous snapshot. [`ReachConfig::resume`] pointed at that directory
+//! validates the manifest (refusing mismatched nets/configs by naming
+//! both digests, and corrupt artifacts by name) and continues the BFS
+//! from the recorded level; the finished graph is byte-identical to an
+//! uninterrupted run, and on success the checkpoint is cleaned away.
+//! Dense cadences shrink the re-exploration window after a crash but
+//! pay a write per cadence; the checkpoint write overhead is tracked by
+//! `bench run --record`. Only `max_states`, `max_tokens` and `shards`
+//! are pinned by the config digest — `jobs` and `memory_budget` may
+//! change across a resume because neither affects the result bytes.
+//! Checkpoints are cut at level boundaries only, so they stay
+//! level-consistent under any frontier fan-out.
 //!
 //! The enumerative strategies explore in the same BFS order, so graphs,
 //! state numbering and [`ReachError`] values never depend on the engine

@@ -120,9 +120,10 @@ pub struct ReachConfig {
     pub max_tokens: u8,
     /// The exploration engine (packed arena vs explicit oracle).
     pub strategy: ReachStrategy,
-    /// Worker threads for frontier expansion (packed strategy only;
-    /// `0` and `1` both mean sequential). Whatever the value, the
-    /// resulting graph is byte-identical to a sequential run.
+    /// Worker threads for frontier expansion (packed and spill
+    /// strategies; `0` and `1` both mean sequential). Whatever the
+    /// value, the resulting graph is byte-identical to a sequential
+    /// run.
     pub jobs: usize,
     /// Largest symbolically counted state space the symbolic strategy
     /// will materialize into an explicit [`StateGraph`]; above it,
@@ -145,6 +146,26 @@ pub struct ReachConfig {
     /// and marking arena. More shards spread the arena page cache
     /// thinner but shrink each intern table. Default: 8.
     pub shards: usize,
+    /// Checkpoint cadence of the spill strategy in BFS levels: every
+    /// `checkpoint_every` completed levels the full exploration state is
+    /// atomically snapshotted into [`ReachConfig::checkpoint_dir`], so a
+    /// killed run can continue from the last snapshot via
+    /// [`ReachConfig::resume`]. `0` (the default) disables
+    /// checkpointing. Ignored by the in-memory strategies.
+    pub checkpoint_every: usize,
+    /// Durable directory the spill strategy writes its checkpoint
+    /// generations into (required when [`ReachConfig::checkpoint_every`]
+    /// is non-zero). Unlike [`ReachConfig::spill_dir`] scratch files,
+    /// checkpoint artifacts survive the process; they are removed only
+    /// when the exploration completes successfully.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Resume a spill exploration from the checkpoint previously written
+    /// into this directory. The manifest is validated against the
+    /// current net and configuration (refusing on any mismatch, naming
+    /// both digests) and the level-synchronized BFS continues from the
+    /// snapshot, producing a [`StateGraph`] byte-identical to an
+    /// uninterrupted run. Ignored by the in-memory strategies.
+    pub resume: Option<std::path::PathBuf>,
 }
 
 impl Default for ReachConfig {
@@ -158,6 +179,9 @@ impl Default for ReachConfig {
             memory_budget: 256 * 1024 * 1024,
             spill_dir: None,
             shards: 8,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: None,
         }
     }
 }
@@ -230,6 +254,16 @@ pub enum ReachError {
         /// Description of the failed filesystem operation.
         detail: String,
     },
+    /// A checkpoint could not be written, read or validated: an I/O
+    /// failure in [`ReachConfig::checkpoint_dir`], a corrupt or
+    /// truncated artifact (named in the detail), or a
+    /// [`ReachConfig::resume`] against a different net or configuration
+    /// (the detail names both digests).
+    Checkpoint {
+        /// Description of the failed operation, naming the offending
+        /// artifact or the mismatched digests.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ReachError {
@@ -263,6 +297,9 @@ impl fmt::Display for ReachError {
                 "spill storage failure: {detail} (check ReachConfig::spill_dir and free disk \
                  space)"
             ),
+            ReachError::Checkpoint { detail } => {
+                write!(f, "spill checkpoint failure: {detail}")
+            }
         }
     }
 }
@@ -387,6 +424,7 @@ pub fn elaborate_with_stats(
 /// The strategy-independent outcome of the token game: the BFS tree and
 /// edge list (markings themselves are not retained), plus the structural
 /// observations [`crate::analysis`] needs.
+#[derive(Debug)]
 pub(crate) struct Exploration {
     /// Number of distinct markings discovered (BFS numbering `0..count`).
     pub(crate) count: usize,

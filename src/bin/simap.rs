@@ -11,10 +11,14 @@
 //!
 //! check options:
 //!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic | spill
+//!       --reach-jobs <n> frontier-expansion threads (packed/spill; same output)
 //!       --materialize-limit <n>  symbolic: largest state space built explicitly
 //!       --memory-budget <b>  spill: resident working-set cap (e.g. 256MiB)
 //!       --spill-dir <d>  spill: scratch directory (default: system temp)
 //!       --shards <n>     spill: hash partitions of the intern table
+//!       --checkpoint-every <n>  spill: commit a durable checkpoint every n BFS levels
+//!       --checkpoint-dir <d>    spill: directory the checkpoints are committed to
+//!       --resume <d>     spill: continue from the last checkpoint in <d>
 //!       --synth-jobs <n> per-signal synthesis threads (same output)
 //!       --bench <name>   use an embedded benchmark instead of a file
 //!
@@ -24,12 +28,15 @@
 //!       --no-verify      skip the final speed-independence verification
 //!       --or-limit <n>   split second-level OR gates to <= n inputs
 //!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic | spill
-//!       --reach-jobs <n> frontier-expansion threads (packed; same output)
+//!       --reach-jobs <n> frontier-expansion threads (packed/spill; same output)
 //!       --synth-jobs <n> per-signal synthesis threads (same output)
 //!       --materialize-limit <n>  symbolic: largest state space built explicitly
 //!       --memory-budget <b>  spill: resident working-set cap (e.g. 256MiB)
 //!       --spill-dir <d>  spill: scratch directory (default: system temp)
 //!       --shards <n>     spill: hash partitions of the intern table
+//!       --checkpoint-every <n>  spill: commit a durable checkpoint every n BFS levels
+//!       --checkpoint-dir <d>    spill: directory the checkpoints are committed to
+//!       --resume <d>     spill: continue from the last checkpoint in <d>
 //!   -v, --verbose        narrate stages and insertions to stderr
 //!       --json           print the report as JSON instead of the dossier
 //!       --verilog <f>    write the mapped netlist as structural Verilog
@@ -40,12 +47,15 @@
 //!       --limits <a,b>   literal limits (default 2)
 //!   -j, --jobs <n>       worker threads (default 1; results identical)
 //!       --strategy <s>   reachability engine: packed (default) | explicit | symbolic | spill
-//!       --reach-jobs <n> frontier-expansion threads (packed; same output)
+//!       --reach-jobs <n> frontier-expansion threads (packed/spill; same output)
 //!       --synth-jobs <n> per-signal synthesis threads (same output)
 //!       --materialize-limit <n>  symbolic: largest state space built explicitly
 //!       --memory-budget <b>  spill: resident working-set cap (e.g. 256MiB)
 //!       --spill-dir <d>  spill: scratch directory (default: system temp)
 //!       --shards <n>     spill: hash partitions of the intern table
+//!       --checkpoint-every <n>  spill: commit a durable checkpoint every n BFS levels
+//!       --checkpoint-dir <d>    spill: directory the checkpoints are committed to
+//!       --resume <d>     spill: continue from the last checkpoint in <d>
 //!       --csc-repair     repair CSC violations by state-signal insertion
 //!       --no-verify      skip speed-independence verification
 //!       --record <f>     also write a machine-readable snapshot (JSON)
@@ -226,8 +236,11 @@ fn parse_bytes(spec: &str) -> Result<usize, String> {
 
 /// Applies the shared engine flags (`--strategy`, `--reach-jobs`,
 /// `--materialize-limit`, the spill knobs `--memory-budget`,
-/// `--spill-dir`, `--shards`, and the per-signal synthesis fan-out
-/// `--synth-jobs`) to a configuration builder.
+/// `--spill-dir`, `--shards`, the checkpoint knobs
+/// `--checkpoint-every`, `--checkpoint-dir`, `--resume`, and the
+/// per-signal synthesis fan-out `--synth-jobs`) to a configuration
+/// builder. `--resume` implies the spill strategy (and refuses an
+/// explicit conflicting `--strategy`).
 fn reach_flags(
     parsed: &Parsed,
     mut builder: simap::ConfigBuilder,
@@ -253,6 +266,22 @@ fn reach_flags(
     if let Some(shards) = parsed.value("--shards") {
         builder = builder.reach_shards(shards.parse()?);
     }
+    if let Some(every) = parsed.value("--checkpoint-every") {
+        builder = builder.reach_checkpoint_every(every.parse()?);
+    }
+    if let Some(dir) = parsed.value("--checkpoint-dir") {
+        builder = builder.reach_checkpoint_dir(Some(std::path::PathBuf::from(dir)));
+    }
+    if let Some(dir) = parsed.value("--resume") {
+        if parsed.value("--strategy").is_some_and(|s| s != "spill") {
+            return Err(
+                "--resume requires the spill strategy (omit --strategy or pass `spill`)".into()
+            );
+        }
+        builder = builder
+            .reach_strategy(simap::ReachStrategy::Spill)
+            .reach_resume(Some(std::path::PathBuf::from(dir)));
+    }
     Ok(builder)
 }
 
@@ -262,11 +291,15 @@ fn check(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
         &[
             valued("--bench"),
             valued("--strategy"),
+            valued("--reach-jobs"),
             valued("--synth-jobs"),
             valued("--materialize-limit"),
             valued("--memory-budget"),
             valued("--spill-dir"),
             valued("--shards"),
+            valued("--checkpoint-every"),
+            valued("--checkpoint-dir"),
+            valued("--resume"),
         ],
     )?;
     let config = reach_flags(&parsed, Config::builder())?.build()?;
@@ -288,6 +321,12 @@ fn check(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
                 spill.budget,
                 spill.shards
             );
+            if spill.checkpoints_written > 0 || spill.resume_level > 0 {
+                println!(
+                    "  checkpoint: {} snapshots written, {} bytes, resumed from level {}",
+                    spill.checkpoints_written, spill.checkpoint_bytes, spill.resume_level
+                );
+            }
         }
     }
     println!("  speed-independent: {}", report.is_speed_independent());
@@ -314,6 +353,9 @@ fn map(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             valued("--memory-budget"),
             valued("--spill-dir"),
             valued("--shards"),
+            valued("--checkpoint-every"),
+            valued("--checkpoint-dir"),
+            valued("--resume"),
             flag("--csc-repair"),
             flag("--no-verify"),
             flag("--json"),
@@ -466,12 +508,13 @@ fn bench_http(
 }
 
 /// Measures an in-process `simap serve` instance for the snapshot's
-/// `serve` section: one cold pass over the benchmarks fills the result
-/// cache and the stage histograms, then a timed warm pass (every request
-/// a cache hit) yields the gateway's warm-cache throughput. Per-stage
-/// latency percentiles are read back from the very `/metrics` histograms
-/// operators would scrape: a percentile is the upper bound of the first
-/// power-of-two bucket whose cumulative count reaches it.
+/// `serve` section: one timed cold pass over the benchmarks fills the
+/// result cache and the stage histograms, then a timed warm pass (every
+/// request a cache hit) yields the gateway's warm-cache throughput —
+/// the cold-vs-warm throughput ratio is recorded as `warm_speedup`.
+/// Per-stage latency percentiles are read back from the very `/metrics`
+/// histograms operators would scrape: a percentile is the upper bound
+/// of the first power-of-two bucket whose cumulative count reaches it.
 fn serve_snapshot(names: &[String]) -> Result<String, Box<dyn Error>> {
     use std::fmt::Write as _;
     let cache_dir = std::env::temp_dir().join(format!("simap-bench-cache-{}", std::process::id()));
@@ -486,6 +529,7 @@ fn serve_snapshot(names: &[String]) -> Result<String, Box<dyn Error>> {
     let join = std::thread::spawn(move || server.run());
 
     let result = (|| -> Result<String, Box<dyn Error>> {
+        let cold_start = std::time::Instant::now();
         for name in names {
             let body = format!("{{\"bench\":\"{name}\"}}");
             let (status, response) = bench_http(addr, "POST", "/synthesize", &body)?;
@@ -493,6 +537,8 @@ fn serve_snapshot(names: &[String]) -> Result<String, Box<dyn Error>> {
                 return Err(format!("cold /synthesize for `{name}`: {status} {response}").into());
             }
         }
+        let cold_requests = names.len();
+        let cold_rps = cold_requests as f64 / cold_start.elapsed().as_secs_f64().max(1e-9);
         const WARM_ROUNDS: usize = 5;
         let start = std::time::Instant::now();
         for _ in 0..WARM_ROUNDS {
@@ -519,8 +565,11 @@ fn serve_snapshot(names: &[String]) -> Result<String, Box<dyn Error>> {
             .and_then(simap::core::json::Json::as_usize)
             .unwrap_or(0);
         let mut out = format!(
-            "{{\"warm_requests\":{warm_requests},\"warm_cache_hits\":{hits},\
-             \"warm_rps\":{warm_rps:.1},\"stage_percentiles_us\":{{"
+            "{{\"cold_requests\":{cold_requests},\"cold_rps\":{cold_rps:.1},\
+             \"warm_requests\":{warm_requests},\"warm_cache_hits\":{hits},\
+             \"warm_rps\":{warm_rps:.1},\"warm_speedup\":{:.1},\
+             \"stage_percentiles_us\":{{",
+            warm_rps / cold_rps.max(1e-9)
         );
         let stages = doc.get("stage_latency_us").ok_or("metrics has no stage_latency_us")?;
         let mut first = true;
@@ -580,8 +629,10 @@ fn serve_snapshot(names: &[String]) -> Result<String, Box<dyn Error>> {
 /// Records a machine-readable performance snapshot to `path`: for each
 /// benchmark, the state/arc counts plus elaboration wall-clock per
 /// reachability strategy and the full mapping flow's wall-clock, then
-/// the batch engine's elaboration-cache statistics, closed by the
-/// gateway measurements of [`serve_snapshot`]. The schema is stable so
+/// the spill-engine measurements of [`spill_snapshot`], the fan-out
+/// measurements of [`synthesis_snapshot`], the batch engine's
+/// elaboration-cache statistics, and the gateway measurements of
+/// [`serve_snapshot`]. The schema is stable so
 /// snapshots from different commits diff cleanly (`simap bench
 /// compare`); the timings themselves are machine- and load-dependent.
 fn record_snapshot(
@@ -629,7 +680,8 @@ fn record_snapshot(
         let map_us = start.elapsed().as_micros();
         let _ = write!(out, "}},\"map_us\":{map_us},\"states\":{states},\"arcs\":{arcs}}}");
     }
-    let _ = write!(out, "],\"synthesis\":{}", synthesis_snapshot(names, config)?);
+    let _ = write!(out, "],\"spill\":{}", spill_snapshot(names, config)?);
+    let _ = write!(out, ",\"synthesis\":{}", synthesis_snapshot(names, config)?);
     let _ = write!(
         out,
         ",\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evicted\":{}}}",
@@ -638,6 +690,49 @@ fn record_snapshot(
     let _ = writeln!(out, ",\"serve\":{}}}", serve_snapshot(names)?);
     std::fs::write(path, out)?;
     Ok(())
+}
+
+/// Measures the snapshot's `spill` section: per benchmark, the
+/// external-memory engine's frontier-expansion wall-clock at
+/// `reach jobs = 1` versus the recorded fan-out (`--reach-jobs`, floor
+/// 4), plus the same single-job run writing a checkpoint at every BFS
+/// level — comparing `checkpoint_us` against `frontier_us.j1` isolates
+/// the checkpoint write overhead at the densest possible cadence.
+fn spill_snapshot(names: &[String], config: &Config) -> Result<String, Box<dyn Error>> {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+    let fanout = config.reach_config().jobs.max(4);
+    let ckpt_dir = std::env::temp_dir().join(format!("simap-bench-ckpt-{}", std::process::id()));
+    let mut out = format!("{{\"jobs\":{fanout},\"benchmarks\":[");
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let timed = |jobs: usize, checkpoint_every: usize| -> Result<u128, Box<dyn Error>> {
+            let mut builder =
+                config.to_builder().reach_strategy(simap::ReachStrategy::Spill).reach_jobs(jobs);
+            if checkpoint_every > 0 {
+                builder = builder
+                    .reach_checkpoint_every(checkpoint_every)
+                    .reach_checkpoint_dir(Some(ckpt_dir.clone()));
+            }
+            let config = builder.build()?;
+            let start = Instant::now();
+            let _ = Synthesis::from_benchmark(name).config(&config).elaborate()?;
+            Ok(start.elapsed().as_micros())
+        };
+        let j1 = timed(1, 0)?;
+        let jn = timed(fanout, 0)?;
+        let checkpoint_us = timed(1, 1)?;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"frontier_us\":{{\"j1\":{j1},\"jn\":{jn}}},\
+             \"checkpoint_us\":{checkpoint_us}}}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    out.push_str("]}");
+    Ok(out)
 }
 
 /// Measures the snapshot's `synthesis` section: per benchmark, the
@@ -734,7 +829,13 @@ const COMPARE_NOISE_FLOOR_US: u64 = 20_000;
 
 /// Compares two `bench run --record` snapshots; exits 1 when any shared
 /// timing regressed by more than `--max-regress` percent (default 25)
-/// beyond the noise floor.
+/// beyond the noise floor. Gated timings: per-benchmark elaboration (all
+/// four strategies) and mapping, the spill engine's frontier fan-out and
+/// checkpoint overhead, the synthesis stages at `j1` and `jN`, the
+/// gateway's per-stage latency percentiles, and the gateway's warm-cache
+/// throughput (higher is better — gated as per-request latency).
+/// Sections absent from either snapshot are skipped, so old snapshots
+/// stay comparable.
 fn bench_compare(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     let parsed = parse_flags(args, &[valued("--max-regress")])?;
     let [old_path, new_path] = parsed.positionals.as_slice() else {
@@ -767,18 +868,18 @@ fn bench_compare(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             println!("REGRESSION {label}: {old_us}us -> {new_us}us (+{pct:.0}%)");
         }
     };
+    let lookup_us = |doc: &simap::core::json::Json, keys: &[&str]| -> Option<u64> {
+        let mut node = doc;
+        for key in keys {
+            node = node.get(key)?;
+        }
+        node.as_usize().map(|v| v as u64)
+    };
     for bench in benches(&new)? {
         let name = name_of(&bench);
         let Some(old_bench) = old_benches.iter().find(|b| name_of(b) == name) else {
             println!("note: `{name}` is new, nothing to compare against");
             continue;
-        };
-        let lookup_us = |doc: &simap::core::json::Json, keys: &[&str]| -> Option<u64> {
-            let mut node = doc;
-            for key in keys {
-                node = node.get(key)?;
-            }
-            node.as_usize().map(|v| v as u64)
         };
         for strategy in ["explicit", "packed", "symbolic", "spill"] {
             if let (Some(o), Some(n)) = (
@@ -792,6 +893,72 @@ fn bench_compare(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             (lookup_us(old_bench, &["map_us"]), lookup_us(&bench, &["map_us"]))
         {
             check(format!("{name} map"), o, n);
+        }
+    }
+    // Section-level benchmark lists (`spill`, `synthesis`); empty when a
+    // snapshot predates the section.
+    let section_benches = |doc: &simap::core::json::Json, section: &str| {
+        doc.get(section)
+            .and_then(|s| s.get("benchmarks"))
+            .and_then(|b| b.as_array().map(<[_]>::to_vec))
+            .unwrap_or_default()
+    };
+    let old_spill = section_benches(&old, "spill");
+    for bench in section_benches(&new, "spill") {
+        let name = name_of(&bench);
+        let Some(old_bench) = old_spill.iter().find(|b| name_of(b) == name) else { continue };
+        for (label, keys) in [
+            ("frontier[j1]", &["frontier_us", "j1"][..]),
+            ("frontier[jn]", &["frontier_us", "jn"][..]),
+            ("checkpoint", &["checkpoint_us"][..]),
+        ] {
+            if let (Some(o), Some(n)) = (lookup_us(old_bench, keys), lookup_us(&bench, keys)) {
+                check(format!("{name} spill {label}"), o, n);
+            }
+        }
+    }
+    let old_synth = section_benches(&old, "synthesis");
+    for bench in section_benches(&new, "synthesis") {
+        let name = name_of(&bench);
+        let Some(old_bench) = old_synth.iter().find(|b| name_of(b) == name) else { continue };
+        for stage in ["covers_us", "decompose_us", "map_us"] {
+            for jobs in ["j1", "jn"] {
+                if let (Some(o), Some(n)) =
+                    (lookup_us(old_bench, &[stage, jobs]), lookup_us(&bench, &[stage, jobs]))
+                {
+                    check(format!("{name} synthesis {stage}[{jobs}]"), o, n);
+                }
+            }
+        }
+    }
+    if let (Some(old_serve), Some(new_serve)) = (old.get("serve"), new.get("serve")) {
+        for stage in ["configure", "load", "elaborate", "covers", "decompose", "map", "verify"] {
+            for q in ["p50", "p90", "p99"] {
+                if let (Some(o), Some(n)) = (
+                    lookup_us(old_serve, &["stage_percentiles_us", stage, q]),
+                    lookup_us(new_serve, &["stage_percentiles_us", stage, q]),
+                ) {
+                    check(format!("serve {stage}[{q}]"), o, n);
+                }
+            }
+        }
+        // Throughput is higher-is-better: gate the equivalent per-request
+        // latency so the noise floor applies in the same unit.
+        let rps = |doc: &simap::core::json::Json, key: &str| -> Option<f64> {
+            match doc.get(key)? {
+                simap::core::json::Json::Int(n) => Some(*n as f64),
+                simap::core::json::Json::Float(f) => Some(*f),
+                _ => None,
+            }
+        };
+        if let (Some(o), Some(n)) = (rps(old_serve, "warm_rps"), rps(new_serve, "warm_rps")) {
+            if o > 0.0 && n > 0.0 {
+                check(
+                    "serve warm_rps (as us/request)".to_string(),
+                    (1e6 / o) as u64,
+                    (1e6 / n) as u64,
+                );
+            }
         }
     }
     println!(
@@ -814,6 +981,9 @@ fn bench_run(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
             valued("--memory-budget"),
             valued("--spill-dir"),
             valued("--shards"),
+            valued("--checkpoint-every"),
+            valued("--checkpoint-dir"),
+            valued("--resume"),
             valued("--record"),
             flag("--csc-repair"),
             flag("--no-verify"),

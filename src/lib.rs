@@ -183,6 +183,62 @@
 //! # Ok::<(), simap::stg::ReachError>(())
 //! ```
 //!
+//! ## Long-running elaborations: checkpoint and resume
+//!
+//! A spill elaboration that runs for hours should not restart from
+//! zero after a crash, an OOM kill or a preempted machine. With
+//! [`ConfigBuilder::reach_checkpoint_every`] the engine atomically
+//! snapshots its full exploration state — arena pages, shard intern
+//! tables, pending frontier, edge log, all under a checksummed,
+//! versioned manifest committed by temp-file-and-rename — into
+//! [`ConfigBuilder::reach_checkpoint_dir`] every N BFS levels. `simap
+//! check --resume <dir>` (and `map --resume`), or
+//! [`ConfigBuilder::reach_resume`] programmatically, validates the
+//! manifest against the current net and configuration — refusing with a
+//! diagnostic that names the corrupt artifact or both mismatched
+//! digests — and continues the level-synchronized BFS exactly where the
+//! snapshot left it. The finished graph is **byte-identical** to an
+//! uninterrupted run, so downstream synthesis, reports and caches never
+//! know the run was interrupted.
+//!
+//! The cadence is a loss-window/overhead trade-off: `--checkpoint-every
+//! 1` bounds the lost work to a single level but pays a write per level
+//! (`bench run --record` tracks this as `spill.checkpoint_us` against
+//! `spill.frontier_us`); sparse cadences amortize the writes at the
+//! price of longer re-exploration after a crash. The [`reach.jobs`
+//! knob](#which-jobs-knob-does-what) is the one that applies here:
+//! frontier fan-out parallelizes the spill engine too, checkpoints are
+//! only ever cut at level boundaries (so they are consistent at any
+//! fan-out), and a run may resume under a different `jobs` or
+//! `memory_budget` than it was started with — only `max_states`,
+//! `max_tokens` and `shards` are pinned by the manifest's config
+//! digest.
+//!
+//! ```
+//! use simap::stg::{benchmark, elaborate_with_stats};
+//! use simap::{ReachConfig, ReachStrategy};
+//!
+//! let dir = std::env::temp_dir().join(format!("simap-doc-ckpt-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+//! let stg = benchmark("mr0").expect("embedded benchmark");
+//! let config = ReachConfig {
+//!     strategy: ReachStrategy::Spill,
+//!     checkpoint_every: 4, // snapshot every 4 BFS levels
+//!     checkpoint_dir: Some(dir.clone()),
+//!     ..ReachConfig::default()
+//! };
+//! let (_, stats) = elaborate_with_stats(&stg, &config)?;
+//! let spill = stats.spill.expect("spill counters");
+//! assert!(spill.checkpoints_written > 0 && spill.checkpoint_bytes > 0);
+//! assert_eq!(spill.resume_level, 0, "this run started cold");
+//! // The run succeeded, so its checkpoints were cleaned away: nothing
+//! // to resume, nothing leaked. After a crash the latest snapshot
+//! // survives and `ReachConfig { resume: Some(dir), .. }` picks it up.
+//! assert_eq!(std::fs::read_dir(&dir).expect("dir readable").count(), 0);
+//! std::fs::remove_dir_all(&dir).expect("remove checkpoint dir");
+//! # Ok::<(), simap::stg::ReachError>(())
+//! ```
+//!
 //! [`Batch`] drives whole suites through one configuration — across a
 //! worker pool with [`Batch::jobs`], with results byte-identical to a
 //! sequential run:
@@ -204,7 +260,7 @@
 //!
 //! | Knob | Set via | Fans out | Scope |
 //! |------|---------|----------|-------|
-//! | `reach.jobs` | [`ConfigBuilder::reach_jobs`], CLI `--jobs` on `check`/`map` | frontier expansion *inside one elaboration* (packed/spill strategies) | one STG → state-graph run |
+//! | `reach.jobs` | [`ConfigBuilder::reach_jobs`], CLI `--reach-jobs` on `check`/`map` | frontier expansion *inside one elaboration* (packed/spill strategies) | one STG → state-graph run |
 //! | `synth_jobs` | [`ConfigBuilder::synth_jobs`], CLI `--synth-jobs`, serve request field `synth_jobs` | per-signal cover synthesis and candidate evaluation *inside one synthesis* | one flow's Covers + Decompose stages |
 //! | batch `--jobs` | [`Batch::jobs`], CLI `bench run --jobs` | whole specifications across a worker pool | many flows, one process |
 //! | serve `--jobs` | `simap serve --jobs` | concurrent HTTP jobs over one shared engine | many flows, many clients |

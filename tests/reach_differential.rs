@@ -3,8 +3,8 @@
 //! state limit, inconsistency), the four strategies — `Packed` (the
 //! default, sequential and jobs=4), `Explicit` (the legacy oracle),
 //! `Symbolic` (the BDD engine) and `Spill` (the external-memory engine,
-//! at the default budget and at a tiny budget that forces genuine
-//! spilling) — must agree. The enumerative strategies and Spill are
+//! sequential and jobs∈{2,4}, at the default budget and at a tiny
+//! budget that forces genuine spilling) — must agree. The enumerative strategies and Spill are
 //! held to byte-identical results; the symbolic engine materializes
 //! byte-identical graphs too, and its independently computed counts,
 //! initial code, region sizes and CSC conflict codes are cross-checked
@@ -173,7 +173,9 @@ fn assert_differential(stg: &Stg, config: &ReachConfig, context: &str) {
     // The spill engine is held to the same exactness as the enumerative
     // pair — byte-identical graphs and identical errors — at the default
     // budget (everything resident) and at the floor budget (arena pages,
-    // frontier runs and the edge log all cycling through disk).
+    // frontier runs and the edge log all cycling through disk), and at
+    // every frontier fan-out: the parallel expansion merges worker
+    // results in deterministic (source, transition) order.
     for budget in [ReachConfig::default().memory_budget, TINY_BUDGET] {
         let spilled = elaborate_with(stg, &spill(config, budget));
         match (&spilled, &oracle) {
@@ -187,6 +189,24 @@ fn assert_differential(stg: &Stg, config: &ReachConfig, context: &str) {
                 "{context} [spill budget={budget}]: spill disagrees on success:\n  \
                  spill:    {spilled:?}\n  explicit: {oracle:?}"
             ),
+        }
+        for jobs in [2, 4] {
+            let fanned = elaborate_with(stg, &ReachConfig { jobs, ..spill(config, budget) });
+            match (&fanned, &spilled) {
+                (Ok(f), Ok(s)) => assert_same_graph(
+                    f,
+                    s,
+                    &format!("{context} [spill budget={budget} jobs={jobs}]"),
+                ),
+                (Err(f), Err(s)) => assert_eq!(
+                    f, s,
+                    "{context} [spill budget={budget} jobs={jobs}]: error must match jobs=1"
+                ),
+                _ => panic!(
+                    "{context} [spill budget={budget} jobs={jobs}]: fan-out changes the \
+                     outcome:\n  jobs={jobs}: {fanned:?}\n  jobs=1:   {spilled:?}"
+                ),
+            }
         }
     }
 
@@ -329,6 +349,14 @@ fn all_registry_benchmarks_elaborate_identically() {
         assert!(pstats.spill.is_none(), "{name}: packed stats must not carry spill counters");
         let counters = spstats.spill.unwrap_or_else(|| panic!("{name}: spill counters missing"));
         assert_eq!(counters.shards, 4, "{name}: effective shard count");
+        for jobs in [2, 4] {
+            let fanned = elaborate_with(
+                &stg,
+                &ReachConfig { jobs, ..spill(&config, ReachConfig::default().memory_budget) },
+            )
+            .unwrap_or_else(|e| panic!("{name} [spill jobs={jobs}]: {e}"));
+            assert_same_graph(&fanned, &oracle, &format!("{name} [spill jobs={jobs}]"));
+        }
         if !cfg!(debug_assertions) || oracle.state_count() <= 500 {
             let tiny = elaborate_with_stats(&stg, &spill(&config, TINY_BUDGET))
                 .unwrap_or_else(|e| panic!("{name} [spill tiny]: {e}"));
@@ -341,6 +369,10 @@ fn all_registry_benchmarks_elaborate_identically() {
                      (got {tc:?})"
                 );
             }
+            let tiny4 =
+                elaborate_with(&stg, &ReachConfig { jobs: 4, ..spill(&config, TINY_BUDGET) })
+                    .unwrap_or_else(|e| panic!("{name} [spill tiny jobs=4]: {e}"));
+            assert_same_graph(&tiny4, &oracle, &format!("{name} [spill tiny jobs=4]"));
         }
 
         let (sym, sstats) = elaborate_with_stats(&stg, &symbolic(&config))

@@ -1,11 +1,15 @@
 //! Acceptance tests for the external-memory spill engine beyond the
 //! differential harness: a pattern-composed net past the symbolic
-//! materialize limit elaborating under a bounded resident budget, and
-//! scratch-file hygiene on success, error and panic exit paths.
+//! materialize limit elaborating under a bounded resident budget,
+//! scratch-file hygiene on success, error and panic exit paths, and the
+//! checkpoint/resume contract proven the hard way — a child `simap
+//! check` SIGKILLed mid-exploration, resumed in-process, and held to
+//! state-for-state parity with a cold run.
 
-use simap::stg::{benchmark, elaborate_with, elaborate_with_stats, patterns, ReachError};
+use simap::stg::{benchmark, elaborate_with, elaborate_with_stats, parse_g, patterns, ReachError};
 use simap::{ReachConfig, ReachStrategy};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 fn spill_config(memory_budget: usize) -> ReachConfig {
     ReachConfig {
@@ -111,6 +115,174 @@ fn spill_dir_is_empty_after_state_limit_error() {
     let err = elaborate_with(&stg, &config).expect_err("limit must trip");
     assert!(matches!(err, ReachError::StateLimit { limit: 2048, .. }), "{err:?}");
     assert_eq!(scratch.entries(), Vec::<PathBuf>::new(), "scratch files leaked on error");
+}
+
+/// A composed net big and slow enough (under a floor budget) that a
+/// child `simap check` reliably survives past its first committed
+/// checkpoint before we kill it.
+fn kill_target_net(rings: usize) -> String {
+    let parts: Vec<_> = (0..rings).map(|_| patterns::sequencer(2, None)).collect();
+    simap::stg::write_g(&patterns::parallel("grid", &parts))
+}
+
+/// Spawns `simap check` on `spec` with per-level checkpointing into
+/// `ckpt`, waits for the first committed `MANIFEST`, then SIGKILLs the
+/// child at a pseudo-random later moment. Returns `true` when the kill
+/// genuinely interrupted the run (a manifest survives to resume from);
+/// `false` when the child won the race and finished (its success path
+/// cleans the checkpoint away).
+fn kill_check_mid_run(spec: &std::path::Path, ckpt: &std::path::Path, attempt: u32) -> bool {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_simap"))
+        .arg("check")
+        .arg(spec)
+        .args(["--strategy", "spill", "--memory-budget", "4096", "--shards", "4"])
+        .args(["--checkpoint-every", "1"])
+        .arg("--checkpoint-dir")
+        .arg(ckpt)
+        // Keep the child's spill scratch inside the test's directory:
+        // SIGKILL never runs its RAII cleanup, so the crashed run's
+        // scratch must die with the test instead of littering temp.
+        .arg("--spill-dir")
+        .arg(ckpt.parent().expect("checkpoint dir has a parent"))
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn simap check");
+    let manifest = ckpt.join("MANIFEST");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !manifest.exists() && Instant::now() < deadline {
+        if matches!(child.try_wait(), Ok(Some(_))) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Vary the kill level across attempts: a SplitMix-style mix of the
+    // pid and the attempt number spreads the extra delay over 0..32ms,
+    // so repeated runs die at different BFS levels.
+    let mix = (u64::from(std::process::id()) ^ (u64::from(attempt) << 32))
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    std::thread::sleep(Duration::from_millis(mix >> 59));
+    let _ = child.kill();
+    let _ = child.wait();
+    manifest.exists()
+}
+
+/// The exploration config matching [`kill_check_mid_run`]'s flags: the
+/// checkpoint's config digest covers `max_states`, `max_tokens` and
+/// `shards`, so the resuming run must agree on those (budget and jobs
+/// are free to differ — the result is byte-identical by contract).
+fn kill_check_config() -> ReachConfig {
+    spill_config(4096)
+}
+
+/// The kill/resume acceptance case: a child `simap check` with
+/// per-level checkpointing is SIGKILLed mid-exploration, the surviving
+/// checkpoint is resumed in-process, and the finished graph must match
+/// a cold packed elaboration state for state — same numbering, codes
+/// and arcs — with the checkpoint directory cleaned on success.
+#[test]
+fn sigkilled_check_resumes_byte_identically() {
+    let scratch = ScratchDir::new("kill");
+    let ckpt_dir = scratch.0.join("ckpt");
+    std::fs::create_dir_all(&ckpt_dir).expect("create checkpoint dir");
+    let spec = scratch.0.join("grid.g");
+    // Debug-mode spill is slow; a smaller grid still spans many levels.
+    let source = kill_target_net(if cfg!(debug_assertions) { 5 } else { 8 });
+    std::fs::write(&spec, &source).expect("write spec");
+    let stg = parse_g(&source).expect("round-trips");
+
+    let mut interrupted = false;
+    for attempt in 0..5 {
+        if kill_check_mid_run(&spec, &ckpt_dir, attempt) {
+            interrupted = true;
+            break;
+        }
+    }
+    assert!(interrupted, "could not SIGKILL `simap check` mid-run in 5 attempts");
+
+    let config = ReachConfig { resume: Some(ckpt_dir.clone()), ..kill_check_config() };
+    let (resumed, stats) = elaborate_with_stats(&stg, &config).expect("resume elaborates");
+    let counters = stats.spill.expect("spill counters");
+    assert!(counters.resume_level >= 1, "resume must continue a checkpoint: {counters:?}");
+
+    let oracle = elaborate_with(&stg, &ReachConfig::default()).expect("packed elaborates");
+    assert_eq!(resumed.signals(), oracle.signals());
+    assert_eq!(resumed.state_count(), oracle.state_count());
+    assert_eq!(resumed.initial(), oracle.initial());
+    for s in resumed.states() {
+        assert_eq!(resumed.code(s), oracle.code(s), "code of state {}", s.0);
+        assert_eq!(resumed.succ(s), oracle.succ(s), "successors of state {}", s.0);
+        assert_eq!(resumed.pred(s), oracle.pred(s), "predecessors of state {}", s.0);
+    }
+    assert_eq!(
+        std::fs::read_dir(&ckpt_dir).expect("checkpoint dir readable").count(),
+        0,
+        "a successful resume must clean the checkpoint away"
+    );
+}
+
+/// Workspace-level corruption tolerance: a checkpoint left by a killed
+/// child refuses to resume after a single bit flip in its manifest —
+/// with a diagnostic naming the artifact — refuses under a different
+/// shard count — naming both config digests — and still resumes cleanly
+/// once the original bytes are restored (validation never destroys the
+/// checkpoint).
+#[test]
+fn corrupted_or_mismatched_checkpoints_are_refused_then_recover() {
+    let scratch = ScratchDir::new("corrupt");
+    let ckpt_dir = scratch.0.join("ckpt");
+    std::fs::create_dir_all(&ckpt_dir).expect("create checkpoint dir");
+    let spec = scratch.0.join("grid.g");
+    let source = kill_target_net(if cfg!(debug_assertions) { 5 } else { 8 });
+    std::fs::write(&spec, &source).expect("write spec");
+    let stg = parse_g(&source).expect("round-trips");
+
+    let mut interrupted = false;
+    for attempt in 0..5 {
+        if kill_check_mid_run(&spec, &ckpt_dir, attempt) {
+            interrupted = true;
+            break;
+        }
+    }
+    assert!(interrupted, "could not SIGKILL `simap check` mid-run in 5 attempts");
+
+    let resume = ReachConfig { resume: Some(ckpt_dir.clone()), ..kill_check_config() };
+    let manifest = ckpt_dir.join("MANIFEST");
+    let pristine = std::fs::read(&manifest).expect("manifest readable");
+
+    // One flipped bit in the middle of the manifest: refused by name.
+    let mut bent = pristine.clone();
+    let mid = bent.len() / 2;
+    bent[mid] ^= 0x10;
+    std::fs::write(&manifest, &bent).expect("rewrite manifest");
+    let err = elaborate_with(&stg, &resume).expect_err("corrupt manifest must refuse");
+    let text = err.to_string();
+    assert!(
+        matches!(err, ReachError::Checkpoint { .. }) && text.contains("MANIFEST"),
+        "diagnostic must name the corrupt artifact: {text}"
+    );
+
+    // A mismatched exploration config (different shard count): refused
+    // naming both digests so the operator sees what disagrees.
+    std::fs::write(&manifest, &pristine).expect("restore manifest");
+    let mismatched = ReachConfig { shards: 8, ..resume.clone() };
+    let err = elaborate_with(&stg, &mismatched).expect_err("config mismatch must refuse");
+    let text = err.to_string();
+    assert!(
+        matches!(err, ReachError::Checkpoint { .. })
+            && text.contains("digest")
+            && text.matches("0x").count() == 2,
+        "diagnostic must name both config digests: {text}"
+    );
+
+    // Validation is non-destructive: the untouched checkpoint resumes.
+    let (resumed, stats) = elaborate_with_stats(&stg, &resume).expect("pristine resume");
+    assert!(stats.spill.expect("spill counters").resume_level >= 1);
+    let oracle = elaborate_with(&stg, &ReachConfig::default()).expect("packed elaborates");
+    assert_eq!(resumed.state_count(), oracle.state_count());
+    for s in resumed.states() {
+        assert_eq!(resumed.succ(s), oracle.succ(s), "successors of state {}", s.0);
+    }
 }
 
 /// The default placement (no `spill_dir`) works and reports counters;
